@@ -1,0 +1,47 @@
+//! **ABL-ACCEL bench** — extrapolation acceleration (Kamvar et al. \[8\],
+//! the paper's cited route to "reduce convergence time"): plain vs
+//! Aitken-accelerated CPR on the edu graph, across damping factors. Higher
+//! α ⇒ slower mixing ⇒ bigger wins for extrapolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpr_core::centralized::{open_pagerank, open_pagerank_accelerated, open_pagerank_gauss_seidel};
+use dpr_core::RankConfig;
+use dpr_graph::generators::edu::{edu_domain, EduDomainConfig};
+use dpr_linalg::vec_ops::relative_error;
+
+fn bench_acceleration(c: &mut Criterion) {
+    let g = edu_domain(&EduDomainConfig { n_pages: 20_000, ..EduDomainConfig::default() });
+    let mut group = c.benchmark_group("cpr_acceleration");
+    group.sample_size(10);
+    for &alpha in &[0.85f64, 0.95, 0.99] {
+        let cfg = RankConfig { alpha, epsilon: 1e-10, max_iters: 100_000, ..RankConfig::default() };
+        group.bench_with_input(BenchmarkId::new("plain", alpha), &cfg, |b, cfg| {
+            b.iter(|| open_pagerank(&g, cfg).iterations);
+        });
+        group.bench_with_input(BenchmarkId::new("aitken", alpha), &cfg, |b, cfg| {
+            b.iter(|| open_pagerank_accelerated(&g, cfg).iterations);
+        });
+        group.bench_with_input(BenchmarkId::new("gauss_seidel", alpha), &cfg, |b, cfg| {
+            b.iter(|| open_pagerank_gauss_seidel(&g, cfg).iterations);
+        });
+        // Correctness + savings report alongside the timings.
+        let plain = open_pagerank(&g, &cfg);
+        let fast = open_pagerank_accelerated(&g, &cfg);
+        let gs = open_pagerank_gauss_seidel(&g, &cfg);
+        let err = relative_error(&fast.ranks, &plain.ranks);
+        assert!(err < 1e-6, "acceleration changed the fixed point: {err}");
+        assert!(relative_error(&gs.ranks, &plain.ranks) < 1e-6);
+        eprintln!(
+            "[accel] alpha={alpha}: jacobi {} iters, aitken {} ({:.2}x), gauss-seidel {} sweeps ({:.2}x)",
+            plain.iterations,
+            fast.iterations,
+            plain.iterations as f64 / fast.iterations as f64,
+            gs.iterations,
+            plain.iterations as f64 / gs.iterations as f64
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_acceleration);
+criterion_main!(benches);

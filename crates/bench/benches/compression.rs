@@ -1,0 +1,51 @@
+//! **ABL-COMPRESS bench** — the paper's future-work compression idea as an
+//! ablation: encode/decode throughput of the delta+varint batch codec and
+//! the achieved ratio against the 100-byte URL wire form, with and without
+//! threshold filtering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpr_transport::compress::{baseline_size, decode_batch, encode_batch, CompressConfig};
+use dpr_transport::RankUpdate;
+
+/// A realistic exchange batch: clustered destinations (a few popular pages
+/// receive most inter-group links) and small scores.
+fn realistic_batch(n: usize) -> Vec<RankUpdate> {
+    (0..n)
+        .map(|i| RankUpdate {
+            from_page: (i as u32).wrapping_mul(2654435761) % 100_000,
+            to_page: ((i * i) as u32) % 2_000,
+            score: 0.15 / ((i % 97) as f64 + 1.0),
+        })
+        .collect()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress");
+    for &n in &[1_000usize, 10_000] {
+        let batch = realistic_batch(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("encode", n), &n, |b, _| {
+            b.iter(|| encode_batch(&batch, &CompressConfig::default()).len());
+        });
+        let encoded = encode_batch(&batch, &CompressConfig::default());
+        group.bench_with_input(BenchmarkId::new("decode", n), &n, |b, _| {
+            b.iter(|| decode_batch(&encoded).unwrap().len());
+        });
+
+        // Report + assert the ratios that make the ablation meaningful.
+        let ratio = baseline_size(&batch) as f64 / encoded.len() as f64;
+        assert!(ratio > 5.0, "compression ratio collapsed: {ratio}");
+        let thresholded = encode_batch(&batch, &CompressConfig { threshold: 1e-2 });
+        assert!(thresholded.len() <= encoded.len());
+        eprintln!(
+            "[compress] n={n}: {} B raw-URL -> {} B compressed ({ratio:.1}x), {} B with 1e-2 threshold",
+            baseline_size(&batch),
+            encoded.len(),
+            thresholded.len()
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! **CRAWL bench** — throughput of the crawling substrate: hidden-web
+//! adjacency generation, single-crawler BFS, and the exchange-mode parallel
+//! crawl (the configuration that feeds ranking datasets).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpr_crawl::crawler::parallel_crawl;
+use dpr_crawl::{crawl_bfs, CrawlBudget, HiddenWeb, HiddenWebConfig, Mode};
+
+fn bench_crawl(c: &mut Criterion) {
+    let web = HiddenWeb::new(HiddenWebConfig {
+        total_pages: 50_000,
+        n_sites: 50,
+        ..HiddenWebConfig::default()
+    });
+
+    let mut group = c.benchmark_group("crawl");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("adjacency_generation", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for p in 0..10_000u64 {
+                total += web.out_links(p).len();
+            }
+            total
+        });
+    });
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("bfs_10k_pages", |b| {
+        b.iter(|| crawl_bfs(&web, CrawlBudget { max_pages: 10_000 }).fetched.len());
+    });
+    for agents in [2usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("exchange_full", agents),
+            &agents,
+            |b, &agents| {
+                b.iter(|| {
+                    parallel_crawl(&web, agents, Mode::Exchange, CrawlBudget {
+                        max_pages: usize::MAX,
+                    })
+                    .fetched
+                    .len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crawl);
+criterion_main!(benches);

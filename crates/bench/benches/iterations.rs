@@ -1,0 +1,47 @@
+//! **FIG8 bench** — cost of the Fig 8 sweep points: distributed runs as the
+//! ranker count K grows, plus the CPR baseline solve. The iteration-count
+//! figure itself comes from the `fig8` binary; here Criterion tracks how
+//! simulation cost scales with K (actors, messages) at fixed graph size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpr_core::centralized::open_pagerank_iterations_to;
+use dpr_core::{run_distributed, DistributedRunConfig, DprVariant, RankConfig};
+use dpr_graph::generators::edu::{edu_domain, EduDomainConfig};
+use dpr_partition::Strategy;
+
+fn bench_k_sweep(c: &mut Criterion) {
+    let g = edu_domain(&EduDomainConfig { n_pages: 5_000, n_sites: 50, ..EduDomainConfig::default() });
+    let mut group = c.benchmark_group("fig8_k_sweep");
+    group.sample_size(10);
+    for &k in &[2usize, 10, 100, 1_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                run_distributed(
+                    &g,
+                    DistributedRunConfig {
+                        k,
+                        variant: DprVariant::Dpr1,
+                        strategy: Strategy::HashBySite,
+                        t1: 15.0,
+                        t2: 15.0,
+                        t_end: 300.0,
+                        sample_every: 15.0,
+                        ..DistributedRunConfig::default()
+                    },
+                )
+                .mean_outer_iters_at_threshold
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cpr_baseline(c: &mut Criterion) {
+    let g = edu_domain(&EduDomainConfig { n_pages: 5_000, n_sites: 50, ..EduDomainConfig::default() });
+    c.bench_function("fig8_cpr_iterations", |b| {
+        b.iter(|| open_pagerank_iterations_to(&g, &RankConfig::default(), 1e-4));
+    });
+}
+
+criterion_group!(benches, bench_k_sweep, bench_cpr_baseline);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! **FULL-SYSTEM bench** — whole-system runs with rank exchange routed
+//! through the Pastry overlay (the `netrun` module): direct vs indirect
+//! transmission while the ranks actually converge. Criterion measures the
+//! simulation cost; the asserts keep the §4.4 message ordering honest.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpr_core::{run_over_network, NetRunConfig, Transmission};
+use dpr_graph::generators::edu::{edu_domain, EduDomainConfig};
+use dpr_partition::Strategy;
+
+fn bench_full_system(c: &mut Criterion) {
+    let g = edu_domain(&EduDomainConfig { n_pages: 3_000, n_sites: 30, ..EduDomainConfig::default() });
+    let mut group = c.benchmark_group("full_system");
+    group.sample_size(10);
+    for (name, t) in [("direct", Transmission::Direct), ("indirect", Transmission::Indirect)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &t, |b, &t| {
+            b.iter(|| {
+                let res = run_over_network(
+                    &g,
+                    NetRunConfig {
+                        k: 48,
+                        n_nodes: 48,
+                        transmission: t,
+                        strategy: Strategy::HashBySite,
+                        t_end: 80.0,
+                        ..NetRunConfig::default()
+                    },
+                );
+                assert!(res.final_rel_err < 1e-2);
+                res.counters.data_messages
+            });
+        });
+    }
+    group.finish();
+
+    // Ordering check at matched convergence.
+    let run = |t| {
+        run_over_network(
+            &g,
+            NetRunConfig { k: 48, n_nodes: 48, transmission: t, t_end: 120.0, ..NetRunConfig::default() },
+        )
+    };
+    let d = run(Transmission::Direct);
+    let i = run(Transmission::Indirect);
+    assert!(
+        i.counters.data_messages < d.counters.data_messages + d.counters.lookup_messages,
+        "indirect must use fewer total messages"
+    );
+    eprintln!(
+        "[netrun] direct: {} data + {} lookup msgs; indirect: {} msgs ({} bytes vs {} bytes)",
+        d.counters.data_messages,
+        d.counters.lookup_messages,
+        i.counters.data_messages,
+        d.counters.bytes,
+        i.counters.bytes
+    );
+}
+
+criterion_group!(benches, bench_full_system);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! **HOPS bench** — routing throughput and construction cost of the two
+//! overlays. The hop-count *values* come from the `hops` binary; this bench
+//! watches lookup latency (simulated routing work per lookup) and network
+//! build time, which bound experiment scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpr_overlay::id::key_from_u64;
+use dpr_overlay::{ChordNetwork, Overlay, PastryNetwork};
+
+fn bench_route(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route");
+    for &n in &[1_000usize, 10_000] {
+        let pastry = PastryNetwork::with_nodes(n, 1);
+        let chord = ChordNetwork::with_nodes(n, 2);
+        group.bench_with_input(BenchmarkId::new("pastry", n), &n, |b, _| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = k.wrapping_add(1);
+                pastry.route((k as usize * 31) % n, key_from_u64(k)).len()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("chord", n), &n, |b, _| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = k.wrapping_add(1);
+                chord.route((k as usize * 31) % n, key_from_u64(k)).len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("pastry", n), &n, |b, &n| {
+            b.iter(|| PastryNetwork::with_nodes(n, 3).n_nodes());
+        });
+        group.bench_with_input(BenchmarkId::new("chord", n), &n, |b, &n| {
+            b.iter(|| ChordNetwork::with_nodes(n, 4).n_nodes());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_route, bench_build);
+criterion_main!(benches);

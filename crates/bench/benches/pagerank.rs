@@ -1,0 +1,45 @@
+//! Kernel benchmarks for centralized PageRank: SpMV (sequential vs
+//! Rayon-parallel) and full CPR solves across graph scales. Establishes the
+//! per-iteration cost that every distributed-ranking estimate builds on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpr_core::centralized::{open_pagerank, open_system_matrix};
+use dpr_core::RankConfig;
+use dpr_graph::generators::edu::{edu_domain, EduDomainConfig};
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmv");
+    for &pages in &[10_000usize, 50_000] {
+        let g = edu_domain(&EduDomainConfig { n_pages: pages, ..EduDomainConfig::default() });
+        let a = open_system_matrix(&g, 0.85);
+        let x = vec![1.0; pages];
+        let mut y = vec![0.0; pages];
+        group.throughput(Throughput::Elements(a.nnz() as u64));
+        group.bench_with_input(BenchmarkId::new("sequential", pages), &pages, |b, _| {
+            b.iter(|| a.mul_vec(&x, &mut y));
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", pages), &pages, |b, _| {
+            b.iter(|| a.mul_vec_par(&x, &mut y));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cpr_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpr_solve");
+    group.sample_size(10);
+    for &pages in &[10_000usize, 50_000] {
+        let g = edu_domain(&EduDomainConfig { n_pages: pages, ..EduDomainConfig::default() });
+        group.bench_with_input(BenchmarkId::from_parameter(pages), &pages, |b, _| {
+            b.iter(|| {
+                let out = open_pagerank(&g, &RankConfig::default());
+                assert!(out.converged);
+                out.iterations
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmv, bench_cpr_solve);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! **ABL-PARTITION bench** — cost and quality of the three §4.1 dividing
+//! strategies. Criterion measures assignment + metric computation
+//! throughput; the asserts pin the quality ordering (site-hash cuts fewest
+//! links) on every run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpr_graph::generators::edu::{edu_domain, EduDomainConfig};
+use dpr_partition::{Partition, PartitionMetrics, Strategy};
+
+fn bench_partition(c: &mut Criterion) {
+    let g = edu_domain(&EduDomainConfig { n_pages: 50_000, ..EduDomainConfig::default() });
+    let k = 64;
+    let mut group = c.benchmark_group("partition_build");
+    group.throughput(Throughput::Elements(g.n_pages() as u64));
+    for s in [Strategy::Random { seed: 1 }, Strategy::HashByUrl, Strategy::HashBySite] {
+        group.bench_with_input(BenchmarkId::from_parameter(s.name()), &s, |b, s| {
+            b.iter(|| Partition::build(&g, s, k, 0).group_sizes().len());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("partition_metrics");
+    group.throughput(Throughput::Elements(g.n_internal_links() as u64));
+    let parts: Vec<(Strategy, Partition)> =
+        [Strategy::Random { seed: 1 }, Strategy::HashByUrl, Strategy::HashBySite]
+            .into_iter()
+            .map(|s| {
+                let p = Partition::build(&g, &s, k, 0);
+                (s, p)
+            })
+            .collect();
+    for (s, p) in &parts {
+        group.bench_with_input(BenchmarkId::from_parameter(s.name()), p, |b, p| {
+            b.iter(|| PartitionMetrics::compute(&g, p).cut_links);
+        });
+    }
+    group.finish();
+
+    // The §4.1 ordering must hold.
+    let cut = |s: &Strategy| {
+        let p = Partition::build(&g, s, k, 0);
+        PartitionMetrics::compute(&g, &p).cut_fraction
+    };
+    let site = cut(&Strategy::HashBySite);
+    let url = cut(&Strategy::HashByUrl);
+    let random = cut(&Strategy::Random { seed: 1 });
+    assert!(site < url && site < random, "site-hash must cut fewest links: {site} {url} {random}");
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! **THREADED bench** — real-parallel execution: wall-clock of ranking a
+//! dataset with 1, 4 and 8 ranker threads (crossbeam channels, barrier
+//! rounds). The speedup from thread parallelism is the "CPU and memory are
+//! cheaper than communication" side of the paper's §1 premise.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpr_core::{run_threaded, ThreadedRunConfig};
+use dpr_graph::generators::edu::{edu_domain, EduDomainConfig};
+use dpr_partition::Strategy;
+
+fn bench_threaded(c: &mut Criterion) {
+    let g = edu_domain(&EduDomainConfig { n_pages: 20_000, n_sites: 64, ..EduDomainConfig::default() });
+    let mut group = c.benchmark_group("threaded");
+    group.sample_size(10);
+    for &k in &[1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let res = run_threaded(
+                    &g,
+                    &ThreadedRunConfig {
+                        k,
+                        strategy: Strategy::HashByUrl,
+                        quiescence_epsilon: 1e-6,
+                        ..ThreadedRunConfig::default()
+                    },
+                );
+                assert!(res.final_rel_err < 1e-4);
+                res.rounds
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_threaded);
+criterion_main!(benches);

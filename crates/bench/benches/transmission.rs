@@ -1,0 +1,51 @@
+//! **EQ4 bench** — direct vs. indirect transmission cost on a simulated
+//! Pastry overlay (formulas 4.1–4.4). Criterion measures the simulation
+//! throughput; the asserts keep the scalability ordering honest on every
+//! run (indirect must send fewer messages at these N).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpr_overlay::id::key_from_u64;
+use dpr_overlay::PastryNetwork;
+use dpr_transport::codec::PaperSizeModel;
+use dpr_transport::{direct, indirect, Batch, Outgoing, RankUpdate};
+
+fn all_to_all(n: usize) -> Vec<Outgoing> {
+    (0..n)
+        .map(|s| Outgoing {
+            sender: s,
+            batches: (0..n as u64)
+                .map(|gid| Batch {
+                    dest_key: key_from_u64(gid),
+                    updates: vec![RankUpdate {
+                        from_page: s as u32,
+                        to_page: gid as u32,
+                        score: 0.5,
+                    }],
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transmission");
+    group.sample_size(10);
+    for &n in &[50usize, 150, 300] {
+        let net = PastryNetwork::with_nodes(n, 7);
+        let traffic = all_to_all(n);
+        group.bench_with_input(BenchmarkId::new("direct", n), &n, |b, _| {
+            b.iter(|| direct::simulate(&net, &traffic, &PaperSizeModel).messages);
+        });
+        group.bench_with_input(BenchmarkId::new("indirect", n), &n, |b, _| {
+            b.iter(|| indirect::simulate(&net, &traffic, &PaperSizeModel).stats.messages);
+        });
+        // Scalability ordering sanity (the §4.4 claim).
+        let d = direct::simulate(&net, &traffic, &PaperSizeModel);
+        let i = indirect::simulate(&net, &traffic, &PaperSizeModel).stats;
+        assert!(i.messages < d.messages, "indirect must win on messages at N = {n}");
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! **FIG6** — "Distributed PageRank converges to the ranks of centralized
+//! PageRank": relative error `‖R − R*‖/‖R*‖` over time for three settings,
+//! K = 1000 page rankers (paper Fig 6).
+//!
+//! Curves (paper parameters):
+//!   A: p = 1.0, T1 = 0, T2 = 6
+//!   B: p = 0.7, T1 = 0, T2 = 6
+//!   C: p = 0.7, T1 = 0, T2 = 15
+//!
+//! Usage: `fig6 [--pages N] [--sites S] [--k K] [--t-end T] [--variant dpr1|dpr2] [--full]`
+//! `--full` uses the paper's dataset scale (1M pages / 15M links).
+
+use dpr_bench::{arg, ascii_chart, flag, parse_args, series_payload, write_json};
+use dpr_core::{run_distributed, DistributedRunConfig, DprVariant};
+use dpr_graph::generators::edu::{edu_domain, EduDomainConfig};
+use dpr_partition::Strategy;
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    let full = flag(&args, "full");
+    let pages = arg(&args, "pages", if full { 1_000_000 } else { 50_000 });
+    let sites = arg(&args, "sites", 100usize);
+    let k = arg(&args, "k", 1_000usize);
+    let t_end = arg(&args, "t-end", 100.0f64);
+    let variant = match args.get("variant").map(String::as_str) {
+        Some("dpr2") => DprVariant::Dpr2,
+        _ => DprVariant::Dpr1,
+    };
+    let seed = arg(&args, "seed", 42u64);
+
+    eprintln!("[fig6] generating edu-domain graph: {pages} pages, {sites} sites");
+    let g = edu_domain(&EduDomainConfig { n_pages: pages, n_sites: sites, ..EduDomainConfig::default() });
+
+    let settings = [
+        ("A (p=1.0, T1=0, T2=6)", 1.0, 0.0, 6.0),
+        ("B (p=0.7, T1=0, T2=6)", 0.7, 0.0, 6.0),
+        ("C (p=0.7, T1=0, T2=15)", 0.7, 0.0, 15.0),
+    ];
+
+    let mut curves = Vec::new();
+    for (name, p, t1, t2) in settings {
+        eprintln!("[fig6] running {name} …");
+        let res = run_distributed(
+            &g,
+            DistributedRunConfig {
+                k,
+                variant,
+                strategy: Strategy::HashBySite,
+                t1,
+                t2,
+                send_success_prob: p,
+                seed,
+                t_end,
+                sample_every: 1.0,
+                ..DistributedRunConfig::default()
+            },
+        );
+        eprintln!(
+            "[fig6]   final rel err {:.4}%  (threshold hit at t = {:?}, {} active rankers)",
+            res.final_rel_err * 100.0,
+            res.time_at_threshold,
+            res.active_groups
+        );
+        curves.push((name, res));
+    }
+
+    println!("\nFig 6 — relative error (%) vs time, K = {k}, variant {variant:?}\n");
+    let pct: Vec<(&str, dpr_sim::TimeSeries)> = curves
+        .iter()
+        .map(|(name, res)| {
+            let mut s = dpr_sim::TimeSeries::new();
+            for &(t, v) in res.rel_err.points() {
+                s.push(t, v * 100.0);
+            }
+            (*name, s)
+        })
+        .collect();
+    let refs: Vec<(&str, &dpr_sim::TimeSeries)> = pct.iter().map(|(n, s)| (*n, s)).collect();
+    println!("{}", ascii_chart(&refs, 70, 16));
+
+    println!("time    A-rel-err%   B-rel-err%   C-rel-err%");
+    let grid_a = curves[0].1.rel_err.resample(1.0, t_end, 20);
+    let grid_b = curves[1].1.rel_err.resample(1.0, t_end, 20);
+    let grid_c = curves[2].1.rel_err.resample(1.0, t_end, 20);
+    for i in 0..grid_a.len() {
+        println!(
+            "{:>5.1} {:>11.3} {:>12.3} {:>12.3}",
+            grid_a[i].0,
+            grid_a[i].1 * 100.0,
+            grid_b[i].1 * 100.0,
+            grid_c[i].1 * 100.0
+        );
+    }
+
+    let payload = series_payload(&refs);
+    match write_json("fig6", &payload) {
+        Ok(path) => eprintln!("[fig6] wrote {}", path.display()),
+        Err(e) => eprintln!("[fig6] JSON write failed: {e}"),
+    }
+}

@@ -1,0 +1,53 @@
+//! **TAB1** — Table 1 of the paper: the minimal time interval between
+//! iterations and the minimal per-node bottleneck bandwidth for 1 000,
+//! 10 000 and 100 000 page rankers ranking 3 billion pages, under the §4.5
+//! bisection-bandwidth constraint.
+//!
+//! Usage: `table1 [--pages W] [--record-bytes L] [--bisection-mb C]`
+//! (defaults are the paper's constants). Also cross-checks the Pastry hop
+//! constants against a measured overlay at 1 000 nodes.
+
+use dpr_bench::{arg, parse_args, write_json};
+use dpr_model::{pastry_hops, render_table1, CapacityModel};
+use dpr_overlay::{avg_route_hops, PastryNetwork};
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    let model = CapacityModel {
+        total_pages: arg(&args, "pages", 3.0e9),
+        link_record_bytes: arg(&args, "record-bytes", 100.0),
+        usable_bisection_bytes_per_sec: arg(&args, "bisection-mb", 100.0) * 1e6,
+    };
+
+    let rows: Vec<_> = [1_000u64, 10_000, 100_000].iter().map(|&n| model.row(n)).collect();
+
+    println!("Table 1 — minimal iteration interval and bottleneck bandwidth");
+    println!(
+        "  (W = {:.1e} pages, l = {} B, usable bisection = {:.0} MB/s)\n",
+        model.total_pages,
+        model.link_record_bytes,
+        model.usable_bisection_bytes_per_sec / 1e6
+    );
+    println!("{}", render_table1(&rows));
+
+    println!("Paper reference row:        1,000: 7500s/100KB/s   10,000: 10500s/10KB/s   100,000: 12000s/1KB/s");
+    println!(
+        "\nConclusion check: at 1000 rankers one iteration takes ≥ {:.1} hours (paper: \"at least 2 hours\").",
+        rows[0].min_iteration_interval_secs / 3600.0
+    );
+
+    // Cross-check h against a real simulated overlay at the scale we can
+    // afford to build here.
+    eprintln!("[table1] measuring Pastry hops at 1000 nodes …");
+    let net = PastryNetwork::with_nodes(1_000, 0xBEE);
+    let measured = avg_route_hops(&net, 2_000, 1).mean;
+    println!(
+        "\nMeasured Pastry hops at 1000 nodes: {measured:.2} (paper constant {:.1})",
+        pastry_hops(1_000)
+    );
+
+    match write_json("table1", &rows) {
+        Ok(path) => eprintln!("[table1] wrote {}", path.display()),
+        Err(e) => eprintln!("[table1] JSON write failed: {e}"),
+    }
+}

@@ -1,0 +1,132 @@
+//! **EQ4** — direct vs. indirect transmission (§4.4, formulas 4.1–4.4):
+//! measures messages and bytes per exchange iteration on a simulated Pastry
+//! overlay across a sweep of N, and compares with the paper's closed forms.
+//!
+//! Expected shape: direct wins on messages only below the small-N crossover
+//! (`N < g/(h+1)`); indirect is O(gN) vs direct's O((h+1)N²) above it;
+//! indirect pays ~h× the payload bytes.
+//!
+//! Usage: `transmission [--max-n N] [--updates-per-pair U] [--overlay pastry|chord|can]`
+
+use dpr_bench::{arg, parse_args, write_json};
+use dpr_overlay::id::key_from_u64;
+use dpr_overlay::{avg_route_hops, CanNetwork, ChordNetwork, Overlay, PastryNetwork};
+use dpr_transport::codec::PaperSizeModel;
+use dpr_transport::{analytic, direct, indirect, Batch, Outgoing, RankUpdate};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    n: usize,
+    hops: f64,
+    mean_neighbors: f64,
+    direct_msgs: u64,
+    indirect_msgs: u64,
+    direct_bytes: u64,
+    indirect_bytes: u64,
+    s_dt_analytic: f64,
+    s_it_analytic: f64,
+}
+
+/// All-to-all exchange traffic: every node sends `updates` records to every
+/// group key (the worst case §4.4 reasons about: "each group potentially
+/// has links pointing to nearly all other groups").
+fn all_to_all(n: usize, updates: usize) -> Vec<Outgoing> {
+    (0..n)
+        .map(|s| Outgoing {
+            sender: s,
+            batches: (0..n as u64)
+                .map(|gid| Batch {
+                    dest_key: key_from_u64(gid),
+                    updates: (0..updates)
+                        .map(|u| RankUpdate {
+                            from_page: (s * updates + u) as u32,
+                            to_page: gid as u32,
+                            score: 0.1,
+                        })
+                        .collect(),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    let max_n = arg(&args, "max-n", 400usize);
+    let updates = arg(&args, "updates-per-pair", 3usize);
+    let overlay_kind = args.get("overlay").map(String::as_str).unwrap_or("pastry").to_string();
+
+    let ns: Vec<usize> = [5usize, 10, 25, 50, 100, 200, 400, 800]
+        .into_iter()
+        .filter(|&n| n <= max_n)
+        .collect();
+
+    let mut rows = Vec::new();
+    for &n in &ns {
+        let net: Box<dyn Overlay> = match overlay_kind.as_str() {
+            "chord" => Box::new(ChordNetwork::with_nodes(n, 0xFEED ^ n as u64)),
+            "can" => Box::new(CanNetwork::with_nodes(n, 2, 0xFEED ^ n as u64)),
+            _ => Box::new(PastryNetwork::with_nodes(n, 0xFEED ^ n as u64)),
+        };
+        let net = net.as_ref();
+        let traffic = all_to_all(n, updates);
+        let d = direct::simulate(net, &traffic, &PaperSizeModel);
+        let i = indirect::simulate(net, &traffic, &PaperSizeModel).stats;
+        assert_eq!(d.delivered_updates, i.delivered_updates, "both schemes must deliver all updates");
+        let hops = avg_route_hops(net, 1_000.min(n * 20), 1).mean;
+        let g = net.mean_neighbors();
+        rows.push(Row {
+            n,
+            hops,
+            mean_neighbors: g,
+            direct_msgs: d.messages,
+            indirect_msgs: i.messages,
+            direct_bytes: d.bytes,
+            indirect_bytes: i.bytes,
+            s_dt_analytic: analytic::s_direct(hops, n as f64),
+            s_it_analytic: analytic::s_indirect(g, n as f64),
+        });
+        eprintln!("[transmission] N={n:>4}: direct {} msgs / indirect {} msgs", d.messages, i.messages);
+    }
+
+    println!("\nDirect vs indirect transmission ({overlay_kind} overlay, all-to-all exchange, {updates} updates/pair)\n");
+    println!(
+        "{:>5} {:>6} {:>6} | {:>12} {:>12} {:>8} | {:>12} {:>12} | {:>12} {:>12}",
+        "N", "h", "g", "direct msgs", "(h+1)N^2", "ratio", "indir msgs", "gN", "direct MB", "indir MB"
+    );
+    for r in &rows {
+        println!(
+            "{:>5} {:>6.2} {:>6.1} | {:>12} {:>12.0} {:>8.2} | {:>12} {:>12.0} | {:>12.2} {:>12.2}",
+            r.n,
+            r.hops,
+            r.mean_neighbors,
+            r.direct_msgs,
+            r.s_dt_analytic,
+            r.direct_msgs as f64 / r.s_dt_analytic,
+            r.indirect_msgs,
+            r.s_it_analytic,
+            r.direct_bytes as f64 / 1e6,
+            r.indirect_bytes as f64 / 1e6,
+        );
+    }
+
+    let cross = rows.iter().find(|r| r.indirect_msgs < r.direct_msgs).map(|r| r.n);
+    println!(
+        "\nMessage crossover: indirect sends fewer messages from N = {:?} onward \
+         (paper: \"Direct transmission seems better only for small N\").",
+        cross
+    );
+    let last = rows.last().unwrap();
+    println!(
+        "At N = {}: indirect uses {:.1}x fewer messages but {:.1}x more bytes (the h-hop forwarding cost).",
+        last.n,
+        last.direct_msgs as f64 / last.indirect_msgs as f64,
+        last.indirect_bytes as f64 / last.direct_bytes.max(1) as f64,
+    );
+
+    match write_json("transmission", &rows) {
+        Ok(path) => eprintln!("[transmission] wrote {}", path.display()),
+        Err(e) => eprintln!("[transmission] JSON write failed: {e}"),
+    }
+}

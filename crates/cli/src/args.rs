@@ -1,0 +1,104 @@
+//! Minimal argument parsing for the `dpr` CLI: a subcommand followed by
+//! `--key value` options and positional arguments. No external parser
+//! dependency — the surface is small and the error messages are ours.
+
+use std::collections::HashMap;
+
+/// Parsed command line: subcommand, positionals, options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+    /// `--key value` and bare `--flag` (value `"true"`).
+    pub options: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses an iterator of raw arguments (without the binary name).
+    #[must_use]
+    pub fn parse(raw: impl Iterator<Item = String>) -> Self {
+        let mut out = Args::default();
+        let mut raw = raw.peekable();
+        while let Some(a) = raw.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = match raw.peek() {
+                    Some(v) if !v.starts_with("--") => raw.next().unwrap(),
+                    _ => "true".to_string(),
+                };
+                out.options.insert(key.to_string(), value);
+            } else if out.command.is_empty() {
+                out.command = a;
+            } else {
+                out.positional.push(a);
+            }
+        }
+        out
+    }
+
+    /// Typed option lookup with a default.
+    #[must_use]
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.options.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// String option lookup.
+    #[must_use]
+    pub fn get_str<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map_or(default, String::as_str)
+    }
+
+    /// Whether a bare flag was passed.
+    #[must_use]
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.get(key).map(String::as_str) == Some("true")
+    }
+
+    /// The `i`-th positional argument, or an error message naming it.
+    pub fn positional(&self, i: usize, name: &str) -> Result<&str, String> {
+        self.positional
+            .get(i)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required argument <{name}>"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Args {
+        Args::parse(s.iter().map(ToString::to_string))
+    }
+
+    #[test]
+    fn command_positional_options() {
+        let a = parse(&["rank", "graph.txt", "--top", "5", "--accelerated"]);
+        assert_eq!(a.command, "rank");
+        assert_eq!(a.positional(0, "graph").unwrap(), "graph.txt");
+        assert_eq!(a.get("top", 0usize), 5);
+        assert!(a.flag("accelerated"));
+        assert!(!a.flag("absent"));
+    }
+
+    #[test]
+    fn missing_positional_reports_name() {
+        let a = parse(&["stats"]);
+        let err = a.positional(0, "graph").unwrap_err();
+        assert!(err.contains("<graph>"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse(&["plan"]);
+        assert_eq!(a.get("rankers", 1000u64), 1000);
+        assert_eq!(a.get_str("strategy", "site"), "site");
+    }
+
+    #[test]
+    fn empty_input() {
+        let a = parse(&[]);
+        assert!(a.command.is_empty());
+    }
+}

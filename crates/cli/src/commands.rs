@@ -1,0 +1,364 @@
+//! The `dpr` subcommand implementations.
+
+use dpr_core::centralized::{open_pagerank, open_pagerank_accelerated, pagerank};
+use dpr_core::hits::{hits, HitsConfig};
+use dpr_core::metrics::top_k;
+use dpr_core::{run_distributed, DistributedRunConfig, DprVariant, RankConfig};
+use dpr_crawl::crawler::parallel_crawl;
+use dpr_crawl::{crawl_to_graph, CrawlBudget, HiddenWeb, HiddenWebConfig, Mode};
+use dpr_graph::generators::edu::{edu_domain, EduDomainConfig};
+use dpr_graph::{GraphStats, WebGraph};
+use dpr_model::{pastry_hops, CapacityModel};
+use dpr_partition::{Partition, PartitionMetrics, Strategy};
+
+use crate::args::Args;
+
+/// Top-level usage text.
+pub const HELP: &str = "\
+dpr — distributed page ranking in structured P2P networks
+
+USAGE: dpr <command> [args]
+
+COMMANDS:
+  generate  --pages N --sites S [--seed X] --out FILE
+            Synthesize an edu-domain crawl dataset.
+  crawl     --web-pages N --sites S [--agents A] [--mode firewall|crossover|exchange]
+            [--budget B] --out FILE
+            Crawl a synthetic hidden web with parallel agents.
+  stats     FILE
+            Print dataset statistics.
+  partition FILE [--k K] [--strategy site|url|random]
+            Evaluate a dividing strategy (cut links, balance, stability).
+  rank      FILE [--algo cpr|pagerank|hits] [--accelerated] [--top T] [--alpha A]
+            Centralized ranking baselines.
+  simulate  FILE [--k K] [--variant dpr1|dpr2] [--p P] [--t1 T] [--t2 T]
+            [--t-end T] [--strategy site|url|random] [--seed X]
+            [--warm-start RANKS] [--save-ranks RANKS] [--threaded]
+            Asynchronous distributed ranking with failure injection;
+            rank files enable warm restarts across invocations;
+            --threaded runs real OS threads instead of the simulator.
+  top       FILE --ranks RANKS [--k K] [--site S]
+            Top pages from a saved rank file (optionally one site only).
+  analyze   FILE [--sinks-only]
+            Structural audit: SCCs, rank sinks, reachability from site seeds.
+  plan      [--rankers N] [--pages W] [--record-bytes L] [--bisection-mb C]
+            Capacity planning (paper Table 1 math).
+";
+
+type CmdResult = Result<(), String>;
+
+fn load_graph(path: &str) -> Result<WebGraph, String> {
+    dpr_graph::io::load(path).map_err(|e| format!("cannot read graph {path}: {e}"))
+}
+
+fn parse_strategy(name: &str) -> Result<Strategy, String> {
+    match name {
+        "site" => Ok(Strategy::HashBySite),
+        "url" => Ok(Strategy::HashByUrl),
+        "random" => Ok(Strategy::Random { seed: 0xD1CE }),
+        other => Err(format!("unknown strategy `{other}` (site|url|random)")),
+    }
+}
+
+/// `dpr generate`
+pub fn generate(args: &Args) -> CmdResult {
+    let out = args.get_str("out", "");
+    if out.is_empty() {
+        return Err("generate needs --out FILE".into());
+    }
+    let cfg = EduDomainConfig {
+        n_pages: args.get("pages", 50_000usize),
+        n_sites: args.get("sites", 100usize),
+        seed: args.get("seed", EduDomainConfig::default().seed),
+        ..EduDomainConfig::default()
+    };
+    let g = edu_domain(&cfg);
+    dpr_graph::io::save(&g, out).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {} pages / {} links to {out}", g.n_pages(), g.n_internal_links());
+    Ok(())
+}
+
+/// `dpr crawl`
+pub fn crawl(args: &Args) -> CmdResult {
+    let out = args.get_str("out", "");
+    if out.is_empty() {
+        return Err("crawl needs --out FILE".into());
+    }
+    let web = HiddenWeb::new(HiddenWebConfig {
+        total_pages: args.get("web-pages", 100_000u64),
+        n_sites: args.get("sites", 100usize),
+        seed: args.get("seed", HiddenWebConfig::default().seed),
+        ..HiddenWebConfig::default()
+    });
+    let mode = match args.get_str("mode", "exchange") {
+        "firewall" => Mode::Firewall,
+        "crossover" => Mode::CrossOver,
+        "exchange" => Mode::Exchange,
+        other => return Err(format!("unknown mode `{other}`")),
+    };
+    let agents = args.get("agents", 4usize);
+    let budget = CrawlBudget { max_pages: args.get("budget", usize::MAX) };
+    let res = parallel_crawl(&web, agents, mode, budget);
+    let g = crawl_to_graph(&web, &res.fetched);
+    dpr_graph::io::save(&g, out).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "crawled {} pages ({:.1}% of the web) with {agents} agents ({} URLs exchanged, {} overlap)",
+        g.n_pages(),
+        res.outcome.coverage * 100.0,
+        res.outcome.urls_exchanged,
+        res.outcome.overlap
+    );
+    println!("wrote {out}");
+    Ok(())
+}
+
+/// `dpr stats`
+pub fn stats(args: &Args) -> CmdResult {
+    let g = load_graph(args.positional(0, "graph")?)?;
+    println!("{}", GraphStats::compute(&g));
+    Ok(())
+}
+
+/// `dpr partition`
+pub fn partition(args: &Args) -> CmdResult {
+    let g = load_graph(args.positional(0, "graph")?)?;
+    let k = args.get("k", 64usize);
+    let strategy = parse_strategy(args.get_str("strategy", "site"))?;
+    let p = Partition::build(&g, &strategy, k, 0);
+    let m = PartitionMetrics::compute(&g, &p);
+    println!("strategy {} over K = {k} groups:", strategy.name());
+    println!("{m}");
+    println!("stable across re-crawls: {}", strategy.is_stable());
+    Ok(())
+}
+
+/// `dpr rank`
+pub fn rank(args: &Args) -> CmdResult {
+    let g = load_graph(args.positional(0, "graph")?)?;
+    let top = args.get("top", 10usize);
+    let cfg = RankConfig { alpha: args.get("alpha", 0.85f64), ..RankConfig::default() };
+    let (name, ranks, iterations) = match args.get_str("algo", "cpr") {
+        "cpr" => {
+            let out = if args.flag("accelerated") {
+                open_pagerank_accelerated(&g, &cfg)
+            } else {
+                open_pagerank(&g, &cfg)
+            };
+            ("open-system PageRank (CPR)", out.ranks, out.iterations)
+        }
+        "pagerank" => {
+            let out = pagerank(&g, &cfg);
+            ("closed-system PageRank (Algorithm 1)", out.ranks, out.iterations)
+        }
+        "hits" => {
+            let out = hits(&g, &HitsConfig::default());
+            ("HITS authorities", out.authorities, out.iterations)
+        }
+        other => return Err(format!("unknown algo `{other}` (cpr|pagerank|hits)")),
+    };
+    println!("{name}: converged in {iterations} iterations\n");
+    for p in top_k(&ranks, top) {
+        println!("{:>12.5}  {}", ranks[p as usize], g.url_of(p));
+    }
+    Ok(())
+}
+
+/// `dpr simulate`
+pub fn simulate(args: &Args) -> CmdResult {
+    let g = load_graph(args.positional(0, "graph")?)?;
+    let variant = match args.get_str("variant", "dpr1") {
+        "dpr1" => DprVariant::Dpr1,
+        "dpr2" => DprVariant::Dpr2,
+        other => return Err(format!("unknown variant `{other}` (dpr1|dpr2)")),
+    };
+    if args.flag("threaded") {
+        let res = dpr_core::run_threaded(
+            &g,
+            &dpr_core::ThreadedRunConfig {
+                k: args.get("k", 100usize),
+                strategy: parse_strategy(args.get_str("strategy", "site"))?,
+                variant,
+                ..dpr_core::ThreadedRunConfig::default()
+            },
+        );
+        println!(
+            "threaded run: {} rounds, {} messages, final relative error {:.6}%",
+            res.rounds,
+            res.messages,
+            res.final_rel_err * 100.0
+        );
+        if let Some(path) = args.options.get("save-ranks") {
+            dpr_core::ranks_io::save(&res.final_ranks, path)
+                .map_err(|e| format!("cannot write ranks to {path}: {e}"))?;
+            println!("saved converged ranks to {path}");
+        }
+        return Ok(());
+    }
+    let warm_start = match args.get_str("warm-start", "") {
+        "" => None,
+        path => {
+            let mut ranks = dpr_core::ranks_io::load(path)?;
+            ranks.resize(g.n_pages(), 0.0);
+            Some(ranks)
+        }
+    };
+    let cfg = DistributedRunConfig {
+        k: args.get("k", 100usize),
+        variant,
+        strategy: parse_strategy(args.get_str("strategy", "site"))?,
+        t1: args.get("t1", 0.0f64),
+        t2: args.get("t2", 6.0f64),
+        send_success_prob: args.get("p", 1.0f64),
+        seed: args.get("seed", 0u64),
+        t_end: args.get("t-end", 100.0f64),
+        sample_every: args.get("sample-every", 1.0f64),
+        warm_start,
+        ..DistributedRunConfig::default()
+    };
+    let res = run_distributed(&g, cfg);
+    if let Some(path) = args.options.get("save-ranks") {
+        dpr_core::ranks_io::save(&res.final_ranks, path)
+            .map_err(|e| format!("cannot write ranks to {path}: {e}"))?;
+        println!("saved converged ranks to {path}");
+    }
+    println!(
+        "K = {} rankers ({} active), variant {variant:?}",
+        args.get("k", 100usize),
+        res.active_groups
+    );
+    println!(
+        "messages: {} sent, {} dropped, {} delivered",
+        res.sim_stats.sends_attempted, res.sim_stats.sends_dropped, res.sim_stats.deliveries
+    );
+    match res.time_at_threshold {
+        Some(t) => println!(
+            "reached 0.01% relative error at t = {t:.1} ({:.1} mean outer iterations)",
+            res.mean_outer_iters_at_threshold.unwrap_or(f64::NAN)
+        ),
+        None => println!("did not reach 0.01% relative error within t = {}", args.get("t-end", 100.0f64)),
+    }
+    println!(
+        "final relative error {:.6}%, average rank {:.4}",
+        res.final_rel_err * 100.0,
+        res.avg_rank.last_value().unwrap_or(f64::NAN)
+    );
+    Ok(())
+}
+
+/// `dpr top`
+pub fn top(args: &Args) -> CmdResult {
+    let g = load_graph(args.positional(0, "graph")?)?;
+    let ranks_path = args.get_str("ranks", "");
+    if ranks_path.is_empty() {
+        return Err("top needs --ranks FILE (from `simulate --save-ranks`)".into());
+    }
+    let ranks = dpr_core::ranks_io::load(ranks_path)?;
+    if ranks.len() != g.n_pages() {
+        return Err(format!(
+            "rank file has {} entries but the graph has {} pages",
+            ranks.len(),
+            g.n_pages()
+        ));
+    }
+    let k = args.get("k", 10usize);
+    let site_filter: Option<u32> = args.options.get("site").and_then(|v| v.parse().ok());
+    let candidates: Option<Vec<u32>> = site_filter.map(|s| {
+        (0..g.n_pages() as u32).filter(|&p| g.site(p) == s).collect()
+    });
+    let order = match &candidates {
+        None => top_k(&ranks, k),
+        Some(c) => {
+            let mut idx = c.clone();
+            idx.sort_unstable_by(|&a, &b| {
+                ranks[b as usize].total_cmp(&ranks[a as usize]).then(a.cmp(&b))
+            });
+            idx.truncate(k);
+            idx
+        }
+    };
+    let summary = dpr_core::metrics::RankSummary::compute(&ranks);
+    println!(
+        "{} pages; mean rank {:.4}, gini {:.3}, p99 {:.4}\n",
+        summary.n, summary.mean, summary.gini, summary.p99
+    );
+    for p in order {
+        println!("{:>12.5}  {}", ranks[p as usize], g.url_of(p));
+    }
+    Ok(())
+}
+
+/// `dpr analyze`
+pub fn analyze(args: &Args) -> CmdResult {
+    let g = load_graph(args.positional(0, "graph")?)?;
+    let sccs = dpr_graph::analysis::tarjan_scc(&g);
+    let sinks = dpr_graph::analysis::rank_sinks(&g, false);
+    let closed: Vec<_> = sinks.iter().filter(|s| s.closed).collect();
+    println!("pages:                {}", g.n_pages());
+    println!("strongly connected components: {}", sccs.n_components);
+    println!("rank sinks (no escaping links): {}", sinks.len());
+    println!("  of which closed (no external links either): {}", closed.len());
+    if let Some(biggest) = closed.iter().max_by_key(|s| s.pages.len()) {
+        println!(
+            "  largest closed sink: {} pages, e.g. {}",
+            biggest.pages.len(),
+            g.url_of(biggest.pages[0])
+        );
+    }
+    if !args.flag("sinks-only") {
+        // Reachability from each site's first page (crawler seeds).
+        let seeds: Vec<u32> = {
+            let mut first = vec![None; g.n_sites()];
+            for p in 0..g.n_pages() as u32 {
+                let s = g.site(p) as usize;
+                if first[s].is_none() {
+                    first[s] = Some(p);
+                }
+            }
+            first.into_iter().flatten().collect()
+        };
+        let reach = dpr_graph::analysis::reachable_from(&g, &seeds);
+        let n_reach = reach.iter().filter(|&&r| r).count();
+        println!(
+            "reachable from site seeds: {} / {} pages ({:.1}%)",
+            n_reach,
+            g.n_pages(),
+            100.0 * n_reach as f64 / g.n_pages().max(1) as f64
+        );
+    }
+    println!(
+        "
+(Closed sinks are what §2's rank-sink term is about: without the βE virtual links \
+         they swallow all rank; the open-system formulation is immune.)"
+    );
+    Ok(())
+}
+
+/// `dpr plan`
+pub fn plan(args: &Args) -> CmdResult {
+    let model = CapacityModel {
+        total_pages: args.get("pages", 3.0e9),
+        link_record_bytes: args.get("record-bytes", 100.0),
+        usable_bisection_bytes_per_sec: args.get("bisection-mb", 100.0) * 1e6,
+    };
+    let n = args.get("rankers", 1_000u64);
+    let row = model.row(n);
+    println!(
+        "ranking {:.2e} pages over {n} rankers (h ≈ {:.2} Pastry hops):",
+        model.total_pages,
+        pastry_hops(n)
+    );
+    println!(
+        "  bytes per iteration:        {:.1} GB",
+        model.bytes_per_iteration(row.hops) / 1e9
+    );
+    println!(
+        "  minimal iteration interval: {:.0} s ({:.1} h)",
+        row.min_iteration_interval_secs,
+        row.min_iteration_interval_secs / 3600.0
+    );
+    println!(
+        "  per-node bottleneck needed: {:.1} KB/s",
+        row.min_bottleneck_bytes_per_sec / 1e3
+    );
+    Ok(())
+}

@@ -1,0 +1,7 @@
+//! Library backing the `dpr` command-line binary; exposed so the
+//! subcommands are directly testable (and reusable by other front-ends).
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;

@@ -1,0 +1,148 @@
+//! Integration tests for the `dpr` CLI subcommands, driven through the
+//! library API (no subprocess spawning, so they run everywhere).
+
+use dpr_cli::args::Args;
+use dpr_cli::commands;
+
+fn args(s: &[&str]) -> Args {
+    Args::parse(s.iter().map(ToString::to_string))
+}
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join("dpr-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+#[test]
+fn generate_stats_partition_rank_simulate_pipeline() {
+    let path = tmp("pipeline.graph");
+    commands::generate(&args(&[
+        "generate", "--pages", "3000", "--sites", "20", "--out", &path,
+    ]))
+    .unwrap();
+    commands::stats(&args(&["stats", &path])).unwrap();
+    commands::partition(&args(&["partition", &path, "--k", "8", "--strategy", "site"])).unwrap();
+    commands::rank(&args(&["rank", &path, "--top", "5"])).unwrap();
+    commands::rank(&args(&["rank", &path, "--algo", "hits", "--top", "3"])).unwrap();
+    commands::rank(&args(&["rank", &path, "--algo", "pagerank", "--accelerated"])).unwrap();
+    commands::simulate(&args(&[
+        "simulate", &path, "--k", "10", "--p", "0.8", "--t-end", "60",
+    ]))
+    .unwrap();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn crawl_subcommand_produces_rankable_dataset() {
+    let path = tmp("crawled.graph");
+    commands::crawl(&args(&[
+        "crawl", "--web-pages", "5000", "--sites", "16", "--agents", "3", "--budget", "400",
+        "--out", &path,
+    ]))
+    .unwrap();
+    commands::rank(&args(&["rank", &path, "--top", "3"])).unwrap();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn simulate_save_and_warm_start_roundtrip() {
+    let graph = tmp("warm.graph");
+    let ranks = tmp("warm.ranks");
+    commands::generate(&args(&["generate", "--pages", "2000", "--sites", "15", "--out", &graph]))
+        .unwrap();
+    commands::simulate(&args(&[
+        "simulate", &graph, "--k", "8", "--t-end", "80", "--save-ranks", &ranks,
+    ]))
+    .unwrap();
+    let saved = dpr_core::ranks_io::load(&ranks).unwrap();
+    assert_eq!(saved.len(), 2000);
+    assert!(saved.iter().any(|&r| r > 0.0));
+    // Second invocation warm-starts from the saved file.
+    commands::simulate(&args(&[
+        "simulate", &graph, "--k", "8", "--t-end", "40", "--warm-start", &ranks,
+    ]))
+    .unwrap();
+    std::fs::remove_file(&graph).ok();
+    std::fs::remove_file(&ranks).ok();
+}
+
+#[test]
+fn threaded_simulate_via_cli() {
+    let graph = tmp("threaded.graph");
+    commands::generate(&args(&["generate", "--pages", "1500", "--sites", "12", "--out", &graph]))
+        .unwrap();
+    commands::simulate(&args(&["simulate", &graph, "--k", "6", "--threaded"])).unwrap();
+    std::fs::remove_file(&graph).ok();
+}
+
+#[test]
+fn top_reads_saved_ranks() {
+    let graph = tmp("top.graph");
+    let ranks = tmp("top.ranks");
+    commands::generate(&args(&["generate", "--pages", "800", "--sites", "8", "--out", &graph]))
+        .unwrap();
+    commands::simulate(&args(&[
+        "simulate", &graph, "--k", "8", "--t-end", "60", "--save-ranks", &ranks,
+    ]))
+    .unwrap();
+    commands::top(&args(&["top", &graph, "--ranks", &ranks, "--k", "5"])).unwrap();
+    commands::top(&args(&["top", &graph, "--ranks", &ranks, "--site", "1"])).unwrap();
+    // Mismatched rank file is a clean error.
+    let small = tmp("small.graph");
+    commands::generate(&args(&["generate", "--pages", "100", "--sites", "4", "--out", &small]))
+        .unwrap();
+    assert!(commands::top(&args(&["top", &small, "--ranks", &ranks]))
+        .unwrap_err()
+        .contains("entries"));
+    std::fs::remove_file(&graph).ok();
+    std::fs::remove_file(&ranks).ok();
+    std::fs::remove_file(&small).ok();
+}
+
+#[test]
+fn analyze_reports_structure() {
+    let path = tmp("analyze.graph");
+    commands::generate(&args(&["generate", "--pages", "1000", "--sites", "10", "--out", &path]))
+        .unwrap();
+    commands::analyze(&args(&["analyze", &path])).unwrap();
+    commands::analyze(&args(&["analyze", &path, "--sinks-only"])).unwrap();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn plan_runs_with_defaults_and_overrides() {
+    commands::plan(&args(&["plan"])).unwrap();
+    commands::plan(&args(&["plan", "--rankers", "100000", "--pages", "3e10"])).unwrap();
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let err = commands::stats(&args(&["stats", "/nonexistent/x.graph"])).unwrap_err();
+    assert!(err.contains("cannot read"), "{err}");
+}
+
+#[test]
+fn bad_enums_are_clean_errors() {
+    let path = tmp("enums.graph");
+    commands::generate(&args(&["generate", "--pages", "500", "--sites", "5", "--out", &path]))
+        .unwrap();
+    assert!(commands::partition(&args(&["partition", &path, "--strategy", "zigzag"]))
+        .unwrap_err()
+        .contains("unknown strategy"));
+    assert!(commands::rank(&args(&["rank", &path, "--algo", "eigentrust"]))
+        .unwrap_err()
+        .contains("unknown algo"));
+    assert!(commands::simulate(&args(&["simulate", &path, "--variant", "dpr9"]))
+        .unwrap_err()
+        .contains("unknown variant"));
+    assert!(commands::crawl(&args(&["crawl", "--mode", "psychic", "--out", "/tmp/x"]))
+        .unwrap_err()
+        .contains("unknown mode"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn generate_requires_out() {
+    assert!(commands::generate(&args(&["generate"])).unwrap_err().contains("--out"));
+}

@@ -1,0 +1,132 @@
+//! Ranking parameters shared by every algorithm in the crate.
+
+/// The rank-source vector `E` of §3.
+///
+/// The paper assumes `E(v) = 1` for all pages ("For briefness, we can assume
+/// E(v)=1 for all pages in the group") and notes that a non-uniform `E`
+/// yields personalized page ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EVector {
+    /// Every page receives the same rank source (the paper's default 1.0).
+    Uniform(f64),
+    /// Per-page rank sources (personalized ranking). Must be non-negative
+    /// and as long as the page set.
+    Custom(Vec<f64>),
+}
+
+impl EVector {
+    /// The value for page `p`.
+    #[must_use]
+    pub fn value(&self, p: u32) -> f64 {
+        match self {
+            EVector::Uniform(v) => *v,
+            EVector::Custom(vs) => vs[p as usize],
+        }
+    }
+
+    /// Validates against a page count.
+    ///
+    /// # Panics
+    /// On length mismatch or negative entries.
+    pub fn validate(&self, n_pages: usize) {
+        match self {
+            EVector::Uniform(v) => assert!(*v >= 0.0, "E must be non-negative"),
+            EVector::Custom(vs) => {
+                assert_eq!(vs.len(), n_pages, "E length must equal page count");
+                assert!(vs.iter().all(|v| *v >= 0.0), "E must be non-negative");
+            }
+        }
+    }
+}
+
+/// Parameters of open-system page ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankConfig {
+    /// `α` — fraction of a page's rank transmitted over real (inner +
+    /// efferent) links; the damping factor `c` of classic PageRank. The
+    /// contraction certificate `‖A‖∞ ≤ α < 1` requires `α < 1`.
+    pub alpha: f64,
+    /// Convergence tolerance on the successive L1 difference
+    /// `‖Rᵢ₊₁ − Rᵢ‖₁` (Theorem 3.3 makes this a sound stopping rule).
+    pub epsilon: f64,
+    /// Hard cap on iterations (safety net only).
+    pub max_iters: usize,
+    /// The rank source `E`.
+    pub e: EVector,
+}
+
+impl Default for RankConfig {
+    fn default() -> Self {
+        Self { alpha: 0.85, epsilon: 1e-8, max_iters: 1_000, e: EVector::Uniform(1.0) }
+    }
+}
+
+impl RankConfig {
+    /// `β = 1 − α`, the virtual-link fraction.
+    #[must_use]
+    pub fn beta(&self) -> f64 {
+        1.0 - self.alpha
+    }
+
+    /// Validates the configuration against a page count.
+    ///
+    /// # Panics
+    /// If `α ∉ [0, 1)`, `ε ≤ 0`, or `E` is malformed.
+    pub fn validate(&self, n_pages: usize) {
+        assert!((0.0..1.0).contains(&self.alpha), "alpha must be in [0, 1), got {}", self.alpha);
+        assert!(self.epsilon > 0.0, "epsilon must be positive");
+        self.e.validate(n_pages);
+    }
+
+    /// The `βE` vector restricted to a set of pages.
+    #[must_use]
+    pub fn beta_e_for(&self, pages: &[u32]) -> Vec<f64> {
+        let b = self.beta();
+        pages.iter().map(|&p| b * self.e.value(p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_papers() {
+        let c = RankConfig::default();
+        assert_eq!(c.alpha, 0.85);
+        assert!((c.beta() - 0.15).abs() < 1e-12);
+        assert_eq!(c.e, EVector::Uniform(1.0));
+        c.validate(10);
+    }
+
+    #[test]
+    fn beta_e_uniform() {
+        let c = RankConfig::default();
+        let v = c.beta_e_for(&[0, 5, 9]);
+        assert_eq!(v.len(), 3);
+        assert!(v.iter().all(|x| (*x - 0.15).abs() < 1e-12));
+    }
+
+    #[test]
+    fn beta_e_custom() {
+        let c = RankConfig {
+            e: EVector::Custom(vec![0.0, 2.0, 4.0]),
+            ..RankConfig::default()
+        };
+        let v = c.beta_e_for(&[2, 0]);
+        assert!((v[0] - 0.6).abs() < 1e-12);
+        assert_eq!(v[1], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in [0, 1)")]
+    fn alpha_one_rejected() {
+        RankConfig { alpha: 1.0, ..RankConfig::default() }.validate(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "E length")]
+    fn custom_e_length_checked() {
+        RankConfig { e: EVector::Custom(vec![1.0]), ..RankConfig::default() }.validate(2);
+    }
+}

@@ -1,0 +1,450 @@
+//! Algorithm 2 — `GroupPageRank`, the per-group open-system solver.
+//!
+//! A page group (the pages owned by one page ranker) sees the world as in
+//! Fig 2 of the paper:
+//!
+//! * **inner links** — both endpoints in the group: the local matrix `A`
+//!   with `A[v][u] = α/d(u)`;
+//! * **virtual links** — the uniform rank source `βE`;
+//! * **afferent links** — rank `X` flowing in from other groups;
+//! * **efferent links** — rank `Y = α·R(u)/d(u)` flowing out to other
+//!   groups (see the crate-level note on the paper's formula 3.5 typo).
+//!
+//! `GroupPageRank(R0, X)` iterates `R ← A·R + βE + X` to its fixed point;
+//! the column norm satisfies `‖A‖₁ ≤ α < 1` (the paper writes `‖A‖∞` for
+//! its row-stochastic orientation; ours is transposed), so Theorems 3.1–3.3
+//! guarantee convergence.
+
+use std::collections::HashMap;
+
+use dpr_graph::{PageId, WebGraph};
+use dpr_linalg::{Csr, FixedPointSolver, SolveReport, TripletMatrix};
+use dpr_partition::{GroupId, Partition};
+
+use crate::config::RankConfig;
+
+/// One efferent edge: `(local source index, α/d(source), global destination
+/// page)`.
+type EfferentEdge = (u32, f64, PageId);
+
+/// Efferent edges from one group to a single destination group, sorted by
+/// destination page so outgoing scores aggregate in one scan.
+#[derive(Debug, Clone)]
+struct EfferentBatch {
+    dest: GroupId,
+    edges: Vec<EfferentEdge>,
+}
+
+/// Everything one page ranker needs to run Algorithms 2–4 on its group.
+#[derive(Debug, Clone)]
+pub struct GroupContext {
+    group_id: GroupId,
+    /// Global ids of the pages in this group, sorted ascending; local index
+    /// `i` refers to `pages[i]`.
+    pages: Vec<PageId>,
+    /// Local propagation matrix (inner links only).
+    a: Csr,
+    /// `βE` restricted to this group's pages.
+    beta_e: Vec<f64>,
+    /// Outgoing rank routes, one batch per destination group.
+    efferent: Vec<EfferentBatch>,
+}
+
+impl GroupContext {
+    /// Builds the contexts of **all** groups of a partition in one pass over
+    /// the graph (O(pages + links)).
+    #[must_use]
+    pub fn build_all(g: &WebGraph, partition: &Partition, cfg: &RankConfig) -> Vec<GroupContext> {
+        cfg.validate(g.n_pages());
+        assert_eq!(partition.n_pages(), g.n_pages());
+        let k = partition.k();
+
+        let group_pages = partition.group_pages();
+        // Global page -> local index within its group.
+        let mut local_of = vec![0u32; g.n_pages()];
+        for pages in &group_pages {
+            for (i, &p) in pages.iter().enumerate() {
+                local_of[p as usize] = i as u32;
+            }
+        }
+
+        let mut triplets: Vec<TripletMatrix> = group_pages
+            .iter()
+            .map(|pages| TripletMatrix::new(pages.len(), pages.len()))
+            .collect();
+        let mut efferent_maps: Vec<HashMap<GroupId, Vec<EfferentEdge>>> = vec![HashMap::new(); k];
+
+        for u in 0..g.n_pages() as u32 {
+            let d = g.out_degree(u);
+            if d == 0 {
+                continue;
+            }
+            let w = cfg.alpha / f64::from(d);
+            let gu = partition.group_of(u);
+            let lu = local_of[u as usize];
+            for &v in g.out_links(u) {
+                let gv = partition.group_of(v);
+                if gv == gu {
+                    triplets[gu as usize].push(local_of[v as usize] as usize, lu as usize, w);
+                } else {
+                    efferent_maps[gu as usize].entry(gv).or_default().push((lu, w, v));
+                }
+            }
+        }
+
+        group_pages
+            .into_iter()
+            .enumerate()
+            .map(|(gid, pages)| {
+                let mut efferent: Vec<EfferentBatch> = efferent_maps[gid]
+                    .drain()
+                    .map(|(dest, mut edges)| {
+                        edges.sort_unstable_by_key(|&(_, _, v)| v);
+                        EfferentBatch { dest, edges }
+                    })
+                    .collect();
+                efferent.sort_unstable_by_key(|b| b.dest);
+                GroupContext {
+                    group_id: gid as GroupId,
+                    beta_e: cfg.beta_e_for(&pages),
+                    a: triplets[gid].to_csr(),
+                    pages,
+                    efferent,
+                }
+            })
+            .collect()
+    }
+
+    /// This group's id.
+    #[must_use]
+    pub fn group_id(&self) -> GroupId {
+        self.group_id
+    }
+
+    /// Number of pages owned by the group.
+    #[must_use]
+    pub fn n_local(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// The global page ids owned by the group (sorted).
+    #[must_use]
+    pub fn pages(&self) -> &[PageId] {
+        &self.pages
+    }
+
+    /// The groups this group sends rank to.
+    pub fn efferent_groups(&self) -> impl Iterator<Item = GroupId> + '_ {
+        self.efferent.iter().map(|b| b.dest)
+    }
+
+    /// Maps a global page id to its local index, if owned by this group.
+    #[must_use]
+    pub fn local_index(&self, p: PageId) -> Option<usize> {
+        self.pages.binary_search(&p).ok()
+    }
+
+    /// **Algorithm 2**: solves `R = A·R + βE + X` starting from the current
+    /// contents of `r` (warm starts make DPR1's later outer loops cheap).
+    ///
+    /// # Panics
+    /// If `r` or `x` have the wrong length.
+    pub fn group_pagerank(
+        &self,
+        r: &mut Vec<f64>,
+        x: &[f64],
+        epsilon: f64,
+        max_iters: usize,
+    ) -> SolveReport {
+        assert_eq!(r.len(), self.n_local());
+        assert_eq!(x.len(), self.n_local());
+        let f: Vec<f64> = self.beta_e.iter().zip(x).map(|(b, xi)| b + xi).collect();
+        FixedPointSolver { tolerance: epsilon, max_iters, parallel: false }.solve(&self.a, &f, r)
+    }
+
+    /// One iteration `R ← A·R + βE + X` (the DPR2 node body). Returns the
+    /// successive L1 difference.
+    pub fn step(&self, r: &mut Vec<f64>, x: &[f64]) -> f64 {
+        assert_eq!(r.len(), self.n_local());
+        assert_eq!(x.len(), self.n_local());
+        let f: Vec<f64> = self.beta_e.iter().zip(x).map(|(b, xi)| b + xi).collect();
+        FixedPointSolver::default().step(&self.a, &f, r, 1)
+    }
+
+    /// Computes the outgoing rank `Y` for every destination group:
+    /// `Y(v) = Σ_{u→v efferent} α·R(u)/d(u)`, aggregated per destination
+    /// page. Entries are `(global destination page, score)`.
+    #[must_use]
+    pub fn compute_y(&self, r: &[f64]) -> Vec<(GroupId, Vec<(PageId, f64)>)> {
+        assert_eq!(r.len(), self.n_local());
+        self.efferent
+            .iter()
+            .map(|batch| {
+                let mut out: Vec<(PageId, f64)> = Vec::new();
+                for &(lu, w, v) in &batch.edges {
+                    let score = w * r[lu as usize];
+                    match out.last_mut() {
+                        Some((last_v, acc)) if *last_v == v => *acc += score,
+                        _ => out.push((v, score)),
+                    }
+                }
+                (batch.dest, out)
+            })
+            .collect()
+    }
+
+    /// Localizes an incoming `Y` payload (global page ids) into
+    /// `(local index, score)` pairs; entries for pages this group does not
+    /// own are ignored (stale traffic after a repartition).
+    #[must_use]
+    pub fn localize(&self, entries: &[(PageId, f64)]) -> Vec<(u32, f64)> {
+        entries
+            .iter()
+            .filter_map(|&(p, s)| self.local_index(p).map(|i| (i as u32, s)))
+            .collect()
+    }
+}
+
+/// The afferent-rank bookkeeping every ranker needs: the latest localized
+/// `Y` received from each source group, materialized on demand into the
+/// dense `X` vector of Algorithm 2. A newer message from the same source
+/// *replaces* the older one — `Y` is the sender's current outflow, not an
+/// increment — which is what makes DPR1's sequences monotone under loss
+/// (a dropped `Y` just leaves the previous, smaller one in place).
+#[derive(Debug, Clone, Default)]
+pub struct AfferentState {
+    /// BTreeMap (not HashMap) so X materialization sums in a fixed order —
+    /// floating-point addition is not associative, and the engine promises
+    /// bit-identical runs per seed.
+    received: std::collections::BTreeMap<GroupId, Vec<(u32, f64)>>,
+    x: Vec<f64>,
+    dirty: bool,
+}
+
+impl AfferentState {
+    /// State for a group with `n_local` pages (X starts at zero).
+    #[must_use]
+    pub fn new(n_local: usize) -> Self {
+        Self { received: std::collections::BTreeMap::new(), x: vec![0.0; n_local], dirty: false }
+    }
+
+    /// Records the latest `Y` from `src` (already localized); replaces any
+    /// previous contribution from the same source.
+    pub fn set(&mut self, src: GroupId, entries: Vec<(u32, f64)>) {
+        self.received.insert(src, entries);
+        self.dirty = true;
+    }
+
+    /// Upserts individual entries from `src` without discarding entries the
+    /// sender chose not to re-send — the receive side of *thresholded* `Y`
+    /// publication (the §4.5/§7 communication-reduction future work): a
+    /// sender may suppress entries that barely changed, so absence means
+    /// "unchanged", not "zero".
+    pub fn merge(&mut self, src: GroupId, entries: &[(u32, f64)]) {
+        if entries.is_empty() {
+            return;
+        }
+        let stored = self.received.entry(src).or_default();
+        for &(li, s) in entries {
+            match stored.binary_search_by_key(&li, |&(i, _)| i) {
+                Ok(pos) => stored[pos].1 = s,
+                Err(pos) => stored.insert(pos, (li, s)),
+            }
+        }
+        self.dirty = true;
+    }
+
+    /// Materializes and returns `X` ("Xi+1 = Refresh X" in Algorithms 3/4).
+    pub fn refresh(&mut self) -> &[f64] {
+        if self.dirty {
+            self.x.iter_mut().for_each(|v| *v = 0.0);
+            for entries in self.received.values() {
+                for &(li, s) in entries {
+                    self.x[li as usize] += s;
+                }
+            }
+            self.dirty = false;
+        }
+        &self.x
+    }
+
+    /// The current `X` without refreshing (test/inspection use).
+    #[must_use]
+    pub fn x(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Number of source groups heard from so far.
+    #[must_use]
+    pub fn n_sources(&self) -> usize {
+        self.received.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpr_graph::generators::toy;
+    use dpr_partition::Strategy;
+
+    #[test]
+    fn afferent_state_replaces_per_source() {
+        let mut st = AfferentState::new(3);
+        st.set(0, vec![(0, 1.0), (2, 2.0)]);
+        st.set(1, vec![(0, 0.5)]);
+        assert_eq!(st.refresh(), &[1.5, 0.0, 2.0]);
+        // A newer Y from source 0 replaces, not accumulates.
+        st.set(0, vec![(0, 3.0)]);
+        assert_eq!(st.refresh(), &[3.5, 0.0, 0.0]);
+        assert_eq!(st.n_sources(), 2);
+    }
+
+    #[test]
+    fn afferent_state_merge_upserts() {
+        let mut st = AfferentState::new(4);
+        st.merge(0, &[(0, 1.0), (2, 2.0)]);
+        assert_eq!(st.refresh(), &[1.0, 0.0, 2.0, 0.0]);
+        // Partial update: entry 2 unchanged and unsent, entry 0 grows,
+        // entry 3 appears.
+        st.merge(0, &[(0, 1.5), (3, 0.5)]);
+        assert_eq!(st.refresh(), &[1.5, 0.0, 2.0, 0.5]);
+        // merge on a fresh source behaves like set.
+        st.merge(7, &[(1, 4.0)]);
+        assert_eq!(st.refresh(), &[1.5, 4.0, 2.0, 0.5]);
+    }
+
+    #[test]
+    fn afferent_state_refresh_is_idempotent() {
+        let mut st = AfferentState::new(2);
+        st.set(5, vec![(1, 4.0)]);
+        assert_eq!(st.refresh(), &[0.0, 4.0]);
+        assert_eq!(st.refresh(), &[0.0, 4.0]);
+    }
+
+    fn split_cycle() -> (WebGraph, Vec<GroupContext>) {
+        // Cycle of 6 split into two groups of alternating pages: every link
+        // crosses groups.
+        let g = toy::cycle(6);
+        let assignment = (0..6u32).map(|p| p % 2).collect();
+        let partition = Partition::from_assignment(2, assignment);
+        let ctxs = GroupContext::build_all(&g, &partition, &RankConfig::default());
+        (g, ctxs)
+    }
+
+    #[test]
+    fn build_all_structure() {
+        let (_, ctxs) = split_cycle();
+        assert_eq!(ctxs.len(), 2);
+        assert_eq!(ctxs[0].pages(), &[0, 2, 4]);
+        assert_eq!(ctxs[1].pages(), &[1, 3, 5]);
+        // Alternating cycle: no inner links at all.
+        assert_eq!(ctxs[0].a.nnz(), 0);
+        assert_eq!(ctxs[0].efferent_groups().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn compute_y_carries_alpha_fraction() {
+        let (_, ctxs) = split_cycle();
+        let r = vec![1.0, 1.0, 1.0];
+        let ys = ctxs[0].compute_y(&r);
+        assert_eq!(ys.len(), 1);
+        let (dest, entries) = &ys[0];
+        assert_eq!(*dest, 1);
+        // Pages 0,2,4 each send α·1/1 to pages 1,3,5.
+        assert_eq!(entries.len(), 3);
+        for (_, s) in entries {
+            assert!((s - 0.85).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn y_aggregates_parallel_edges_to_same_dest() {
+        // Two pages in group 0 both link to the same page in group 1.
+        let mut b = dpr_graph::GraphBuilder::new();
+        let s = b.add_site("a.edu");
+        let p0 = b.add_page(s);
+        let p1 = b.add_page(s);
+        let p2 = b.add_page(s);
+        b.add_link(p0, p2);
+        b.add_link(p1, p2);
+        let g = b.build();
+        let partition = Partition::from_assignment(2, vec![0, 0, 1]);
+        let ctxs = GroupContext::build_all(&g, &partition, &RankConfig::default());
+        let ys = ctxs[0].compute_y(&[2.0, 4.0]);
+        assert_eq!(ys[0].1, vec![(p2, 0.85 * 2.0 + 0.85 * 4.0)]);
+    }
+
+    #[test]
+    fn group_pagerank_matches_global_fixed_point_via_exchange() {
+        // Alternate GroupPageRank and Y-exchange by hand until the stacked
+        // vector matches the centralized open-system solution.
+        let (g, ctxs) = split_cycle();
+        let cfg = RankConfig::default();
+        let star = crate::centralized::open_pagerank(&g, &cfg);
+
+        let mut r: Vec<Vec<f64>> = ctxs.iter().map(|c| vec![0.0; c.n_local()]).collect();
+        let mut x: Vec<Vec<f64>> = r.clone();
+        for _ in 0..200 {
+            for (i, c) in ctxs.iter().enumerate() {
+                let report = c.group_pagerank(&mut r[i], &x[i], 1e-12, 1000);
+                assert!(report.converged);
+            }
+            // Exchange Y.
+            let mut new_x: Vec<Vec<f64>> = ctxs.iter().map(|c| vec![0.0; c.n_local()]).collect();
+            for (i, c) in ctxs.iter().enumerate() {
+                for (dest, entries) in c.compute_y(&r[i]) {
+                    let dc = &ctxs[dest as usize];
+                    for (li, s) in dc.localize(&entries) {
+                        new_x[dest as usize][li as usize] += s;
+                    }
+                }
+            }
+            x = new_x;
+        }
+        let mut global = vec![0.0; g.n_pages()];
+        for (i, c) in ctxs.iter().enumerate() {
+            for (li, &p) in c.pages().iter().enumerate() {
+                global[p as usize] = r[i][li];
+            }
+        }
+        let err = dpr_linalg::vec_ops::relative_error(&global, &star.ranks);
+        assert!(err < 1e-8, "relative error {err}");
+    }
+
+    #[test]
+    fn localize_ignores_foreign_pages() {
+        let (_, ctxs) = split_cycle();
+        let local = ctxs[0].localize(&[(0, 1.0), (1, 2.0), (4, 3.0)]);
+        assert_eq!(local, vec![(0, 1.0), (2, 3.0)]);
+    }
+
+    #[test]
+    fn single_group_has_no_efferent_traffic() {
+        let g = toy::complete(5);
+        let partition = Partition::build(&g, &Strategy::HashBySite, 1, 0);
+        let ctxs = GroupContext::build_all(&g, &partition, &RankConfig::default());
+        assert_eq!(ctxs.len(), 1);
+        assert_eq!(ctxs[0].efferent_groups().count(), 0);
+        // And GroupPageRank alone reproduces CPR.
+        let mut r = vec![0.0; 5];
+        let x = vec![0.0; 5];
+        ctxs[0].group_pagerank(&mut r, &x, 1e-12, 1000);
+        // The reference is itself only converged to ~1e-8 (its epsilon), so
+        // compare with matching slack.
+        let star = crate::centralized::open_pagerank(&g, &RankConfig::default());
+        assert!(dpr_linalg::vec_ops::relative_error(&r, &star.ranks) < 1e-7);
+    }
+
+    #[test]
+    fn empty_group_is_harmless() {
+        let g = toy::cycle(4);
+        // Group 2 owns nothing.
+        let partition = Partition::from_assignment(3, vec![0, 0, 1, 1]);
+        let ctxs = GroupContext::build_all(&g, &partition, &RankConfig::default());
+        assert_eq!(ctxs[2].n_local(), 0);
+        let mut r = vec![];
+        let report = ctxs[2].group_pagerank(&mut r, &[], 1e-9, 10);
+        assert!(report.converged);
+        assert!(ctxs[2].compute_y(&r).is_empty());
+    }
+}

@@ -1,0 +1,165 @@
+//! Kleinberg's HITS \[1\] — the other seminal link-analysis algorithm the
+//! paper's introduction discusses. Included as a centralized baseline so the
+//! examples can contrast hub/authority scores with PageRank on the same
+//! crawl.
+//!
+//! Iterates the mutual reinforcement
+//! `a(v) = Σ_{u→v} h(u)`, `h(u) = Σ_{u→v} a(v)`
+//! with L2 normalization each round, until the combined successive change
+//! drops below the tolerance.
+
+use dpr_graph::WebGraph;
+
+/// HITS configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct HitsConfig {
+    /// Stop when `‖aᵢ₊₁ − aᵢ‖₁ + ‖hᵢ₊₁ − hᵢ‖₁ ≤ epsilon`.
+    pub epsilon: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+}
+
+impl Default for HitsConfig {
+    fn default() -> Self {
+        Self { epsilon: 1e-10, max_iters: 1_000 }
+    }
+}
+
+/// Hub and authority scores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HitsOutcome {
+    /// Authority score per page (L2-normalized).
+    pub authorities: Vec<f64>,
+    /// Hub score per page (L2-normalized).
+    pub hubs: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the tolerance was reached.
+    pub converged: bool,
+}
+
+/// Runs HITS on the full crawled graph.
+#[must_use]
+pub fn hits(g: &WebGraph, cfg: &HitsConfig) -> HitsOutcome {
+    let n = g.n_pages();
+    if n == 0 {
+        return HitsOutcome { authorities: vec![], hubs: vec![], iterations: 0, converged: true };
+    }
+    let mut auth = vec![1.0_f64; n];
+    let mut hub = vec![1.0_f64; n];
+    let mut new_auth = vec![0.0_f64; n];
+    let mut new_hub = vec![0.0_f64; n];
+    let mut iterations = 0;
+    let mut converged = false;
+
+    while iterations < cfg.max_iters {
+        // a(v) = Σ_{u→v} h(u)
+        new_auth.iter_mut().for_each(|v| *v = 0.0);
+        for u in 0..n as u32 {
+            let hu = hub[u as usize];
+            for &v in g.out_links(u) {
+                new_auth[v as usize] += hu;
+            }
+        }
+        l2_normalize(&mut new_auth);
+        // h(u) = Σ_{u→v} a(v)
+        for u in 0..n as u32 {
+            let mut s = 0.0;
+            for &v in g.out_links(u) {
+                s += new_auth[v as usize];
+            }
+            new_hub[u as usize] = s;
+        }
+        l2_normalize(&mut new_hub);
+
+        iterations += 1;
+        let delta: f64 = auth
+            .iter()
+            .zip(&new_auth)
+            .chain(hub.iter().zip(&new_hub))
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        auth.copy_from_slice(&new_auth);
+        hub.copy_from_slice(&new_hub);
+        if delta <= cfg.epsilon {
+            converged = true;
+            break;
+        }
+    }
+    HitsOutcome { authorities: auth, hubs: hub, iterations, converged }
+}
+
+fn l2_normalize(v: &mut [f64]) {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpr_graph::generators::toy;
+
+    #[test]
+    fn star_center_is_top_authority() {
+        let g = toy::star(10);
+        let out = hits(&g, &HitsConfig::default());
+        assert!(out.converged);
+        let best = (0..10).max_by(|&i, &j| out.authorities[i].total_cmp(&out.authorities[j]));
+        assert_eq!(best, Some(0));
+        // In the symmetric star every page is an equally good hub (each
+        // spoke points at the one big authority; the hub's targets are all
+        // equal minor authorities) — scores tie.
+        let h0 = out.hubs[0];
+        for h in &out.hubs[1..] {
+            assert!((h - h0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scores_are_l2_normalized() {
+        let g = toy::complete(6);
+        let out = hits(&g, &HitsConfig::default());
+        let na: f64 = out.authorities.iter().map(|x| x * x).sum();
+        let nh: f64 = out.hubs.iter().map(|x| x * x).sum();
+        assert!((na - 1.0).abs() < 1e-9);
+        assert!((nh - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symmetric_graph_gives_uniform_scores() {
+        let g = toy::cycle(8);
+        let out = hits(&g, &HitsConfig::default());
+        for w in out.authorities.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn directed_bipartite_hub_authority_split() {
+        // Pages 0,1 link to pages 2,3: 0,1 are pure hubs, 2,3 pure
+        // authorities.
+        let mut b = dpr_graph::GraphBuilder::new();
+        let s = b.add_site("a.edu");
+        let p: Vec<_> = (0..4).map(|_| b.add_page(s)).collect();
+        for &u in &p[..2] {
+            for &v in &p[2..] {
+                b.add_link(u, v);
+            }
+        }
+        let out = hits(&b.build(), &HitsConfig::default());
+        assert!(out.hubs[0] > 1e-6 && out.authorities[0] < 1e-9);
+        assert!(out.authorities[2] > 1e-6 && out.hubs[2] < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = dpr_graph::GraphBuilder::new().build();
+        let out = hits(&g, &HitsConfig::default());
+        assert!(out.converged);
+        assert!(out.authorities.is_empty());
+    }
+}

@@ -1,0 +1,60 @@
+//! Distributed Page Ranking in Structured P2P Networks — the core library.
+//!
+//! This crate implements the paper's primary contribution on top of the
+//! substrates in this workspace (`dpr-linalg`, `dpr-graph`, `dpr-partition`,
+//! `dpr-overlay`, `dpr-transport`, `dpr-sim`):
+//!
+//! * [`config::RankConfig`] — the open-system parameters: `α` (the fraction
+//!   of a page's rank carried by real links), `β = 1 − α` (virtual-link /
+//!   rank-source fraction) and the rank-source vector `E`;
+//! * [`centralized`] — Algorithm 1 (classic PageRank with sink
+//!   redistribution) and the open-system centralized baseline **CPR** the
+//!   figures compare against;
+//! * [`group`] — Algorithm 2, `GroupPageRank`: one page group solving
+//!   `R = A·R + βE + X` with afferent rank `X` received from other groups,
+//!   and producing efferent rank `Y` for them;
+//! * [`dpr`] — Algorithms 3 & 4, **DPR1** and **DPR2**, as asynchronous
+//!   actors in the discrete-event simulator, with optional instrumentation
+//!   asserting Theorems 4.1/4.2 (monotone, bounded rank sequences);
+//! * [`run`] — whole-system experiment orchestration producing the time
+//!   series behind Figs 6–8;
+//! * [`hits`] — Kleinberg's HITS, the other seminal link-analysis baseline
+//!   the introduction discusses;
+//! * [`personalized`] — non-uniform `E` (§3's pointer to personalized page
+//!   ranking).
+//!
+//! ## A note on formula 3.5
+//!
+//! The paper defines `Y = B·R` with `B[u][v] = β/d(u)`, which contradicts
+//! §3's construction where the *real* (inner + efferent) rank transmission
+//! carries the `α` fraction and the virtual links carry `β`. We implement
+//! `Y(v) = Σ α·R(u)/d(u)` over efferent links `u → v`: with that reading,
+//! stacking all group equations yields the single global system
+//! `R = α·Ā·R + βE`, whose unique fixed point is exactly what the
+//! centralized open-system baseline computes — and the paper's own
+//! experiment ("Distributed PageRank converges to the ranks of centralized
+//! PageRank", Fig 6) requires that identity to hold.
+
+#![warn(missing_docs)]
+
+pub mod centralized;
+pub mod config;
+pub mod dpr;
+pub mod group;
+pub mod hits;
+pub mod metrics;
+pub mod netrun;
+pub mod personalized;
+pub mod query;
+pub mod ranks_io;
+pub mod run;
+pub mod threaded;
+
+pub use centralized::{open_pagerank, pagerank, PageRankOutcome};
+pub use config::RankConfig;
+pub use dpr::{DprVariant, RankerNode, YMessage};
+pub use group::{AfferentState, GroupContext};
+pub use netrun::{run_over_network, NetRunConfig, NetRunResult, OverlayKind, Transmission};
+pub use query::{distributed_top_k, Hit};
+pub use run::{run_distributed, DistributedRun, DistributedRunConfig, RunResult};
+pub use threaded::{run_threaded, ThreadedRunConfig, ThreadedRunResult};

@@ -1,0 +1,242 @@
+//! Convergence and ranking-quality metrics.
+
+pub use dpr_linalg::vec_ops::{l1_diff, l1_norm, mean, relative_error};
+
+/// Kendall-tau-style pairwise order agreement between two rankings, sampled
+/// over `samples` random page pairs (exact Kendall tau is O(n²)). Returns a
+/// value in `[0, 1]`: 1.0 = identical ordering. Search engines care about
+/// the *order* PageRank induces more than its absolute values, so the
+/// experiment reports include this alongside relative error.
+#[must_use]
+pub fn sampled_order_agreement(a: &[f64], b: &[f64], samples: usize, seed: u64) -> f64 {
+    assert_eq!(a.len(), b.len());
+    if a.len() < 2 || samples == 0 {
+        return 1.0;
+    }
+    // Tiny deterministic LCG; no need to pull an RNG crate dependency here.
+    let mut state = seed | 1;
+    let mut next = || {
+        state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        (state >> 33) as usize
+    };
+    let mut agree = 0usize;
+    let mut counted = 0usize;
+    for _ in 0..samples {
+        let i = next() % a.len();
+        let j = next() % a.len();
+        if i == j {
+            continue;
+        }
+        let oa = a[i].partial_cmp(&a[j]);
+        let ob = b[i].partial_cmp(&b[j]);
+        counted += 1;
+        if oa == ob {
+            agree += 1;
+        }
+    }
+    if counted == 0 {
+        1.0
+    } else {
+        agree as f64 / counted as f64
+    }
+}
+
+/// Indices of the top-`k` pages by rank (descending; ties by page id).
+#[must_use]
+pub fn top_k(ranks: &[f64], k: usize) -> Vec<u32> {
+    let mut idx: Vec<u32> = (0..ranks.len() as u32).collect();
+    idx.sort_unstable_by(|&i, &j| {
+        ranks[j as usize]
+            .partial_cmp(&ranks[i as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(i.cmp(&j))
+    });
+    idx.truncate(k);
+    idx
+}
+
+/// Overlap fraction of the top-`k` sets of two rankings (a precision-style
+/// metric: how many of the paper-relevant "important pages" the distributed
+/// run agrees on).
+#[must_use]
+pub fn top_k_overlap(a: &[f64], b: &[f64], k: usize) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    let ta: std::collections::HashSet<u32> = top_k(a, k).into_iter().collect();
+    let tb = top_k(b, k);
+    let inter = tb.iter().filter(|i| ta.contains(i)).count();
+    inter as f64 / k.min(a.len()).max(1) as f64
+}
+
+
+/// Distribution summary of a rank vector — the concentration statistics a
+/// search-engine operator watches (PageRank on web graphs is famously
+/// heavy-tailed; a uniform distribution would mean the link structure
+/// carries no signal).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankSummary {
+    /// Number of pages.
+    pub n: usize,
+    /// Mean rank.
+    pub mean: f64,
+    /// Gini coefficient in [0, 1]: 0 = perfectly uniform, → 1 = all rank on
+    /// one page.
+    pub gini: f64,
+    /// Shannon entropy of the normalized rank distribution, in bits.
+    pub entropy_bits: f64,
+    /// Selected percentiles of the rank values: p50, p90, p99, max.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Largest rank.
+    pub max: f64,
+}
+
+impl RankSummary {
+    /// Computes the summary (O(n log n) for the sort).
+    ///
+    /// # Panics
+    /// If any rank is negative or non-finite.
+    #[must_use]
+    pub fn compute(ranks: &[f64]) -> Self {
+        assert!(ranks.iter().all(|r| r.is_finite() && *r >= 0.0), "ranks must be >= 0");
+        let n = ranks.len();
+        if n == 0 {
+            return Self { n: 0, mean: 0.0, gini: 0.0, entropy_bits: 0.0, p50: 0.0, p90: 0.0, p99: 0.0, max: 0.0 };
+        }
+        let mut sorted: Vec<f64> = ranks.to_vec();
+        sorted.sort_unstable_by(f64::total_cmp);
+        let total: f64 = sorted.iter().sum();
+        let mean = total / n as f64;
+
+        // Gini via the sorted form: G = (2·Σ i·x_i)/(n·Σ x) − (n+1)/n.
+        let gini = if total > 0.0 {
+            let weighted: f64 =
+                sorted.iter().enumerate().map(|(i, x)| (i + 1) as f64 * x).sum();
+            (2.0 * weighted / (n as f64 * total) - (n as f64 + 1.0) / n as f64).max(0.0)
+        } else {
+            0.0
+        };
+
+        let entropy_bits = if total > 0.0 {
+            -sorted
+                .iter()
+                .filter(|&&x| x > 0.0)
+                .map(|&x| {
+                    let p = x / total;
+                    p * p.log2()
+                })
+                .sum::<f64>()
+        } else {
+            0.0
+        };
+
+        let pct = |q: f64| sorted[((n as f64 - 1.0) * q).round() as usize];
+        Self {
+            n,
+            mean,
+            gini,
+            entropy_bits,
+            p50: pct(0.50),
+            p90: pct(0.90),
+            p99: pct(0.99),
+            max: sorted[n - 1],
+        }
+    }
+}
+
+/// Aggregates page ranks to site totals — "which hosts matter" is the
+/// site-granularity view the §4.1 partitioning already thinks in.
+#[must_use]
+pub fn site_ranks(g: &dpr_graph::WebGraph, ranks: &[f64]) -> Vec<f64> {
+    assert_eq!(ranks.len(), g.n_pages());
+    let mut out = vec![0.0; g.n_sites()];
+    for (p, &r) in ranks.iter().enumerate() {
+        out[g.site(p as u32) as usize] += r;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_rankings_fully_agree() {
+        let r = vec![0.3, 0.1, 0.9, 0.5];
+        assert_eq!(sampled_order_agreement(&r, &r, 1000, 1), 1.0);
+        assert_eq!(top_k_overlap(&r, &r, 2), 1.0);
+    }
+
+    #[test]
+    fn reversed_rankings_disagree() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b = vec![4.0, 3.0, 2.0, 1.0];
+        assert!(sampled_order_agreement(&a, &b, 1000, 1) < 0.05);
+        assert_eq!(top_k_overlap(&a, &b, 1), 0.0);
+    }
+
+    #[test]
+    fn top_k_ordering_and_ties() {
+        let r = vec![0.5, 0.9, 0.5, 0.1];
+        assert_eq!(top_k(&r, 3), vec![1, 0, 2]);
+        assert_eq!(top_k(&r, 10), vec![1, 0, 2, 3]);
+    }
+
+    #[test]
+    fn rank_summary_uniform_vs_concentrated() {
+        let uniform = RankSummary::compute(&[1.0; 100]);
+        assert!(uniform.gini < 1e-9);
+        assert!((uniform.entropy_bits - 100f64.log2()).abs() < 1e-9);
+        assert_eq!(uniform.p50, 1.0);
+
+        let mut concentrated = vec![0.0; 100];
+        concentrated[7] = 100.0;
+        let c = RankSummary::compute(&concentrated);
+        assert!(c.gini > 0.98, "gini {}", c.gini);
+        assert!(c.entropy_bits < 1e-9);
+        assert_eq!(c.max, 100.0);
+        assert_eq!(c.p50, 0.0);
+    }
+
+    #[test]
+    fn rank_summary_on_real_pagerank_is_heavy_tailed() {
+        use dpr_graph::generators::edu::{edu_domain, EduDomainConfig};
+        let g = edu_domain(&EduDomainConfig::small());
+        let out = crate::centralized::open_pagerank(&g, &crate::RankConfig::default());
+        let s = RankSummary::compute(&out.ranks);
+        // Web-like graphs concentrate rank: Gini well above uniform and the
+        // top page far above the median.
+        assert!(s.gini > 0.2, "gini {}", s.gini);
+        assert!(s.max > 5.0 * s.p50, "max {} p50 {}", s.max, s.p50);
+    }
+
+    #[test]
+    fn site_ranks_sum_to_total() {
+        use dpr_graph::generators::toy;
+        let g = toy::two_cliques(4);
+        let ranks: Vec<f64> = (0..8).map(f64::from).collect();
+        let per_site = site_ranks(&g, &ranks);
+        assert_eq!(per_site.len(), 2);
+        let total: f64 = per_site.iter().sum();
+        assert!((total - 28.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_summary_empty() {
+        let s = RankSummary::compute(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.gini, 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(sampled_order_agreement(&[], &[], 10, 1), 1.0);
+        assert_eq!(sampled_order_agreement(&[1.0], &[2.0], 10, 1), 1.0);
+        assert_eq!(top_k(&[], 3), Vec::<u32>::new());
+        assert_eq!(top_k_overlap(&[1.0], &[1.0], 0), 1.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Distributed rank queries — the consumer side of the paper's motivating
+//! scenario ("in a distributed search engine, page ranking is ... needed
+//! for improving query results").
+//!
+//! Once the rankers have converged, a search front-end needs the top-ranked
+//! pages among a candidate set (e.g. the docs matching a keyword) without
+//! shipping every score anywhere. The classic scatter-gather: ask each
+//! ranker for its local top-k (of the candidates it owns), merge the k-way
+//! partial results. Because ranks are per-page and groups partition the
+//! page set, the merged top-k is *exactly* the global top-k — no
+//! approximation, and each ranker returns at most `k` entries.
+
+use dpr_graph::PageId;
+
+use crate::dpr::RankerNode;
+
+/// One query hit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// Global page id.
+    pub page: PageId,
+    /// Its current rank at the owning ranker.
+    pub rank: f64,
+}
+
+/// A ranker's local answer: its `k` best owned pages (optionally restricted
+/// to a candidate set), descending by rank.
+#[must_use]
+pub fn local_top_k(node: &RankerNode, k: usize, candidates: Option<&[PageId]>) -> Vec<Hit> {
+    let pages = node.group().pages();
+    let ranks = node.ranks();
+    let mut hits: Vec<Hit> = match candidates {
+        None => pages
+            .iter()
+            .zip(ranks)
+            .map(|(&page, &rank)| Hit { page, rank })
+            .collect(),
+        Some(cands) => cands
+            .iter()
+            .filter_map(|&p| {
+                node.group().local_index(p).map(|li| Hit { page: p, rank: ranks[li] })
+            })
+            .collect(),
+    };
+    hits.sort_unstable_by(|a, b| b.rank.total_cmp(&a.rank).then(a.page.cmp(&b.page)));
+    hits.truncate(k);
+    hits
+}
+
+/// Scatter-gather top-k over all rankers: merges every ranker's
+/// [`local_top_k`] and returns the global `k` best. Exact by construction
+/// (each page has exactly one owner).
+#[must_use]
+pub fn distributed_top_k(
+    nodes: &[RankerNode],
+    k: usize,
+    candidates: Option<&[PageId]>,
+) -> Vec<Hit> {
+    let mut merged: Vec<Hit> =
+        nodes.iter().flat_map(|n| local_top_k(n, k, candidates)).collect();
+    merged.sort_unstable_by(|a, b| b.rank.total_cmp(&a.rank).then(a.page.cmp(&b.page)));
+    merged.truncate(k);
+    merged
+}
+
+/// Bytes a scatter-gather query moves: each ranker returns at most `k`
+/// `(page id, rank)` pairs (12 bytes each) — versus shipping every rank to
+/// a coordinator. Used by the example to show why ranking must live *with*
+/// the pages.
+#[must_use]
+pub fn query_bytes(n_rankers: usize, k: usize) -> u64 {
+    (n_rankers * k * 12) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RankConfig;
+    use crate::dpr::{assemble_global, DprVariant};
+    use crate::group::GroupContext;
+    use crate::metrics::top_k;
+    use dpr_graph::generators::edu::{edu_domain, EduDomainConfig};
+    use dpr_partition::{Partition, Strategy};
+    use dpr_sim::{SimConfig, Simulation};
+
+    fn converged_nodes() -> (dpr_graph::WebGraph, Vec<RankerNode>) {
+        let g = edu_domain(&EduDomainConfig::small());
+        let p = Partition::build(&g, &Strategy::HashBySite, 8, 0);
+        let nodes: Vec<RankerNode> = GroupContext::build_all(&g, &p, &RankConfig::default())
+            .into_iter()
+            .map(|c| RankerNode::new(c, DprVariant::Dpr1, 1.0))
+            .collect();
+        let mut sim = Simulation::new(nodes, SimConfig { seed: 3, ..SimConfig::default() });
+        sim.run_until(120.0);
+        (g, sim.into_actors())
+    }
+
+    #[test]
+    fn distributed_top_k_matches_global_top_k() {
+        let (g, nodes) = converged_nodes();
+        let global = assemble_global(&nodes, g.n_pages());
+        let want = top_k(&global, 10);
+        let got: Vec<PageId> = distributed_top_k(&nodes, 10, None).iter().map(|h| h.page).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn candidate_restriction_respected() {
+        let (_, nodes) = converged_nodes();
+        let candidates: Vec<PageId> = (0..50).collect();
+        let hits = distributed_top_k(&nodes, 5, Some(&candidates));
+        assert_eq!(hits.len(), 5);
+        assert!(hits.iter().all(|h| h.page < 50));
+        // Descending rank order.
+        assert!(hits.windows(2).all(|w| w[0].rank >= w[1].rank));
+    }
+
+    #[test]
+    fn k_larger_than_page_count() {
+        let (g, nodes) = converged_nodes();
+        let hits = distributed_top_k(&nodes, g.n_pages() + 100, None);
+        assert_eq!(hits.len(), g.n_pages());
+    }
+
+    #[test]
+    fn local_top_k_returns_at_most_k() {
+        let (_, nodes) = converged_nodes();
+        for node in &nodes {
+            let hits = local_top_k(node, 3, None);
+            assert!(hits.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn query_bytes_scale() {
+        assert_eq!(query_bytes(100, 10), 12_000);
+    }
+}

@@ -1,0 +1,115 @@
+//! Rank-vector persistence.
+//!
+//! A deployment re-ranks the web continuously (see `dpr-graph::refresh` and
+//! the warm-start machinery); persisting converged ranks between sessions
+//! is what makes warm starts possible across process restarts. The format
+//! is line-oriented text, like the graph format, so rank files diff and
+//! version cleanly:
+//!
+//! ```text
+//! dpr-ranks v1
+//! <n>
+//! <rank of page 0>
+//! …
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+/// Writes a rank vector.
+pub fn write_ranks<W: Write>(ranks: &[f64], mut w: W) -> io::Result<()> {
+    writeln!(w, "dpr-ranks v1")?;
+    writeln!(w, "{}", ranks.len())?;
+    for r in ranks {
+        // 17 significant digits: lossless f64 round-trip.
+        writeln!(w, "{r:.17e}")?;
+    }
+    Ok(())
+}
+
+/// Reads a rank vector; errors carry a line-context message.
+pub fn read_ranks<R: BufRead>(r: R) -> Result<Vec<f64>, String> {
+    let mut lines = r.lines().enumerate();
+    let mut next = |what: &str| -> Result<(usize, String), String> {
+        match lines.next() {
+            Some((i, Ok(l))) => Ok((i + 1, l)),
+            Some((i, Err(e))) => Err(format!("line {}: {e}", i + 1)),
+            None => Err(format!("unexpected end of file, wanted {what}")),
+        }
+    };
+    let (ln, header) = next("header")?;
+    if header.trim() != "dpr-ranks v1" {
+        return Err(format!("line {ln}: bad header {header:?}"));
+    }
+    let (ln, count) = next("count")?;
+    let n: usize =
+        count.trim().parse().map_err(|e| format!("line {ln}: bad count {count:?}: {e}"))?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (ln, v) = next("rank value")?;
+        let value: f64 =
+            v.trim().parse().map_err(|e| format!("line {ln}: bad value {v:?}: {e}"))?;
+        if !value.is_finite() || value < 0.0 {
+            return Err(format!("line {ln}: rank {value} is not a finite non-negative number"));
+        }
+        out.push(value);
+    }
+    Ok(out)
+}
+
+/// Writes to a file path.
+pub fn save(ranks: &[f64], path: impl AsRef<std::path::Path>) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_ranks(ranks, io::BufWriter::new(f))
+}
+
+/// Reads from a file path.
+pub fn load(path: impl AsRef<std::path::Path>) -> Result<Vec<f64>, String> {
+    let f = std::fs::File::open(&path)
+        .map_err(|e| format!("cannot open {}: {e}", path.as_ref().display()))?;
+    read_ranks(io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let ranks = vec![0.0, 1.5, 0.2483, 1e-300, 12345.6789, f64::MIN_POSITIVE];
+        let mut buf = Vec::new();
+        write_ranks(&ranks, &mut buf).unwrap();
+        let back = read_ranks(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), ranks.len());
+        for (a, b) in ranks.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn empty_vector() {
+        let mut buf = Vec::new();
+        write_ranks(&[], &mut buf).unwrap();
+        assert_eq!(read_ranks(buf.as_slice()).unwrap(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert!(read_ranks("nope\n0\n".as_bytes()).unwrap_err().contains("bad header"));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let mut buf = Vec::new();
+        write_ranks(&[1.0, 2.0], &mut buf).unwrap();
+        // Drop the entire final value line.
+        let cut = buf.len() - 1 - buf[..buf.len() - 1].iter().rev().position(|&b| b == b'\n').unwrap();
+        buf.truncate(cut);
+        assert!(read_ranks(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn negative_and_nan_rejected() {
+        assert!(read_ranks("dpr-ranks v1\n1\n-1.0\n".as_bytes()).unwrap_err().contains("finite"));
+        assert!(read_ranks("dpr-ranks v1\n1\nNaN\n".as_bytes()).unwrap_err().contains("finite"));
+    }
+}

@@ -1,0 +1,311 @@
+//! Crawlers over a [`HiddenWeb`]: a polite single-crawler BFS and the three
+//! parallel-crawler coordination modes of Cho & Garcia-Molina \[16\].
+//!
+//! \[16\] is the paper's source for both the 90% intra-site locality and
+//! the hash-by-site partitioning of crawl responsibility; its three modes
+//! trade coverage, duplicated work and communication:
+//!
+//! * **Firewall** — each agent fetches only pages of its own sites and
+//!   silently drops discovered foreign URLs. Zero communication, zero
+//!   overlap, but pages reachable only through foreign sites are lost.
+//! * **Cross-over** — agents may fetch foreign pages. Full coverage, zero
+//!   communication, but the same page may be fetched by several agents
+//!   (overlap = wasted bandwidth).
+//! * **Exchange** — agents forward discovered foreign URLs to the owning
+//!   agent. Full coverage, zero overlap, at the price of inter-agent
+//!   messages — which stay cheap *because* ~90% of links are intra-site,
+//!   the same locality §4.1 exploits for ranking.
+
+use std::collections::{HashSet, VecDeque};
+
+use crate::web::{HiddenWeb, WebPageId};
+
+/// Limits of a crawl session.
+#[derive(Debug, Clone, Copy)]
+pub struct CrawlBudget {
+    /// Maximum pages to fetch (per agent for parallel crawls).
+    pub max_pages: usize,
+}
+
+/// What a crawl produced.
+#[derive(Debug, Clone)]
+pub struct CrawlOutcome {
+    /// Pages fetched, in fetch order (unique except in cross-over mode,
+    /// where `duplicates` counts re-fetches that were skipped).
+    pub fetched: Vec<WebPageId>,
+    /// Coverage: `fetched / reachable-budgeted` is up to the caller; this
+    /// is simply `fetched.len() / web.total_pages()`.
+    pub coverage: f64,
+    /// Pages fetched by more than one agent (cross-over mode only).
+    pub overlap: u64,
+    /// URLs forwarded between agents (exchange mode only).
+    pub urls_exchanged: u64,
+}
+
+/// Polite single-crawler BFS: site queues are served round-robin (one
+/// fetch per site per round — the politeness discipline that avoids
+/// hammering a host), starting from every site's seed page.
+#[must_use]
+pub fn crawl_bfs(web: &HiddenWeb, budget: CrawlBudget) -> CrawlOutcome {
+    let mut queues: Vec<VecDeque<WebPageId>> = vec![VecDeque::new(); web.n_sites()];
+    let mut seen: HashSet<WebPageId> = HashSet::new();
+    for (s, q) in queues.iter_mut().enumerate() {
+        let seed = web.site_seed_page(s);
+        q.push_back(seed);
+        seen.insert(seed);
+    }
+    let mut fetched = Vec::new();
+    let mut progress = true;
+    while fetched.len() < budget.max_pages && progress {
+        progress = false;
+        // Discovered URLs are enqueued at the end of the round (they join
+        // their own site's queue, which may differ from the one being
+        // served).
+        let mut discovered: Vec<WebPageId> = Vec::new();
+        for q in queues.iter_mut() {
+            if fetched.len() >= budget.max_pages {
+                break;
+            }
+            let Some(p) = q.pop_front() else { continue };
+            progress = true;
+            fetched.push(p);
+            for v in web.out_links(p) {
+                if seen.insert(v) {
+                    discovered.push(v);
+                }
+            }
+        }
+        for v in discovered {
+            queues[web.site_of(v)].push_back(v);
+        }
+    }
+    CrawlOutcome {
+        coverage: fetched.len() as f64 / web.total_pages() as f64,
+        fetched,
+        overlap: 0,
+        urls_exchanged: 0,
+    }
+}
+
+/// Coordination mode of a parallel crawl (\[16\]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Drop foreign URLs.
+    Firewall,
+    /// Fetch foreign URLs yourself (duplicates possible).
+    CrossOver,
+    /// Forward foreign URLs to the owning agent.
+    Exchange,
+}
+
+/// A parallel crawl by `n_agents` cooperating crawlers; sites are assigned
+/// to agents by site-hash, the same stable mapping §4.1 recommends for
+/// ranking.
+#[derive(Debug, Clone)]
+pub struct ParallelCrawl {
+    /// Per-agent outcomes (fetch lists are per-agent).
+    pub per_agent: Vec<Vec<WebPageId>>,
+    /// Union of fetched pages.
+    pub fetched: Vec<WebPageId>,
+    /// Merged metrics.
+    pub outcome: CrawlOutcome,
+}
+
+/// Runs a parallel crawl. Each agent runs polite BFS over its own sites;
+/// agents proceed in lockstep rounds so exchange-mode forwarding is
+/// deterministic.
+#[must_use]
+pub fn parallel_crawl(
+    web: &HiddenWeb,
+    n_agents: usize,
+    mode: Mode,
+    budget: CrawlBudget,
+) -> ParallelCrawl {
+    assert!(n_agents >= 1);
+    let owner_of_site =
+        |s: usize| (dpr_graph::urls::fnv1a(web.site_host(s).as_bytes()) % n_agents as u64) as usize;
+
+    // Per-agent per-site queues; in cross-over mode an agent may also queue
+    // foreign pages (tracked in a shared "who fetched" map for overlap).
+    let mut queues: Vec<VecDeque<WebPageId>> = vec![VecDeque::new(); n_agents];
+    let mut seen: Vec<HashSet<WebPageId>> = vec![HashSet::new(); n_agents];
+    let mut fetched_by: std::collections::HashMap<WebPageId, u32> =
+        std::collections::HashMap::new();
+    for s in 0..web.n_sites() {
+        let a = owner_of_site(s);
+        let seed = web.site_seed_page(s);
+        if seen[a].insert(seed) {
+            queues[a].push_back(seed);
+        }
+    }
+
+    let mut per_agent: Vec<Vec<WebPageId>> = vec![Vec::new(); n_agents];
+    let mut urls_exchanged = 0u64;
+    let mut progress = true;
+    while progress {
+        progress = false;
+        // One fetch per agent per round (lockstep politeness).
+        let mut forwards: Vec<(usize, WebPageId)> = Vec::new();
+        for a in 0..n_agents {
+            if per_agent[a].len() >= budget.max_pages {
+                continue;
+            }
+            let Some(p) = queues[a].pop_front() else { continue };
+            progress = true;
+            per_agent[a].push(p);
+            *fetched_by.entry(p).or_insert(0) += 1;
+            for v in web.out_links(p) {
+                let owner = owner_of_site(web.site_of(v));
+                match mode {
+                    Mode::Firewall => {
+                        if owner == a && seen[a].insert(v) {
+                            queues[a].push_back(v);
+                        }
+                    }
+                    Mode::CrossOver => {
+                        // Fetch it yourself, whoever owns it.
+                        if seen[a].insert(v) {
+                            queues[a].push_back(v);
+                        }
+                    }
+                    Mode::Exchange => {
+                        if owner == a {
+                            if seen[a].insert(v) {
+                                queues[a].push_back(v);
+                            }
+                        } else {
+                            forwards.push((owner, v));
+                        }
+                    }
+                }
+            }
+        }
+        for (owner, v) in forwards {
+            urls_exchanged += 1;
+            if seen[owner].insert(v) {
+                queues[owner].push_back(v);
+                progress = true;
+            }
+        }
+    }
+
+    let mut fetched: Vec<WebPageId> = fetched_by.keys().copied().collect();
+    fetched.sort_unstable();
+    let overlap = fetched_by.values().map(|&c| u64::from(c.saturating_sub(1))).sum();
+    let outcome = CrawlOutcome {
+        coverage: fetched.len() as f64 / web.total_pages() as f64,
+        fetched: fetched.clone(),
+        overlap,
+        urls_exchanged,
+    };
+    ParallelCrawl { per_agent, fetched, outcome }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::web::HiddenWebConfig;
+
+    fn small_web() -> HiddenWeb {
+        HiddenWeb::new(HiddenWebConfig {
+            total_pages: 5_000,
+            n_sites: 16,
+            ..HiddenWebConfig::default()
+        })
+    }
+
+    #[test]
+    fn bfs_respects_budget_and_uniqueness() {
+        let web = small_web();
+        let out = crawl_bfs(&web, CrawlBudget { max_pages: 800 });
+        assert_eq!(out.fetched.len(), 800);
+        let set: HashSet<_> = out.fetched.iter().collect();
+        assert_eq!(set.len(), 800, "BFS fetched a page twice");
+        assert!((out.coverage - 0.16).abs() < 0.01);
+    }
+
+    #[test]
+    fn bfs_unbounded_reaches_most_of_the_web() {
+        let web = small_web();
+        let out = crawl_bfs(&web, CrawlBudget { max_pages: usize::MAX });
+        // Some pages have no in-links and are unreachable; the bulk is
+        // reachable from the site seeds.
+        assert!(out.coverage > 0.5, "coverage {}", out.coverage);
+    }
+
+    #[test]
+    fn exchange_mode_full_coverage_no_overlap_some_communication() {
+        let web = small_web();
+        let res = parallel_crawl(&web, 4, Mode::Exchange, CrawlBudget { max_pages: usize::MAX });
+        let solo = crawl_bfs(&web, CrawlBudget { max_pages: usize::MAX });
+        assert_eq!(res.outcome.overlap, 0);
+        assert!(res.outcome.urls_exchanged > 0);
+        // Same reachable set as the single crawler.
+        assert_eq!(res.fetched.len(), solo.fetched.len());
+    }
+
+    #[test]
+    fn firewall_mode_loses_coverage_but_never_communicates() {
+        let web = small_web();
+        let firewall =
+            parallel_crawl(&web, 4, Mode::Firewall, CrawlBudget { max_pages: usize::MAX });
+        let exchange =
+            parallel_crawl(&web, 4, Mode::Exchange, CrawlBudget { max_pages: usize::MAX });
+        assert_eq!(firewall.outcome.urls_exchanged, 0);
+        assert_eq!(firewall.outcome.overlap, 0);
+        assert!(
+            firewall.fetched.len() < exchange.fetched.len(),
+            "firewall {} vs exchange {}",
+            firewall.fetched.len(),
+            exchange.fetched.len()
+        );
+    }
+
+    #[test]
+    fn crossover_mode_overlaps_but_needs_no_communication() {
+        let web = small_web();
+        let res = parallel_crawl(&web, 4, Mode::CrossOver, CrawlBudget { max_pages: usize::MAX });
+        assert_eq!(res.outcome.urls_exchanged, 0);
+        assert!(res.outcome.overlap > 0, "cross-over should duplicate work");
+        let solo = crawl_bfs(&web, CrawlBudget { max_pages: usize::MAX });
+        assert_eq!(res.fetched.len(), solo.fetched.len());
+    }
+
+    #[test]
+    fn exchange_communication_is_cheap_thanks_to_locality() {
+        // ~90% intra-site links ⇒ roughly one exchanged URL per fetched
+        // page (the [16] statistic the paper leans on in §4.4's "one page
+        // has only about 1 URL pointing to other sites").
+        let web = small_web();
+        let res = parallel_crawl(&web, 4, Mode::Exchange, CrawlBudget { max_pages: usize::MAX });
+        let per_page = res.outcome.urls_exchanged as f64 / res.fetched.len() as f64;
+        assert!(per_page < 3.0, "exchanged {per_page} URLs/page — locality broken");
+    }
+
+    #[test]
+    fn agents_partition_the_fetch_in_exchange_mode() {
+        let web = small_web();
+        let res = parallel_crawl(&web, 3, Mode::Exchange, CrawlBudget { max_pages: usize::MAX });
+        let mut all: Vec<_> = res.per_agent.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), res.fetched.len());
+    }
+
+    #[test]
+    fn deterministic_per_configuration() {
+        let web = small_web();
+        let a = parallel_crawl(&web, 4, Mode::Exchange, CrawlBudget { max_pages: 500 });
+        let b = parallel_crawl(&web, 4, Mode::Exchange, CrawlBudget { max_pages: 500 });
+        assert_eq!(a.fetched, b.fetched);
+        assert_eq!(a.outcome.urls_exchanged, b.outcome.urls_exchanged);
+    }
+
+    #[test]
+    fn single_agent_equals_bfs_reachability() {
+        let web = small_web();
+        let par = parallel_crawl(&web, 1, Mode::Firewall, CrawlBudget { max_pages: usize::MAX });
+        let solo = crawl_bfs(&web, CrawlBudget { max_pages: usize::MAX });
+        assert_eq!(par.fetched.len(), solo.fetched.len());
+    }
+}

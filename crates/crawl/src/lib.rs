@@ -1,0 +1,52 @@
+//! Web crawling substrate.
+//!
+//! The paper's Fig 1 distinguishes three scopes: the whole web `W`, the
+//! pages crawled by the search engine `C ⊂ W`, and one ranker's page group
+//! `G ⊂ C`. Everything downstream — the 15 links/page, the ~90% intra-site
+//! locality, the 47% of links escaping the crawl, even the requirement that
+//! re-crawled pages keep their ranker — is a property of *how `C` is carved
+//! out of `W` by crawlers*. This crate models that process instead of
+//! assuming its outputs:
+//!
+//! * [`web::HiddenWeb`] — a deterministic, *lazily generated* web of
+//!   arbitrary size (adjacency is computed from hashes, never stored), with
+//!   site structure, Zipf site sizes and Cho & Garcia-Molina's \[16\]
+//!   ≈ 90% intra-site link locality;
+//! * [`crawler`] — a polite BFS crawler over a hidden web, plus the three
+//!   **parallel crawler** coordination modes of \[16\]: *firewall* (agents
+//!   never exchange URLs; cross-partition links are lost), *cross-over*
+//!   (agents may fetch foreign pages, duplicating work) and *exchange*
+//!   (agents forward discovered foreign URLs to their owners — the mode
+//!   whose communication §4.1 wants to minimize);
+//! * [`dataset`] — converts a finished crawl into a
+//!   [`WebGraph`](dpr_graph::WebGraph) whose internal/external link split
+//!   is *measured* (links to uncrawled pages become the external counts
+//!   that leak rank in open-system PageRank).
+
+//!
+//! # Example
+//!
+//! ```
+//! use dpr_crawl::{crawl_bfs, crawl_to_graph, CrawlBudget, HiddenWeb, HiddenWebConfig};
+//!
+//! let web = HiddenWeb::new(HiddenWebConfig {
+//!     total_pages: 5_000,
+//!     n_sites: 10,
+//!     ..HiddenWebConfig::default()
+//! });
+//! let crawl = crawl_bfs(&web, CrawlBudget { max_pages: 1_000 });
+//! let dataset = crawl_to_graph(&web, &crawl.fetched);
+//! assert_eq!(dataset.n_pages(), 1_000);
+//! // A partial crawl leaks links — the open-system premise.
+//! assert!(dataset.n_external_links() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod crawler;
+pub mod dataset;
+pub mod web;
+
+pub use crawler::{crawl_bfs, CrawlBudget, CrawlOutcome, Mode, ParallelCrawl};
+pub use dataset::crawl_to_graph;
+pub use web::{HiddenWeb, HiddenWebConfig};

@@ -1,0 +1,259 @@
+//! The hidden web `W` — Fig 1's outer ellipse.
+//!
+//! Pages and links are *functions of the page id*, computed from hash
+//! mixes, so a multi-billion-page web costs O(#sites) memory and O(degree)
+//! time per adjacency query. Crawlers then materialize whatever subset
+//! they reach.
+
+use dpr_graph::urls::{self, splitmix64};
+
+/// Identifier of a page in the hidden web (may exceed any crawl budget).
+pub type WebPageId = u64;
+
+/// Parameters of the hidden web.
+#[derive(Debug, Clone, Copy)]
+pub struct HiddenWebConfig {
+    /// Total pages in `W`.
+    pub total_pages: u64,
+    /// Number of sites.
+    pub n_sites: usize,
+    /// Mean out-degree (links per page).
+    pub mean_out_degree: f64,
+    /// Fraction of links staying on the source page's site (\[16\]: ~0.9).
+    pub intra_site_fraction: f64,
+    /// Zipf exponent of site sizes.
+    pub zipf_exponent: f64,
+    /// Master seed; the web is a pure function of (config, seed).
+    pub seed: u64,
+}
+
+impl Default for HiddenWebConfig {
+    fn default() -> Self {
+        Self {
+            total_pages: 1_000_000,
+            n_sites: 100,
+            mean_out_degree: 15.0,
+            intra_site_fraction: 0.9,
+            zipf_exponent: 0.8,
+            seed: 0x00E8_517E_B00C_5EED,
+        }
+    }
+}
+
+/// A deterministic, lazily-evaluated web graph.
+#[derive(Debug, Clone)]
+pub struct HiddenWeb {
+    cfg: HiddenWebConfig,
+    /// First page id of each site (sites own contiguous id ranges), plus a
+    /// trailing sentinel = total_pages.
+    site_starts: Vec<u64>,
+}
+
+impl HiddenWeb {
+    /// Builds the site layout (the only stored state).
+    #[must_use]
+    pub fn new(cfg: HiddenWebConfig) -> Self {
+        assert!(cfg.n_sites >= 1);
+        assert!(cfg.total_pages >= cfg.n_sites as u64);
+        assert!((0.0..=1.0).contains(&cfg.intra_site_fraction));
+        assert!(cfg.mean_out_degree >= 0.0);
+        let weights: Vec<f64> =
+            (1..=cfg.n_sites).map(|r| 1.0 / (r as f64).powf(cfg.zipf_exponent)).collect();
+        let wsum: f64 = weights.iter().sum();
+        let spare = cfg.total_pages - cfg.n_sites as u64;
+        let mut starts = Vec::with_capacity(cfg.n_sites + 1);
+        let mut acc = 0u64;
+        for w in &weights {
+            starts.push(acc);
+            acc += 1 + ((w / wsum) * spare as f64).floor() as u64;
+        }
+        // Absorb rounding remainder into the last site.
+        starts.push(cfg.total_pages);
+        Self { cfg, site_starts: starts }
+    }
+
+    /// Configuration.
+    #[must_use]
+    pub fn config(&self) -> &HiddenWebConfig {
+        &self.cfg
+    }
+
+    /// Total pages in `W`.
+    #[must_use]
+    pub fn total_pages(&self) -> u64 {
+        self.cfg.total_pages
+    }
+
+    /// Number of sites.
+    #[must_use]
+    pub fn n_sites(&self) -> usize {
+        self.cfg.n_sites
+    }
+
+    /// Site of a page (binary search over contiguous ranges).
+    #[must_use]
+    pub fn site_of(&self, p: WebPageId) -> usize {
+        debug_assert!(p < self.cfg.total_pages);
+        match self.site_starts.binary_search(&p) {
+            Ok(i) => i.min(self.cfg.n_sites - 1),
+            Err(i) => i - 1,
+        }
+    }
+
+    /// `[first, end)` page range of a site.
+    #[must_use]
+    pub fn site_range(&self, site: usize) -> (u64, u64) {
+        (self.site_starts[site], self.site_starts[site + 1])
+    }
+
+    /// Host name of a site.
+    #[must_use]
+    pub fn site_host(&self, site: usize) -> String {
+        urls::site_host(site as u32)
+    }
+
+    /// The canonical seed page of a site (its first page — the "home
+    /// page" a crawler starts from).
+    #[must_use]
+    pub fn site_seed_page(&self, site: usize) -> WebPageId {
+        self.site_starts[site]
+    }
+
+    /// Out-degree of a page: deterministic, mean ≈ `mean_out_degree`,
+    /// ranging over [mean/2, 3·mean/2).
+    #[must_use]
+    pub fn out_degree(&self, p: WebPageId) -> usize {
+        let h = splitmix64(p ^ self.cfg.seed ^ 0xDE47EE);
+        let span = self.cfg.mean_out_degree;
+        (span / 2.0 + span * ((h >> 8) as f64 / (1u64 << 56) as f64)) as usize
+    }
+
+    /// The `i`-th out-link of page `p`. Intra-site targets are biased
+    /// toward low in-site offsets (the "home page and hubs collect links"
+    /// power law); cross-site targets are biased the same way within a
+    /// hash-chosen foreign site.
+    #[must_use]
+    pub fn link_target(&self, p: WebPageId, i: usize) -> WebPageId {
+        let h = splitmix64(p.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i as u64) ^ self.cfg.seed);
+        let intra = (h & 0xFFFF) as f64 / 65536.0 < self.cfg.intra_site_fraction;
+        let site = if intra {
+            self.site_of(p)
+        } else {
+            (splitmix64(h ^ 0x517E) % self.cfg.n_sites as u64) as usize
+        };
+        let (lo, hi) = self.site_range(site);
+        let span = hi - lo;
+        // Quadratic bias toward the front of the site: u² concentrates
+        // targets on early pages ⇒ heavy-tailed in-degree.
+        let u = (splitmix64(h ^ 0x7A46E7) >> 11) as f64 / (1u64 << 53) as f64;
+        lo + ((u * u) * span as f64) as u64
+    }
+
+    /// All out-links of a page (materialized; self-links removed).
+    #[must_use]
+    pub fn out_links(&self, p: WebPageId) -> Vec<WebPageId> {
+        (0..self.out_degree(p))
+            .map(|i| self.link_target(p, i))
+            .filter(|&v| v != p)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> HiddenWeb {
+        HiddenWeb::new(HiddenWebConfig {
+            total_pages: 10_000,
+            n_sites: 20,
+            ..HiddenWebConfig::default()
+        })
+    }
+
+    #[test]
+    fn site_ranges_tile_the_page_space() {
+        let w = small();
+        let mut covered = 0u64;
+        for s in 0..w.n_sites() {
+            let (lo, hi) = w.site_range(s);
+            assert_eq!(lo, covered);
+            assert!(hi > lo, "site {s} empty");
+            covered = hi;
+        }
+        assert_eq!(covered, w.total_pages());
+    }
+
+    #[test]
+    fn site_of_is_consistent_with_ranges() {
+        let w = small();
+        for p in (0..w.total_pages()).step_by(97) {
+            let s = w.site_of(p);
+            let (lo, hi) = w.site_range(s);
+            assert!(lo <= p && p < hi, "page {p} not in its site range");
+        }
+    }
+
+    #[test]
+    fn adjacency_is_deterministic() {
+        let w1 = small();
+        let w2 = small();
+        for p in (0..w1.total_pages()).step_by(501) {
+            assert_eq!(w1.out_links(p), w2.out_links(p));
+        }
+    }
+
+    #[test]
+    fn mean_degree_near_config() {
+        let w = small();
+        let total: usize = (0..2_000u64).map(|p| w.out_degree(p)).sum();
+        let mean = total as f64 / 2_000.0;
+        assert!((mean - 15.0).abs() < 1.5, "mean degree {mean}");
+    }
+
+    #[test]
+    fn intra_site_fraction_near_config() {
+        let w = small();
+        let mut intra = 0usize;
+        let mut total = 0usize;
+        for p in (0..w.total_pages()).step_by(13) {
+            let sp = w.site_of(p);
+            for v in w.out_links(p) {
+                total += 1;
+                if w.site_of(v) == sp {
+                    intra += 1;
+                }
+            }
+        }
+        let f = intra as f64 / total as f64;
+        assert!((0.85..=0.95).contains(&f), "intra-site fraction {f}");
+    }
+
+    #[test]
+    fn in_degree_is_heavy_tailed() {
+        let w = small();
+        let mut indeg = vec![0u32; w.total_pages() as usize];
+        for p in 0..w.total_pages() {
+            for v in w.out_links(p) {
+                indeg[v as usize] += 1;
+            }
+        }
+        let mean = indeg.iter().map(|&d| f64::from(d)).sum::<f64>() / indeg.len() as f64;
+        let max = f64::from(*indeg.iter().max().unwrap());
+        assert!(max > 10.0 * mean, "max {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn huge_webs_cost_no_memory() {
+        // A 3-billion-page web (Google's 2003 index size) must build
+        // instantly and answer adjacency queries lazily.
+        let w = HiddenWeb::new(HiddenWebConfig {
+            total_pages: 3_000_000_000,
+            n_sites: 1_000,
+            ..HiddenWebConfig::default()
+        });
+        assert_eq!(w.total_pages(), 3_000_000_000);
+        let links = w.out_links(2_999_999_999);
+        assert!(links.iter().all(|&v| v < w.total_pages()));
+    }
+}

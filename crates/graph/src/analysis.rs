@@ -1,0 +1,308 @@
+//! Link-graph analysis: strongly connected components, rank-sink
+//! detection, reachability and degree diagnostics.
+//!
+//! The paper's §2 recalls why PageRank needs the `(1−c)E` term: "avoiding
+//! rank sink". A *rank sink* is a set of pages that rank can enter but
+//! never leave — formally, a strongly connected component with no edges
+//! leaving it (and, in an open system, no external out-links either).
+//! Without virtual links, iteration drains all rank into sinks; with them
+//! (`β > 0`), the fixed point exists regardless. This module finds the
+//! sinks so datasets can be audited, and provides the reachability
+//! utilities the crawler analysis uses.
+
+use crate::graph::{PageId, WebGraph};
+
+/// Strongly connected components via Tarjan's algorithm (iterative — web
+//  graphs are deep enough to overflow a recursive stack).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sccs {
+    /// Component id per page (components are numbered in reverse
+    /// topological order: edges go from higher component ids to lower).
+    pub component_of: Vec<u32>,
+    /// Number of components.
+    pub n_components: usize,
+}
+
+/// Computes the strongly connected components of the internal link graph.
+#[must_use]
+pub fn tarjan_scc(g: &WebGraph) -> Sccs {
+    let n = g.n_pages();
+    const UNSET: u32 = u32::MAX;
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut component_of = vec![UNSET; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut n_components = 0u32;
+
+    // Explicit DFS state machine: (node, next-child-offset).
+    let mut call: Vec<(u32, usize)> = Vec::new();
+    for root in 0..n as u32 {
+        if index[root as usize] != UNSET {
+            continue;
+        }
+        call.push((root, 0));
+        while let Some(&mut (v, ref mut child)) = call.last_mut() {
+            let vi = v as usize;
+            if *child == 0 {
+                index[vi] = next_index;
+                lowlink[vi] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[vi] = true;
+            }
+            let links = g.out_links(v);
+            if *child < links.len() {
+                let w = links[*child];
+                *child += 1;
+                let wi = w as usize;
+                if index[wi] == UNSET {
+                    call.push((w, 0));
+                } else if on_stack[wi] {
+                    lowlink[vi] = lowlink[vi].min(index[wi]);
+                }
+            } else {
+                // v is finished.
+                if lowlink[vi] == index[vi] {
+                    // Root of a component: pop it.
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        component_of[w as usize] = n_components;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    n_components += 1;
+                }
+                call.pop();
+                if let Some(&mut (p, _)) = call.last_mut() {
+                    let pi = p as usize;
+                    lowlink[pi] = lowlink[pi].min(lowlink[vi]);
+                }
+            }
+        }
+    }
+    Sccs { component_of, n_components: n_components as usize }
+}
+
+/// A rank sink: a strongly connected component that rank enters but never
+/// leaves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankSink {
+    /// Pages of the sink component.
+    pub pages: Vec<PageId>,
+    /// Whether the sink also lacks external out-links (a *closed* sink: in
+    /// the open-system model rank parked here only drains via `1 − α`
+    /// decay, never via links).
+    pub closed: bool,
+}
+
+/// Finds all rank sinks: SCCs with no internal edges leaving the component.
+/// With `closed_only`, only sinks without external out-links are returned —
+/// those are the pathological ones for closed-system PageRank (§2's "rank
+/// sink" that the `E` term exists to fix).
+#[must_use]
+pub fn rank_sinks(g: &WebGraph, closed_only: bool) -> Vec<RankSink> {
+    let sccs = tarjan_scc(g);
+    let mut escapes = vec![false; sccs.n_components];
+    for (u, v) in g.links() {
+        let cu = sccs.component_of[u as usize];
+        let cv = sccs.component_of[v as usize];
+        if cu != cv {
+            escapes[cu as usize] = true;
+        }
+    }
+    let mut members: Vec<Vec<PageId>> = vec![Vec::new(); sccs.n_components];
+    let mut has_external = vec![false; sccs.n_components];
+    for p in 0..g.n_pages() as u32 {
+        let c = sccs.component_of[p as usize] as usize;
+        members[c].push(p);
+        if g.external_out_degree(p) > 0 {
+            has_external[c] = true;
+        }
+    }
+    members
+        .into_iter()
+        .enumerate()
+        .filter(|(c, _)| !escapes[*c])
+        .map(|(c, pages)| RankSink { pages, closed: !has_external[c] })
+        .filter(|s| !closed_only || s.closed)
+        .collect()
+}
+
+/// Pages reachable from `seeds` along internal links (BFS). The crawler's
+/// reachable set; also useful to find orphaned regions.
+#[must_use]
+pub fn reachable_from(g: &WebGraph, seeds: &[PageId]) -> Vec<bool> {
+    let mut seen = vec![false; g.n_pages()];
+    let mut queue: std::collections::VecDeque<PageId> = seeds
+        .iter()
+        .copied()
+        .filter(|&p| {
+            let fresh = !seen[p as usize];
+            seen[p as usize] = true;
+            fresh
+        })
+        .collect();
+    while let Some(u) = queue.pop_front() {
+        for &v in g.out_links(u) {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    seen
+}
+
+/// BFS distance (in links, following edges *forward*) from the seed set;
+/// `u32::MAX` for unreachable pages. Rank perturbations propagate along
+/// links, so this is the natural distance for locality analysis.
+#[must_use]
+pub fn bfs_distance(g: &WebGraph, seeds: &[PageId]) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.n_pages()];
+    let mut queue = std::collections::VecDeque::new();
+    for &p in seeds {
+        if dist[p as usize] == u32::MAX {
+            dist[p as usize] = 0;
+            queue.push_back(p);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let d = dist[u as usize];
+        for &v in g.out_links(u) {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = d + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators::toy;
+
+    #[test]
+    fn cycle_is_one_component() {
+        let g = toy::cycle(6);
+        let s = tarjan_scc(&g);
+        assert_eq!(s.n_components, 1);
+        assert!(s.component_of.iter().all(|&c| c == s.component_of[0]));
+    }
+
+    #[test]
+    fn chain_is_all_singletons_topologically_ordered() {
+        let g = toy::chain(5);
+        let s = tarjan_scc(&g);
+        assert_eq!(s.n_components, 5);
+        // Edges u -> u+1 must go from higher to lower component id
+        // (reverse topological numbering).
+        for (u, v) in g.links() {
+            assert!(
+                s.component_of[u as usize] > s.component_of[v as usize],
+                "edge {u}->{v} violates component order"
+            );
+        }
+    }
+
+    #[test]
+    fn two_cliques_with_bidirectional_bridge_merge() {
+        let g = toy::two_cliques(3);
+        let s = tarjan_scc(&g);
+        // Bridge in both directions ⇒ everything is one SCC.
+        assert_eq!(s.n_components, 1);
+    }
+
+    #[test]
+    fn detects_the_classic_rank_sink() {
+        // Page 0 -> {1, 2} which link only to each other: {1, 2} is a
+        // closed rank sink, {0} escapes.
+        let mut b = GraphBuilder::new();
+        let s = b.add_site("a.edu");
+        let p0 = b.add_page(s);
+        let p1 = b.add_page(s);
+        let p2 = b.add_page(s);
+        b.add_link(p0, p1);
+        b.add_link(p1, p2);
+        b.add_link(p2, p1);
+        let g = b.build();
+        let sinks = rank_sinks(&g, false);
+        assert_eq!(sinks.len(), 1);
+        assert_eq!(sinks[0].pages, vec![p1, p2]);
+        assert!(sinks[0].closed);
+        // With an external link out of p2 the sink is no longer closed.
+        let mut b = GraphBuilder::new();
+        let s = b.add_site("a.edu");
+        let q0 = b.add_page(s);
+        let q1 = b.add_page(s);
+        let q2 = b.add_page(s);
+        b.add_link(q0, q1);
+        b.add_link(q1, q2);
+        b.add_link(q2, q1);
+        b.add_external_links(q2, 1);
+        let g = b.build();
+        let open_sinks = rank_sinks(&g, true);
+        assert!(open_sinks.is_empty());
+        let all_sinks = rank_sinks(&g, false);
+        assert_eq!(all_sinks.len(), 1);
+        assert!(!all_sinks[0].closed);
+    }
+
+    #[test]
+    fn dangling_page_is_a_trivial_sink() {
+        let g = toy::chain(3); // page 2 dangles
+        let sinks = rank_sinks(&g, true);
+        assert_eq!(sinks.len(), 1);
+        assert_eq!(sinks[0].pages, vec![2]);
+    }
+
+    #[test]
+    fn cycle_with_no_escape_is_a_sink_star_is_not() {
+        assert_eq!(rank_sinks(&toy::cycle(5), false).len(), 1);
+        // The star's hub and spokes form one SCC covering the whole graph —
+        // a "sink" only in the trivial whole-graph sense.
+        let sinks = rank_sinks(&toy::star(5), false);
+        assert_eq!(sinks.len(), 1);
+        assert_eq!(sinks[0].pages.len(), 5);
+    }
+
+    #[test]
+    fn reachability_from_seeds() {
+        let g = toy::chain(5);
+        let r = reachable_from(&g, &[2]);
+        assert_eq!(r, vec![false, false, true, true, true]);
+        let r = reachable_from(&g, &[0]);
+        assert!(r.iter().all(|&x| x));
+        let r = reachable_from(&g, &[]);
+        assert!(r.iter().all(|&x| !x));
+    }
+
+    #[test]
+    fn bfs_distance_on_chain() {
+        let g = toy::chain(5);
+        assert_eq!(bfs_distance(&g, &[1]), vec![u32::MAX, 0, 1, 2, 3]);
+        assert_eq!(bfs_distance(&g, &[]), vec![u32::MAX; 5]);
+        assert_eq!(bfs_distance(&g, &[0, 3])[3], 0);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_the_stack() {
+        // The iterative Tarjan must survive a 100k-deep path.
+        let n = 100_000;
+        let mut b = GraphBuilder::with_capacity(n, n);
+        let s = b.add_site("deep.edu");
+        let pages: Vec<_> = (0..n).map(|_| b.add_page(s)).collect();
+        for i in 0..n - 1 {
+            b.add_link(pages[i], pages[i + 1]);
+        }
+        let g = b.build();
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs.n_components, n);
+    }
+}

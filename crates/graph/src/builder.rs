@@ -1,0 +1,164 @@
+//! Incremental construction of [`WebGraph`]s.
+
+use crate::graph::{PageId, SiteId, WebGraph};
+
+/// Mutable builder accumulating sites, pages and links in any order.
+///
+/// Links may be added before their destination pages exist only if the
+/// destination id has already been allocated; `build` validates all ids.
+/// Duplicate links are kept (a page can link to the same target twice, which
+/// counts twice in `d(u)` — consistent with how crawlers count anchors).
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    site_names: Vec<String>,
+    site_of: Vec<SiteId>,
+    links: Vec<(PageId, PageId)>,
+    ext_out: Vec<u32>,
+}
+
+impl GraphBuilder {
+    /// Empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder with reserved capacity.
+    #[must_use]
+    pub fn with_capacity(pages: usize, links: usize) -> Self {
+        Self {
+            site_names: Vec::new(),
+            site_of: Vec::with_capacity(pages),
+            links: Vec::with_capacity(links),
+            ext_out: Vec::with_capacity(pages),
+        }
+    }
+
+    /// Registers a site and returns its id.
+    pub fn add_site(&mut self, name: impl Into<String>) -> SiteId {
+        self.site_names.push(name.into());
+        (self.site_names.len() - 1) as SiteId
+    }
+
+    /// Registers a page on `site` and returns its id.
+    ///
+    /// # Panics
+    /// If `site` was not returned by [`Self::add_site`].
+    pub fn add_page(&mut self, site: SiteId) -> PageId {
+        assert!((site as usize) < self.site_names.len(), "unknown site {site}");
+        self.site_of.push(site);
+        self.ext_out.push(0);
+        (self.site_of.len() - 1) as PageId
+    }
+
+    /// Adds an internal hyperlink `from → to`.
+    ///
+    /// # Panics
+    /// If either page id has not been allocated yet.
+    pub fn add_link(&mut self, from: PageId, to: PageId) {
+        assert!((from as usize) < self.site_of.len(), "unknown page {from}");
+        assert!((to as usize) < self.site_of.len(), "unknown page {to}");
+        self.links.push((from, to));
+    }
+
+    /// Records `count` out-links of `from` whose destinations were never
+    /// crawled. They increase `d(from)` but carry rank out of the system.
+    pub fn add_external_links(&mut self, from: PageId, count: u32) {
+        assert!((from as usize) < self.site_of.len(), "unknown page {from}");
+        self.ext_out[from as usize] += count;
+    }
+
+    /// Number of pages added so far.
+    #[must_use]
+    pub fn n_pages(&self) -> usize {
+        self.site_of.len()
+    }
+
+    /// Number of internal links added so far.
+    #[must_use]
+    pub fn n_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Finalizes into an immutable [`WebGraph`] (counting-sorts the links by
+    /// source to form CSR adjacency).
+    #[must_use]
+    pub fn build(self) -> WebGraph {
+        let n = self.site_of.len();
+        let mut out_ptr = vec![0u64; n + 1];
+        for &(u, _) in &self.links {
+            out_ptr[u as usize + 1] += 1;
+        }
+        for u in 0..n {
+            out_ptr[u + 1] += out_ptr[u];
+        }
+        let mut cursor = out_ptr.clone();
+        let mut out_dst = vec![0 as PageId; self.links.len()];
+        for &(u, v) in &self.links {
+            let slot = cursor[u as usize] as usize;
+            out_dst[slot] = v;
+            cursor[u as usize] += 1;
+        }
+        // Keep each page's destination list sorted for determinism and
+        // cache-friendly scans downstream.
+        for u in 0..n {
+            let lo = out_ptr[u] as usize;
+            let hi = out_ptr[u + 1] as usize;
+            out_dst[lo..hi].sort_unstable();
+        }
+        WebGraph::from_parts(out_ptr, out_dst, self.ext_out, self.site_of, self.site_names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.n_pages(), 0);
+        assert_eq!(g.n_sites(), 0);
+        assert_eq!(g.n_internal_links(), 0);
+    }
+
+    #[test]
+    fn adjacency_is_sorted() {
+        let mut b = GraphBuilder::new();
+        let s = b.add_site("a.edu");
+        let p: Vec<_> = (0..5).map(|_| b.add_page(s)).collect();
+        b.add_link(p[0], p[4]);
+        b.add_link(p[0], p[1]);
+        b.add_link(p[0], p[3]);
+        let g = b.build();
+        assert_eq!(g.out_links(p[0]), &[p[1], p[3], p[4]]);
+    }
+
+    #[test]
+    fn duplicate_links_are_kept() {
+        let mut b = GraphBuilder::new();
+        let s = b.add_site("a.edu");
+        let p0 = b.add_page(s);
+        let p1 = b.add_page(s);
+        b.add_link(p0, p1);
+        b.add_link(p0, p1);
+        let g = b.build();
+        assert_eq!(g.out_degree(p0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown page")]
+    fn link_to_unallocated_page_panics() {
+        let mut b = GraphBuilder::new();
+        let s = b.add_site("a.edu");
+        let p0 = b.add_page(s);
+        b.add_link(p0, 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown site")]
+    fn page_on_unknown_site_panics() {
+        let mut b = GraphBuilder::new();
+        b.add_page(3);
+    }
+}

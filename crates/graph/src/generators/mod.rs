@@ -1,0 +1,13 @@
+//! Synthetic link-graph generators.
+//!
+//! * [`toy`] — tiny deterministic graphs for unit tests and doc examples,
+//! * [`random`] — Erdős–Rényi and copy-model (power-law) generators,
+//! * [`edu`] — the site-structured generator standing in for the Google
+//!   programming-contest dataset the paper evaluates on.
+
+pub mod edu;
+pub mod random;
+pub mod toy;
+
+pub use edu::{edu_domain, EduDomainConfig};
+pub use random::{copy_model, erdos_renyi};

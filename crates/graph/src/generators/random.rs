@@ -1,0 +1,115 @@
+//! Random-graph generators: Erdős–Rényi and the copy model.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::graph::WebGraph;
+use crate::urls;
+
+/// G(n, m)-style Erdős–Rényi digraph: `n` pages spread round-robin over
+/// `n_sites` sites, `m ≈ n·avg_out` uniformly random links (self-loops
+/// excluded). In-degrees are binomial — *not* web-like — so this generator
+/// is mainly a null model against the copy model and edu generator.
+#[must_use]
+pub fn erdos_renyi(n: usize, n_sites: usize, avg_out: f64, seed: u64) -> WebGraph {
+    assert!(n >= 2, "need at least two pages");
+    assert!(n_sites >= 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let m = (n as f64 * avg_out).round() as usize;
+    let mut b = GraphBuilder::with_capacity(n, m);
+    let sites: Vec<_> = (0..n_sites).map(|s| b.add_site(urls::site_host(s as u32))).collect();
+    let pages: Vec<_> = (0..n).map(|i| b.add_page(sites[i % n_sites])).collect();
+    for _ in 0..m {
+        let u = rng.gen_range(0..n);
+        let mut v = rng.gen_range(0..n);
+        while v == u {
+            v = rng.gen_range(0..n);
+        }
+        b.add_link(pages[u], pages[v]);
+    }
+    b.build()
+}
+
+/// The *copy model* (Kleinberg et al.): each new page emits `out_degree`
+/// links; with probability `copy_prob` a link copies the destination of a
+/// random existing link (preferential attachment ⇒ power-law in-degree),
+/// otherwise it picks a uniform destination. Produces the heavy-tailed
+/// in-degree distribution PageRank behaviour actually depends on.
+#[must_use]
+pub fn copy_model(
+    n: usize,
+    n_sites: usize,
+    out_degree: usize,
+    copy_prob: f64,
+    seed: u64,
+) -> WebGraph {
+    assert!(n >= 2);
+    assert!(n_sites >= 1);
+    assert!((0.0..=1.0).contains(&copy_prob));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * out_degree);
+    let sites: Vec<_> = (0..n_sites).map(|s| b.add_site(urls::site_host(s as u32))).collect();
+    let pages: Vec<_> = (0..n).map(|i| b.add_page(sites[i % n_sites])).collect();
+
+    // Running list of link destinations for O(1) "copy a random link".
+    let mut dests: Vec<u32> = Vec::with_capacity(n * out_degree);
+    // Seed edge so the copy list is never empty.
+    b.add_link(pages[0], pages[1]);
+    dests.push(pages[1]);
+
+    for i in 1..n {
+        for _ in 0..out_degree {
+            let v = if rng.gen_bool(copy_prob) {
+                dests[rng.gen_range(0..dests.len())]
+            } else {
+                pages[rng.gen_range(0..n)]
+            };
+            if v != pages[i] {
+                b.add_link(pages[i], v);
+                dests.push(v);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_deterministic_per_seed() {
+        let g1 = erdos_renyi(100, 5, 4.0, 42);
+        let g2 = erdos_renyi(100, 5, 4.0, 42);
+        assert_eq!(g1, g2);
+        let g3 = erdos_renyi(100, 5, 4.0, 43);
+        assert_ne!(g1, g3);
+    }
+
+    #[test]
+    fn erdos_renyi_link_count() {
+        let g = erdos_renyi(200, 4, 5.0, 1);
+        assert_eq!(g.n_internal_links(), 1000);
+        assert!(g.links().all(|(u, v)| u != v));
+    }
+
+    #[test]
+    fn copy_model_has_heavy_tail() {
+        let g = copy_model(2_000, 10, 8, 0.8, 7);
+        let deg = g.in_degrees();
+        let max = *deg.iter().max().unwrap();
+        let mean = deg.iter().map(|&d| f64::from(d)).sum::<f64>() / deg.len() as f64;
+        // A power-law-ish tail: max in-degree far above the mean; a binomial
+        // distribution would put max within ~5x of the mean at this size.
+        assert!(
+            f64::from(max) > 10.0 * mean,
+            "max in-degree {max} not heavy-tailed vs mean {mean}"
+        );
+    }
+
+    #[test]
+    fn copy_model_deterministic() {
+        assert_eq!(copy_model(500, 5, 6, 0.7, 9), copy_model(500, 5, 6, 0.7, 9));
+    }
+}

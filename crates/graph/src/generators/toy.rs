@@ -1,0 +1,159 @@
+//! Small deterministic graphs used throughout the test suites.
+
+use crate::builder::GraphBuilder;
+use crate::graph::WebGraph;
+use crate::urls;
+
+/// A directed cycle `0 → 1 → … → n−1 → 0` on a single site.
+///
+/// Every page has in/out degree 1, so the PageRank fixed point is uniform —
+/// a convenient analytic ground truth.
+#[must_use]
+pub fn cycle(n: usize) -> WebGraph {
+    let mut b = GraphBuilder::with_capacity(n, n);
+    let s = b.add_site(urls::site_host(0));
+    let pages: Vec<_> = (0..n).map(|_| b.add_page(s)).collect();
+    for i in 0..n {
+        b.add_link(pages[i], pages[(i + 1) % n]);
+    }
+    b.build()
+}
+
+/// A chain `0 → 1 → … → n−1` (the last page is dangling).
+#[must_use]
+pub fn chain(n: usize) -> WebGraph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    let s = b.add_site(urls::site_host(0));
+    let pages: Vec<_> = (0..n).map(|_| b.add_page(s)).collect();
+    for i in 0..n.saturating_sub(1) {
+        b.add_link(pages[i], pages[i + 1]);
+    }
+    b.build()
+}
+
+/// A star: pages `1..n` all link to page `0`, and page `0` links back to all
+/// of them. Page 0's rank dominates.
+#[must_use]
+pub fn star(n: usize) -> WebGraph {
+    assert!(n >= 2, "star needs at least a hub and one spoke");
+    let mut b = GraphBuilder::with_capacity(n, 2 * (n - 1));
+    let s = b.add_site(urls::site_host(0));
+    let pages: Vec<_> = (0..n).map(|_| b.add_page(s)).collect();
+    for i in 1..n {
+        b.add_link(pages[i], pages[0]);
+        b.add_link(pages[0], pages[i]);
+    }
+    b.build()
+}
+
+/// The complete directed graph on `n` pages (no self loops), single site.
+#[must_use]
+pub fn complete(n: usize) -> WebGraph {
+    let mut b = GraphBuilder::with_capacity(n, n * n.saturating_sub(1));
+    let s = b.add_site(urls::site_host(0));
+    let pages: Vec<_> = (0..n).map(|_| b.add_page(s)).collect();
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                b.add_link(pages[i], pages[j]);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Two complete cliques of `k` pages on two different sites, joined by a
+/// single bridge link in each direction. The minimal graph with non-trivial
+/// site structure: hash-by-site partitioning cuts exactly 2 links.
+#[must_use]
+pub fn two_cliques(k: usize) -> WebGraph {
+    assert!(k >= 2);
+    let mut b = GraphBuilder::new();
+    let s0 = b.add_site(urls::site_host(0));
+    let s1 = b.add_site(urls::site_host(1));
+    let a: Vec<_> = (0..k).map(|_| b.add_page(s0)).collect();
+    let c: Vec<_> = (0..k).map(|_| b.add_page(s1)).collect();
+    for grp in [&a, &c] {
+        for i in 0..k {
+            for j in 0..k {
+                if i != j {
+                    b.add_link(grp[i], grp[j]);
+                }
+            }
+        }
+    }
+    b.add_link(a[0], c[0]);
+    b.add_link(c[0], a[0]);
+    b.build()
+}
+
+/// A graph whose pages leak rank: each of `n` pages on one site links to the
+/// next page *and* carries `ext` external links. Used to exercise the
+/// open-system behaviour (average rank < E).
+#[must_use]
+pub fn leaky_cycle(n: usize, ext: u32) -> WebGraph {
+    let mut b = GraphBuilder::with_capacity(n, n);
+    let s = b.add_site(urls::site_host(0));
+    let pages: Vec<_> = (0..n).map(|_| b.add_page(s)).collect();
+    for i in 0..n {
+        b.add_link(pages[i], pages[(i + 1) % n]);
+        b.add_external_links(pages[i], ext);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(5);
+        assert_eq!(g.n_pages(), 5);
+        assert_eq!(g.n_internal_links(), 5);
+        assert!(g.dangling_pages().is_empty());
+        assert_eq!(g.out_links(3), &[4]);
+        assert_eq!(g.out_links(4), &[0]);
+    }
+
+    #[test]
+    fn chain_has_dangling_tail() {
+        let g = chain(4);
+        assert_eq!(g.n_internal_links(), 3);
+        assert_eq!(g.dangling_pages(), vec![3]);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(4);
+        assert_eq!(g.out_degree(0), 3);
+        assert_eq!(g.in_degrees()[0], 3);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(4);
+        assert_eq!(g.n_internal_links(), 12);
+        assert!(g.links().all(|(u, v)| u != v));
+    }
+
+    #[test]
+    fn two_cliques_cut() {
+        let g = two_cliques(3);
+        assert_eq!(g.n_sites(), 2);
+        assert_eq!(g.n_internal_links(), 2 * 6 + 2);
+        let inter = g
+            .links()
+            .filter(|&(u, v)| g.site(u) != g.site(v))
+            .count();
+        assert_eq!(inter, 2);
+    }
+
+    #[test]
+    fn leaky_cycle_leaks() {
+        let g = leaky_cycle(4, 2);
+        assert_eq!(g.n_external_links(), 8);
+        assert_eq!(g.out_degree(0), 3);
+        assert_eq!(g.internal_out_degree(0), 1);
+    }
+}

@@ -1,0 +1,263 @@
+//! The immutable [`WebGraph`] structure.
+
+use crate::urls;
+
+/// Index of a crawled page (dense, `0..n_pages`).
+pub type PageId = u32;
+
+/// Index of a web site (dense, `0..n_sites`). Sites are the unit the paper
+/// recommends partitioning by (§4.1): ~90% of a page's links stay inside its
+/// own site, so splitting at site granularity minimizes cut edges.
+pub type SiteId = u32;
+
+/// An immutable web link graph over a *crawled* page set.
+///
+/// The crawled set is an **open system**: pages link both to other crawled
+/// pages (internal links, stored in CSR adjacency) and to pages never
+/// crawled (external links, stored only as per-page counts — their
+/// destinations are unknown, but they still contribute to the out-degree
+/// `d(u)` that divides a page's rank in formula 2.1/3.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WebGraph {
+    /// `out_ptr[u]..out_ptr[u+1]` indexes `out_dst` for page `u`.
+    out_ptr: Vec<u64>,
+    /// Destination pages of internal links.
+    out_dst: Vec<PageId>,
+    /// Number of out-links per page whose destination is outside the crawl.
+    ext_out: Vec<u32>,
+    /// Site of each page.
+    site_of: Vec<SiteId>,
+    /// Number of pages per site (derived, kept for cheap queries).
+    site_sizes: Vec<u32>,
+    /// Site host names (e.g. `www.cs-0042.edu`).
+    site_names: Vec<String>,
+}
+
+impl WebGraph {
+    pub(crate) fn from_parts(
+        out_ptr: Vec<u64>,
+        out_dst: Vec<PageId>,
+        ext_out: Vec<u32>,
+        site_of: Vec<SiteId>,
+        site_names: Vec<String>,
+    ) -> Self {
+        let n = site_of.len();
+        assert_eq!(out_ptr.len(), n + 1);
+        assert_eq!(ext_out.len(), n);
+        assert_eq!(*out_ptr.last().unwrap_or(&0) as usize, out_dst.len());
+        let mut site_sizes = vec![0u32; site_names.len()];
+        for &s in &site_of {
+            site_sizes[s as usize] += 1;
+        }
+        Self { out_ptr, out_dst, ext_out, site_of, site_sizes, site_names }
+    }
+
+    /// Number of crawled pages.
+    #[must_use]
+    pub fn n_pages(&self) -> usize {
+        self.site_of.len()
+    }
+
+    /// Number of sites.
+    #[must_use]
+    pub fn n_sites(&self) -> usize {
+        self.site_names.len()
+    }
+
+    /// Number of internal links (both endpoints crawled).
+    #[must_use]
+    pub fn n_internal_links(&self) -> usize {
+        self.out_dst.len()
+    }
+
+    /// Number of links pointing outside the crawled set.
+    #[must_use]
+    pub fn n_external_links(&self) -> u64 {
+        self.ext_out.iter().map(|&c| u64::from(c)).sum()
+    }
+
+    /// Total out-links (internal + external) — the denominator universe of
+    /// `d(u)` summed over pages.
+    #[must_use]
+    pub fn n_total_links(&self) -> u64 {
+        self.n_internal_links() as u64 + self.n_external_links()
+    }
+
+    /// Internal out-links of page `u`.
+    #[must_use]
+    pub fn out_links(&self, u: PageId) -> &[PageId] {
+        let lo = self.out_ptr[u as usize] as usize;
+        let hi = self.out_ptr[u as usize + 1] as usize;
+        &self.out_dst[lo..hi]
+    }
+
+    /// Internal out-degree of `u`.
+    #[must_use]
+    pub fn internal_out_degree(&self, u: PageId) -> u32 {
+        (self.out_ptr[u as usize + 1] - self.out_ptr[u as usize]) as u32
+    }
+
+    /// External out-link count of `u`.
+    #[must_use]
+    pub fn external_out_degree(&self, u: PageId) -> u32 {
+        self.ext_out[u as usize]
+    }
+
+    /// The paper's `d(u)`: total out-degree including links that leave the
+    /// crawled set. A page with `d(u) = 0` is *dangling* and transmits no
+    /// rank in the open-system model.
+    #[must_use]
+    pub fn out_degree(&self, u: PageId) -> u32 {
+        self.internal_out_degree(u) + self.ext_out[u as usize]
+    }
+
+    /// Site of page `u`.
+    #[must_use]
+    pub fn site(&self, u: PageId) -> SiteId {
+        self.site_of[u as usize]
+    }
+
+    /// Host name of a site.
+    #[must_use]
+    pub fn site_name(&self, s: SiteId) -> &str {
+        &self.site_names[s as usize]
+    }
+
+    /// Pages on a site (count only; page lists can be derived by scanning).
+    #[must_use]
+    pub fn site_size(&self, s: SiteId) -> u32 {
+        self.site_sizes[s as usize]
+    }
+
+    /// The synthesized URL of a page (host from its site, deterministic path
+    /// from the page id). Average length ≈ 40 bytes, matching the constant
+    /// the paper takes from \[16\] for bandwidth accounting.
+    #[must_use]
+    pub fn url_of(&self, u: PageId) -> String {
+        urls::page_url(self.site_name(self.site_of[u as usize]), u)
+    }
+
+    /// Pages with `d(u) = 0` (no out-links at all).
+    #[must_use]
+    pub fn dangling_pages(&self) -> Vec<PageId> {
+        (0..self.n_pages() as u32).filter(|&u| self.out_degree(u) == 0).collect()
+    }
+
+    /// In-degree of every page (internal links only), computed by one scan.
+    #[must_use]
+    pub fn in_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.n_pages()];
+        for &v in &self.out_dst {
+            deg[v as usize] += 1;
+        }
+        deg
+    }
+
+    /// Fraction of internal links that stay within their source page's site.
+    /// Cho & Garcia-Molina \[16\] report ≈ 0.9 for real crawls; the paper's
+    /// §4.1 partitioning argument rests on this number.
+    #[must_use]
+    pub fn intra_site_fraction(&self) -> f64 {
+        if self.out_dst.is_empty() {
+            return 0.0;
+        }
+        let mut intra = 0u64;
+        for u in 0..self.n_pages() as u32 {
+            let su = self.site(u);
+            intra += self.out_links(u).iter().filter(|&&v| self.site(v) == su).count() as u64;
+        }
+        intra as f64 / self.out_dst.len() as f64
+    }
+
+    /// Iterates all internal links as `(from, to)` pairs.
+    pub fn links(&self) -> impl Iterator<Item = (PageId, PageId)> + '_ {
+        (0..self.n_pages() as u32)
+            .flat_map(move |u| self.out_links(u).iter().map(move |&v| (u, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+
+    #[test]
+    fn basic_accessors() {
+        let mut b = GraphBuilder::new();
+        let s0 = b.add_site("a.edu");
+        let s1 = b.add_site("b.edu");
+        let p0 = b.add_page(s0);
+        let p1 = b.add_page(s0);
+        let p2 = b.add_page(s1);
+        b.add_link(p0, p1);
+        b.add_link(p0, p2);
+        b.add_link(p1, p0);
+        b.add_external_links(p2, 3);
+        let g = b.build();
+
+        assert_eq!(g.n_pages(), 3);
+        assert_eq!(g.n_sites(), 2);
+        assert_eq!(g.n_internal_links(), 3);
+        assert_eq!(g.n_external_links(), 3);
+        assert_eq!(g.n_total_links(), 6);
+        assert_eq!(g.out_degree(p0), 2);
+        assert_eq!(g.out_degree(p2), 3);
+        assert_eq!(g.internal_out_degree(p2), 0);
+        assert_eq!(g.site(p2), s1);
+        assert_eq!(g.site_size(s0), 2);
+        assert_eq!(g.out_links(p0), &[p1, p2]);
+        assert!(g.dangling_pages().is_empty());
+    }
+
+    #[test]
+    fn dangling_detection() {
+        let mut b = GraphBuilder::new();
+        let s = b.add_site("a.edu");
+        let p0 = b.add_page(s);
+        let p1 = b.add_page(s);
+        b.add_link(p0, p1);
+        let g = b.build();
+        assert_eq!(g.dangling_pages(), vec![p1]);
+    }
+
+    #[test]
+    fn in_degrees_and_links_iterator() {
+        let mut b = GraphBuilder::new();
+        let s = b.add_site("a.edu");
+        let p: Vec<_> = (0..4).map(|_| b.add_page(s)).collect();
+        b.add_link(p[0], p[3]);
+        b.add_link(p[1], p[3]);
+        b.add_link(p[2], p[3]);
+        b.add_link(p[3], p[0]);
+        let g = b.build();
+        assert_eq!(g.in_degrees(), vec![1, 0, 0, 3]);
+        assert_eq!(g.links().count(), 4);
+    }
+
+    #[test]
+    fn intra_site_fraction() {
+        let mut b = GraphBuilder::new();
+        let s0 = b.add_site("a.edu");
+        let s1 = b.add_site("b.edu");
+        let a0 = b.add_page(s0);
+        let a1 = b.add_page(s0);
+        let b0 = b.add_page(s1);
+        b.add_link(a0, a1); // intra
+        b.add_link(a1, a0); // intra
+        b.add_link(a0, b0); // inter
+        b.add_link(b0, a0); // inter
+        let g = b.build();
+        assert!((g.intra_site_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn urls_are_deterministic_and_sized() {
+        let mut b = GraphBuilder::new();
+        let s = b.add_site("www.cs-0001.edu");
+        let p = b.add_page(s);
+        let g = b.build();
+        let u1 = g.url_of(p);
+        let u2 = g.url_of(p);
+        assert_eq!(u1, u2);
+        assert!(u1.starts_with("http://www.cs-0001.edu/"));
+    }
+}

@@ -1,0 +1,239 @@
+//! Plain-text serialization of [`WebGraph`]s.
+//!
+//! Format (line oriented, `#` comments allowed):
+//!
+//! ```text
+//! dpr-graph v1
+//! sites <n_sites>
+//! site <id> <host>
+//! pages <n_pages>
+//! page <id> <site_id> <ext_out>
+//! links <n_links>
+//! <from> <to>
+//! ```
+//!
+//! The format is intentionally simple and diff-friendly: experiment inputs
+//! can be inspected, edited, and version-controlled.
+
+use std::io::{self, BufRead, Write};
+
+use crate::builder::GraphBuilder;
+use crate::graph::WebGraph;
+
+/// Errors produced while parsing the text format.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem with the file, with a line number and message.
+    Format {
+        /// 1-based line number of the offending line (0 = end of file).
+        line: usize,
+        /// What was expected or found.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "io error: {e}"),
+            ParseError::Format { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Writes `g` in the v1 text format.
+pub fn write_graph<W: Write>(g: &WebGraph, mut w: W) -> io::Result<()> {
+    writeln!(w, "dpr-graph v1")?;
+    writeln!(w, "sites {}", g.n_sites())?;
+    for s in 0..g.n_sites() as u32 {
+        writeln!(w, "site {s} {}", g.site_name(s))?;
+    }
+    writeln!(w, "pages {}", g.n_pages())?;
+    for p in 0..g.n_pages() as u32 {
+        writeln!(w, "page {p} {} {}", g.site(p), g.external_out_degree(p))?;
+    }
+    writeln!(w, "links {}", g.n_internal_links())?;
+    for (u, v) in g.links() {
+        writeln!(w, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Reads a graph in the v1 text format.
+pub fn read_graph<R: BufRead>(r: R) -> Result<WebGraph, ParseError> {
+    let mut lines = r
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l))
+        .filter(|(_, l)| match l {
+            Ok(s) => !s.trim().is_empty() && !s.trim_start().starts_with('#'),
+            Err(_) => true,
+        });
+
+    let mut next = |what: &str| -> Result<(usize, String), ParseError> {
+        match lines.next() {
+            Some((n, Ok(l))) => Ok((n, l)),
+            Some((_, Err(e))) => Err(e.into()),
+            None => Err(ParseError::Format { line: 0, message: format!("missing {what}") }),
+        }
+    };
+
+    let (n, header) = next("header")?;
+    if header.trim() != "dpr-graph v1" {
+        return Err(ParseError::Format { line: n, message: format!("bad header {header:?}") });
+    }
+
+    let parse_count = |line: usize, text: &str, key: &str| -> Result<usize, ParseError> {
+        let mut it = text.split_whitespace();
+        match (it.next(), it.next().map(str::parse::<usize>)) {
+            (Some(k), Some(Ok(v))) if k == key => Ok(v),
+            _ => Err(ParseError::Format {
+                line,
+                message: format!("expected `{key} <count>`, got {text:?}"),
+            }),
+        }
+    };
+
+    let mut b = GraphBuilder::new();
+
+    let (n, l) = next("sites")?;
+    let n_sites = parse_count(n, &l, "sites")?;
+    for _ in 0..n_sites {
+        let (n, l) = next("site line")?;
+        let mut it = l.split_whitespace();
+        let (kw, id, host) = (it.next(), it.next(), it.next());
+        match (kw, id.map(str::parse::<u32>), host) {
+            (Some("site"), Some(Ok(id)), Some(host)) => {
+                let got = b.add_site(host.to_string());
+                if got != id {
+                    return Err(ParseError::Format {
+                        line: n,
+                        message: format!("non-sequential site id {id}, expected {got}"),
+                    });
+                }
+            }
+            _ => {
+                return Err(ParseError::Format { line: n, message: format!("bad site line {l:?}") })
+            }
+        }
+    }
+
+    let (n, l) = next("pages")?;
+    let n_pages = parse_count(n, &l, "pages")?;
+    for _ in 0..n_pages {
+        let (n, l) = next("page line")?;
+        let mut it = l.split_whitespace();
+        match (
+            it.next(),
+            it.next().map(str::parse::<u32>),
+            it.next().map(str::parse::<u32>),
+            it.next().map(str::parse::<u32>),
+        ) {
+            (Some("page"), Some(Ok(id)), Some(Ok(site)), Some(Ok(ext))) => {
+                let got = b.add_page(site);
+                if got != id {
+                    return Err(ParseError::Format {
+                        line: n,
+                        message: format!("non-sequential page id {id}, expected {got}"),
+                    });
+                }
+                b.add_external_links(id, ext);
+            }
+            _ => {
+                return Err(ParseError::Format { line: n, message: format!("bad page line {l:?}") })
+            }
+        }
+    }
+
+    let (n, l) = next("links")?;
+    let n_links = parse_count(n, &l, "links")?;
+    for _ in 0..n_links {
+        let (n, l) = next("link line")?;
+        let mut it = l.split_whitespace();
+        match (it.next().map(str::parse::<u32>), it.next().map(str::parse::<u32>)) {
+            (Some(Ok(u)), Some(Ok(v))) => b.add_link(u, v),
+            _ => {
+                return Err(ParseError::Format { line: n, message: format!("bad link line {l:?}") })
+            }
+        }
+    }
+
+    Ok(b.build())
+}
+
+/// Writes `g` to a file path.
+pub fn save(g: &WebGraph, path: impl AsRef<std::path::Path>) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_graph(g, io::BufWriter::new(f))
+}
+
+/// Reads a graph from a file path.
+pub fn load(path: impl AsRef<std::path::Path>) -> Result<WebGraph, ParseError> {
+    let f = std::fs::File::open(path)?;
+    read_graph(io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{random, toy};
+
+    fn roundtrip(g: &WebGraph) -> WebGraph {
+        let mut buf = Vec::new();
+        write_graph(g, &mut buf).unwrap();
+        read_graph(buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_toy() {
+        let g = toy::two_cliques(4);
+        assert_eq!(roundtrip(&g), g);
+    }
+
+    #[test]
+    fn roundtrip_leaky() {
+        let g = toy::leaky_cycle(7, 3);
+        assert_eq!(roundtrip(&g), g);
+    }
+
+    #[test]
+    fn roundtrip_random() {
+        let g = random::erdos_renyi(300, 7, 4.5, 11);
+        assert_eq!(roundtrip(&g), g);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let g = toy::cycle(3);
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let noisy = format!("# a comment\n\n{}\n# trailing\n", text);
+        assert_eq!(read_graph(noisy.as_bytes()).unwrap(), g);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let err = read_graph("not-a-graph\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ParseError::Format { .. }));
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let g = toy::cycle(3);
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 4);
+        assert!(read_graph(buf.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! Web link graphs for distributed page ranking.
+//!
+//! The paper's experiments run over a crawl of ~1M pages from 100 `.edu`
+//! sites with 15M hyperlinks, of which only 7M stay inside the crawled set
+//! (the rest point at pages the crawler never fetched). This crate models
+//! exactly that world:
+//!
+//! * [`WebGraph`] — an immutable CSR adjacency structure where every page
+//!   belongs to a *site* and may carry **external** out-links (links whose
+//!   destination is outside the crawled set — the source of the paper's
+//!   "rank leakage", Fig 7's average rank ≈ 0.3),
+//! * [`GraphBuilder`] — incremental construction,
+//! * [`generators`] — deterministic toy graphs, Erdős–Rényi, a
+//!   copy-model/preferential-attachment generator, and
+//!   [`generators::edu_domain`], the configurable synthesizer that stands in
+//!   for the no-longer-distributed Google programming-contest dataset,
+//! * [`urls`] — the URL model (avg ≈ 40-byte URLs, per Cho & Garcia-Molina
+//!   \[16\]) used for byte-accounting in the transport layer,
+//! * [`io`] — a plain-text edge-list format with site structure,
+//! * [`refresh`] — crawl-refresh simulation (pages re-crawled and re-divided,
+//!   the scenario that makes random partitioning unstable in §4.1).
+
+//!
+//! # Example
+//!
+//! ```
+//! use dpr_graph::GraphBuilder;
+//!
+//! let mut b = GraphBuilder::new();
+//! let site = b.add_site("www.cs-0001.edu");
+//! let home = b.add_page(site);
+//! let paper = b.add_page(site);
+//! b.add_link(home, paper);
+//! b.add_external_links(paper, 2); // links leaving the crawl
+//! let g = b.build();
+//!
+//! assert_eq!(g.out_degree(paper), 2);           // d(u) counts external links
+//! assert_eq!(g.internal_out_degree(paper), 0);
+//! assert!(g.url_of(home).starts_with("http://www.cs-0001.edu/"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod builder;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod refresh;
+pub mod stats;
+pub mod urls;
+
+pub use builder::GraphBuilder;
+pub use graph::{PageId, SiteId, WebGraph};
+pub use stats::GraphStats;

@@ -1,0 +1,149 @@
+//! Crawl-refresh simulation.
+//!
+//! §4.1: "As crawler(s) may revisit pages in order to detect changes and
+//! refresh the downloaded collection, one page may participate in dividing
+//! more than one time. The random dividing strategy doesn't fulfill this
+//! need for taking the risk of sending a page to different page rankers on
+//! different times."
+//!
+//! [`recrawl`] produces a new [`WebGraph`] in which a fraction of pages have
+//! changed their out-links (and some new pages appeared), while page
+//! *identity* — the URL — is preserved. Partition strategies are then
+//! evaluated on whether a surviving page keeps its ranker assignment.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::graph::{PageId, WebGraph};
+
+/// What changed between two crawls (page ids refer to the *new* graph; the
+/// first `old.n_pages()` ids are carried over 1:1 from the old crawl).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecrawlReport {
+    /// Pages whose out-link set changed.
+    pub changed_pages: Vec<PageId>,
+    /// Ids of pages added by the new crawl (all ≥ `old.n_pages()`).
+    pub new_pages: Vec<PageId>,
+}
+
+/// Re-crawls `old`: each page's link set is regenerated with probability
+/// `change_prob`, and `growth_frac · n_pages` new pages are appended to
+/// random existing sites. Page ids (and therefore URLs) of surviving pages
+/// are unchanged.
+#[must_use]
+pub fn recrawl(
+    old: &WebGraph,
+    change_prob: f64,
+    growth_frac: f64,
+    seed: u64,
+) -> (WebGraph, RecrawlReport) {
+    assert!((0.0..=1.0).contains(&change_prob));
+    assert!(growth_frac >= 0.0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n_old = old.n_pages();
+    let n_new = (n_old as f64 * growth_frac).round() as usize;
+    let n_total = n_old + n_new;
+
+    let mut b = GraphBuilder::with_capacity(n_total, old.n_internal_links());
+    for s in 0..old.n_sites() as u32 {
+        b.add_site(old.site_name(s).to_string());
+    }
+    for p in 0..n_old as u32 {
+        let id = b.add_page(old.site(p));
+        debug_assert_eq!(id, p);
+    }
+    let mut new_pages = Vec::with_capacity(n_new);
+    for _ in 0..n_new {
+        let site = rng.gen_range(0..old.n_sites()) as u32;
+        new_pages.push(b.add_page(site));
+    }
+
+    let mut changed_pages = Vec::new();
+    for p in 0..n_old as u32 {
+        if rng.gen_bool(change_prob) {
+            changed_pages.push(p);
+            // Regenerate: same total degree, fresh random internal targets.
+            let d = old.out_degree(p);
+            let internal = old.internal_out_degree(p);
+            let mut external = d - internal;
+            for _ in 0..internal {
+                if n_total < 2 {
+                    // No possible non-self target: the link now points
+                    // outside the crawl (total degree is preserved).
+                    external += 1;
+                    continue;
+                }
+                let mut v = rng.gen_range(0..n_total as u32);
+                while v == p {
+                    v = rng.gen_range(0..n_total as u32);
+                }
+                b.add_link(p, v);
+            }
+            b.add_external_links(p, external);
+        } else {
+            for &v in old.out_links(p) {
+                b.add_link(p, v);
+            }
+            b.add_external_links(p, old.external_out_degree(p));
+        }
+    }
+    // New pages link mostly within their own graph neighbourhood.
+    if n_total >= 2 {
+        for &p in &new_pages {
+            for _ in 0..5 {
+                let mut v = rng.gen_range(0..n_total as u32);
+                while v == p {
+                    v = rng.gen_range(0..n_total as u32);
+                }
+                b.add_link(p, v);
+            }
+        }
+    }
+
+    (b.build(), RecrawlReport { changed_pages, new_pages })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::toy;
+
+    #[test]
+    fn identity_recrawl_preserves_graph() {
+        let g = toy::two_cliques(4);
+        let (g2, report) = recrawl(&g, 0.0, 0.0, 1);
+        assert_eq!(g2, g);
+        assert!(report.changed_pages.is_empty());
+        assert!(report.new_pages.is_empty());
+    }
+
+    #[test]
+    fn growth_appends_pages() {
+        let g = toy::cycle(10);
+        let (g2, report) = recrawl(&g, 0.0, 0.5, 2);
+        assert_eq!(g2.n_pages(), 15);
+        assert_eq!(report.new_pages, vec![10, 11, 12, 13, 14]);
+        // Old pages keep sites and URLs.
+        for p in 0..10u32 {
+            assert_eq!(g2.site(p), g.site(p));
+            assert_eq!(g2.url_of(p), g.url_of(p));
+        }
+    }
+
+    #[test]
+    fn change_preserves_total_degree() {
+        let g = toy::leaky_cycle(20, 2);
+        let (g2, report) = recrawl(&g, 1.0, 0.0, 3);
+        assert_eq!(report.changed_pages.len(), 20);
+        for p in 0..20u32 {
+            assert_eq!(g2.out_degree(p), g.out_degree(p), "degree of page {p}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = toy::cycle(30);
+        assert_eq!(recrawl(&g, 0.3, 0.1, 7), recrawl(&g, 0.3, 0.1, 7));
+    }
+}

@@ -1,0 +1,108 @@
+//! Summary statistics over a [`WebGraph`].
+
+use crate::graph::WebGraph;
+
+/// A one-shot statistical summary of a link graph, matching the properties
+/// the paper reports for its dataset (page/site/link counts, leak fraction,
+/// intra-site fraction).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Crawled pages.
+    pub n_pages: usize,
+    /// Sites.
+    pub n_sites: usize,
+    /// Links with both endpoints crawled.
+    pub n_internal_links: usize,
+    /// Links leaving the crawled set.
+    pub n_external_links: u64,
+    /// `internal / (internal + external)` — the paper's 7M/15M ≈ 0.467.
+    pub internal_fraction: f64,
+    /// Of internal links, fraction staying on the source's site.
+    pub intra_site_fraction: f64,
+    /// Mean total out-degree `d(u)`.
+    pub mean_out_degree: f64,
+    /// Pages with `d(u) = 0`.
+    pub n_dangling: usize,
+    /// Largest internal in-degree.
+    pub max_in_degree: u32,
+    /// Largest / smallest site size (skew indicator).
+    pub max_site_size: u32,
+    /// Smallest site size.
+    pub min_site_size: u32,
+}
+
+impl GraphStats {
+    /// Computes all statistics in O(pages + links).
+    #[must_use]
+    pub fn compute(g: &WebGraph) -> Self {
+        let n_pages = g.n_pages();
+        let n_internal = g.n_internal_links();
+        let n_external = g.n_external_links();
+        let total = n_internal as u64 + n_external;
+        let in_deg = g.in_degrees();
+        let site_sizes: Vec<u32> = (0..g.n_sites() as u32).map(|s| g.site_size(s)).collect();
+        Self {
+            n_pages,
+            n_sites: g.n_sites(),
+            n_internal_links: n_internal,
+            n_external_links: n_external,
+            internal_fraction: if total == 0 { 0.0 } else { n_internal as f64 / total as f64 },
+            intra_site_fraction: g.intra_site_fraction(),
+            mean_out_degree: if n_pages == 0 { 0.0 } else { total as f64 / n_pages as f64 },
+            n_dangling: g.dangling_pages().len(),
+            max_in_degree: in_deg.iter().copied().max().unwrap_or(0),
+            max_site_size: site_sizes.iter().copied().max().unwrap_or(0),
+            min_site_size: site_sizes.iter().copied().min().unwrap_or(0),
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "pages:              {}", self.n_pages)?;
+        writeln!(f, "sites:              {}", self.n_sites)?;
+        writeln!(f, "internal links:     {}", self.n_internal_links)?;
+        writeln!(f, "external links:     {}", self.n_external_links)?;
+        writeln!(f, "internal fraction:  {:.3}", self.internal_fraction)?;
+        writeln!(f, "intra-site frac:    {:.3}", self.intra_site_fraction)?;
+        writeln!(f, "mean out-degree:    {:.2}", self.mean_out_degree)?;
+        writeln!(f, "dangling pages:     {}", self.n_dangling)?;
+        writeln!(f, "max in-degree:      {}", self.max_in_degree)?;
+        write!(f, "site sizes:         {}..{}", self.min_site_size, self.max_site_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::toy;
+
+    #[test]
+    fn stats_on_cycle() {
+        let s = GraphStats::compute(&toy::cycle(10));
+        assert_eq!(s.n_pages, 10);
+        assert_eq!(s.n_internal_links, 10);
+        assert_eq!(s.n_external_links, 0);
+        assert_eq!(s.internal_fraction, 1.0);
+        assert_eq!(s.mean_out_degree, 1.0);
+        assert_eq!(s.n_dangling, 0);
+        assert_eq!(s.max_in_degree, 1);
+    }
+
+    #[test]
+    fn stats_on_leaky_cycle() {
+        let s = GraphStats::compute(&toy::leaky_cycle(10, 2));
+        assert_eq!(s.n_external_links, 20);
+        assert!((s.internal_fraction - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.mean_out_degree, 3.0);
+    }
+
+    #[test]
+    fn display_is_complete() {
+        let s = GraphStats::compute(&toy::star(5));
+        let text = s.to_string();
+        for key in ["pages:", "sites:", "internal links:", "dangling", "site sizes:"] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+    }
+}

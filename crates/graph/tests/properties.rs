@@ -1,0 +1,118 @@
+//! Property tests for the graph substrate: builder/IO round-trips, stats
+//! consistency, and generator invariants over randomized configurations.
+
+use dpr_graph::generators::edu::{edu_domain, EduDomainConfig};
+use dpr_graph::generators::random;
+use dpr_graph::refresh::recrawl;
+use dpr_graph::{GraphBuilder, GraphStats, WebGraph};
+use proptest::prelude::*;
+
+/// Arbitrary small graph: sites, page→site assignment, links, ext counts.
+fn arb_graph() -> impl Strategy<Value = WebGraph> {
+    (1usize..6, 1usize..40).prop_flat_map(|(n_sites, n_pages)| {
+        let links = prop::collection::vec((0..n_pages as u32, 0..n_pages as u32), 0..120);
+        let ext = prop::collection::vec(0u32..4, n_pages);
+        let sites = prop::collection::vec(0..n_sites as u32, n_pages);
+        (Just(n_sites), sites, links, ext).prop_map(|(n_sites, sites, links, ext)| {
+            let mut b = GraphBuilder::new();
+            for s in 0..n_sites {
+                b.add_site(format!("www.s{s}.edu"));
+            }
+            for &s in &sites {
+                b.add_page(s);
+            }
+            for &(u, v) in &links {
+                b.add_link(u, v);
+            }
+            for (p, &e) in ext.iter().enumerate() {
+                b.add_external_links(p as u32, e);
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn io_roundtrip(g in arb_graph()) {
+        let mut buf = Vec::new();
+        dpr_graph::io::write_graph(&g, &mut buf).unwrap();
+        let back = dpr_graph::io::read_graph(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn degree_bookkeeping_consistent(g in arb_graph()) {
+        let total_internal: u64 =
+            (0..g.n_pages() as u32).map(|p| u64::from(g.internal_out_degree(p))).sum();
+        prop_assert_eq!(total_internal, g.n_internal_links() as u64);
+        let total: u64 = (0..g.n_pages() as u32).map(|p| u64::from(g.out_degree(p))).sum();
+        prop_assert_eq!(total, g.n_total_links());
+        // In-degrees sum to internal link count too.
+        let in_sum: u64 = g.in_degrees().iter().map(|&d| u64::from(d)).sum();
+        prop_assert_eq!(in_sum, g.n_internal_links() as u64);
+    }
+
+    #[test]
+    fn stats_agree_with_direct_queries(g in arb_graph()) {
+        let s = GraphStats::compute(&g);
+        prop_assert_eq!(s.n_pages, g.n_pages());
+        prop_assert_eq!(s.n_internal_links, g.n_internal_links());
+        prop_assert_eq!(s.n_external_links, g.n_external_links());
+        prop_assert_eq!(s.n_dangling, g.dangling_pages().len());
+        prop_assert!(s.intra_site_fraction >= 0.0 && s.intra_site_fraction <= 1.0);
+    }
+
+    #[test]
+    fn out_links_sorted_and_in_range(g in arb_graph()) {
+        for p in 0..g.n_pages() as u32 {
+            let links = g.out_links(p);
+            prop_assert!(links.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert!(links.iter().all(|&v| (v as usize) < g.n_pages()));
+        }
+    }
+
+    #[test]
+    fn recrawl_preserves_identity_of_surviving_pages(
+        g in arb_graph(),
+        change in 0.0f64..1.0,
+        seed in 0u64..500,
+    ) {
+        prop_assume!(g.n_pages() > 0);
+        let (g2, report) = recrawl(&g, change, 0.2, seed);
+        prop_assert!(g2.n_pages() >= g.n_pages());
+        for p in 0..g.n_pages() as u32 {
+            prop_assert_eq!(g2.site(p), g.site(p));
+            prop_assert_eq!(g2.url_of(p), g.url_of(p));
+            // Total degree preserved even for changed pages.
+            prop_assert_eq!(g2.out_degree(p), g.out_degree(p));
+        }
+        for &p in &report.new_pages {
+            prop_assert!((p as usize) >= g.n_pages());
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_structure(n in 2usize..200, sites in 1usize..8, seed in 0u64..100) {
+        let g = random::erdos_renyi(n, sites, 3.0, seed);
+        prop_assert_eq!(g.n_pages(), n);
+        prop_assert_eq!(g.n_sites(), sites);
+        prop_assert!(g.links().all(|(u, v)| u != v));
+    }
+
+    #[test]
+    fn edu_domain_internal_fraction_tracks_config(
+        frac in 0.2f64..0.8,
+        seed in 0u64..50,
+    ) {
+        let g = edu_domain(&EduDomainConfig {
+            n_pages: 3_000,
+            n_sites: 20,
+            internal_fraction: frac,
+            seed,
+            ..EduDomainConfig::default()
+        });
+        let measured = g.n_internal_links() as f64 / g.n_total_links() as f64;
+        prop_assert!((measured - frac).abs() < 0.08, "measured {measured} vs cfg {frac}");
+    }
+}

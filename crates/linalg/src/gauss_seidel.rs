@@ -1,0 +1,258 @@
+//! Gauss–Seidel iteration for `x = A·x + f`.
+//!
+//! The paper's convergence theory (§3) comes from Axelsson's *Iterative
+//! Solution Methods* \[7\], which treats the whole family of splitting
+//! methods. The Jacobi-style sweep in [`FixedPointSolver`](crate::solver)
+//! matches what a *distributed* ranker must do — it only has last
+//! iteration's values of remote pages — but a *centralized* ranker is free
+//! to use within-sweep updates: Gauss–Seidel consumes `x_j^{(k+1)}` for
+//! `j` already updated in the current sweep, and for non-negative
+//! contractions converges at least as fast as Jacobi (often ~2× on link
+//! graphs). This module provides it as the centralized ablation; the gap
+//! between the two is precisely the price of distribution paid per
+//! iteration.
+
+use crate::csr::Csr;
+use crate::solver::SolveReport;
+use crate::theory;
+use crate::vec_ops;
+
+/// Configuration for Gauss–Seidel / SOR sweeps.
+#[derive(Debug, Clone, Copy)]
+pub struct GaussSeidelSolver {
+    /// Stop when `‖xᵢ₊₁ − xᵢ‖₁ ≤ tolerance` (sweep-to-sweep difference).
+    pub tolerance: f64,
+    /// Hard sweep cap.
+    pub max_iters: usize,
+    /// Relaxation factor ω: 1.0 = plain Gauss–Seidel; `1 < ω < 2`
+    /// over-relaxes (SOR), which can further shrink the spectral radius on
+    /// smoothly converging systems; `0 < ω < 1` under-relaxes (damping for
+    /// oscillatory components).
+    pub omega: f64,
+}
+
+impl Default for GaussSeidelSolver {
+    fn default() -> Self {
+        Self { tolerance: 1e-10, max_iters: 10_000, omega: 1.0 }
+    }
+}
+
+impl GaussSeidelSolver {
+    /// Creates a solver with the given tolerance.
+    #[must_use]
+    pub fn new(tolerance: f64) -> Self {
+        Self { tolerance, ..Self::default() }
+    }
+
+    /// Solves `x = A·x + f` in place with forward Gauss–Seidel sweeps.
+    ///
+    /// Handles diagonal entries exactly: row `i` reads
+    /// `x_i = Σ_{j<i} a_ij·x_j^{new} + a_ii·x_i + Σ_{j>i} a_ij·x_j^{old} + f_i`,
+    /// solved for `x_i` as `x_i = (rhs_without_diag + f_i) / (1 − a_ii)`
+    /// (requires `|a_ii| < 1`, implied by the contraction premise).
+    ///
+    /// # Panics
+    /// If dimensions are inconsistent or some `a_ii ≥ 1`.
+    pub fn solve(&self, a: &Csr, f: &[f64], x: &mut [f64]) -> SolveReport {
+        let n = a.n_rows();
+        assert_eq!(a.n_cols(), n, "Gauss–Seidel needs a square matrix");
+        assert_eq!(f.len(), n);
+        assert_eq!(x.len(), n);
+        assert!(
+            self.omega > 0.0 && self.omega < 2.0,
+            "SOR requires 0 < omega < 2, got {}",
+            self.omega
+        );
+
+        let mut iters = 0usize;
+        let mut delta = f64::INFINITY;
+        while iters < self.max_iters {
+            delta = 0.0;
+            for i in 0..n {
+                let mut acc = f[i];
+                let mut diag = 0.0;
+                for (j, v) in a.row(i) {
+                    if j == i {
+                        diag += v;
+                    } else {
+                        acc += v * x[j];
+                    }
+                }
+                assert!(diag < 1.0 - 1e-12, "diagonal entry {diag} breaks the GS update");
+                let gs = acc / (1.0 - diag);
+                let new = (1.0 - self.omega) * x[i] + self.omega * gs;
+                delta += (new - x[i]).abs();
+                x[i] = new;
+            }
+            iters += 1;
+            if delta <= self.tolerance {
+                break;
+            }
+        }
+        SolveReport {
+            iterations: iters,
+            final_delta: delta,
+            converged: delta <= self.tolerance,
+            error_bound: theory::contraction_error_bound(
+                a.inf_norm().min(a.one_norm()),
+                delta,
+            ),
+        }
+    }
+}
+
+/// Iteration counts of Jacobi vs Gauss–Seidel on the same system (for the
+/// ablation bench). Asserts both reached the same fixed point.
+#[must_use]
+pub fn sweep_comparison(a: &Csr, f: &[f64], tolerance: f64) -> (usize, usize) {
+    let mut xj = vec![0.0; f.len()];
+    let j = crate::solver::FixedPointSolver { tolerance, max_iters: 100_000, parallel: false }
+        .solve(a, f, &mut xj);
+    let mut xg = vec![0.0; f.len()];
+    let g = GaussSeidelSolver { tolerance, max_iters: 100_000, ..GaussSeidelSolver::default() }
+        .solve(a, f, &mut xg);
+    debug_assert!(
+        vec_ops::l1_diff(&xj, &xg) < tolerance * 1e3,
+        "Jacobi and Gauss–Seidel disagree"
+    );
+    (j.iterations, g.iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triplet::TripletMatrix;
+
+    fn chain_system(n: usize, w: f64) -> (Csr, Vec<f64>) {
+        // x_i = w·x_{i-1} + 1 — strongly sequential, the GS best case.
+        let mut t = TripletMatrix::new(n, n);
+        for i in 1..n {
+            t.push(i, i - 1, w);
+        }
+        (t.to_csr(), vec![1.0; n])
+    }
+
+    #[test]
+    fn converges_to_the_jacobi_fixed_point() {
+        let (a, f) = chain_system(12, 0.9);
+        let mut xg = vec![0.0; 12];
+        let report = GaussSeidelSolver::new(1e-12).solve(&a, &f, &mut xg);
+        assert!(report.converged);
+        let mut xj = vec![0.0; 12];
+        crate::solver::FixedPointSolver::new(1e-12).solve(&a, &f, &mut xj);
+        for (g, j) in xg.iter().zip(&xj) {
+            assert!((g - j).abs() < 1e-8, "{g} vs {j}");
+        }
+    }
+
+    #[test]
+    fn sequential_chain_solved_in_one_sweep() {
+        // Forward GS propagates the whole chain in a single sweep; Jacobi
+        // needs ~n sweeps.
+        let (a, f) = chain_system(30, 0.9);
+        let (jacobi, gs) = sweep_comparison(&a, &f, 1e-10);
+        assert!(gs <= 2, "GS took {gs} sweeps on a forward chain");
+        assert!(jacobi > 10 * gs, "jacobi {jacobi} vs gs {gs}");
+    }
+
+    #[test]
+    fn handles_diagonal_entries() {
+        // x0 = 0.5·x0 + 1 ⇒ x0 = 2.
+        let mut t = TripletMatrix::new(1, 1);
+        t.push(0, 0, 0.5);
+        let a = t.to_csr();
+        let mut x = vec![0.0];
+        let report = GaussSeidelSolver::new(1e-12).solve(&a, &[1.0], &mut x);
+        assert!(report.converged);
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        // And in a single sweep — the diagonal is solved exactly.
+        assert!(report.iterations <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal entry")]
+    fn rejects_unit_diagonal() {
+        let mut t = TripletMatrix::new(1, 1);
+        t.push(0, 0, 1.0);
+        let a = t.to_csr();
+        let mut x = vec![0.0];
+        let _ = GaussSeidelSolver::default().solve(&a, &[1.0], &mut x);
+    }
+
+    #[test]
+    fn never_slower_than_jacobi_on_nonneg_systems() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let n = rng.gen_range(3..20);
+            let mut t = TripletMatrix::new(n, n);
+            for i in 0..n {
+                for _ in 0..3 {
+                    let j = rng.gen_range(0..n);
+                    t.push(i, j, rng.gen_range(0.0..0.25));
+                }
+            }
+            let a = t.to_csr();
+            if a.inf_norm() >= 1.0 {
+                continue;
+            }
+            let f: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let (jacobi, gs) = sweep_comparison(&a, &f, 1e-10);
+            assert!(gs <= jacobi, "GS {gs} slower than Jacobi {jacobi}");
+        }
+    }
+
+    #[test]
+    fn empty_system() {
+        let a = Csr::zero(0, 0);
+        let mut x: Vec<f64> = vec![];
+        assert!(GaussSeidelSolver::default().solve(&a, &[], &mut x).converged);
+    }
+
+    #[test]
+    fn sor_omega_one_equals_gauss_seidel() {
+        let (a, f) = chain_system(10, 0.8);
+        let mut x1 = vec![0.0; 10];
+        let mut x2 = vec![0.0; 10];
+        GaussSeidelSolver::new(1e-12).solve(&a, &f, &mut x1);
+        GaussSeidelSolver { omega: 1.0, ..GaussSeidelSolver::new(1e-12) }.solve(&a, &f, &mut x2);
+        assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn over_relaxation_converges_to_the_same_point() {
+        // A lower-triangular system: SOR's iteration matrix has spectral
+        // radius |1 − ω|, so any 0 < ω < 2 converges and we can exercise
+        // both under- and over-relaxation. (On matrices with complex
+        // eigenvalues aggressive ω may diverge — ω is a tunable, not a
+        // default, for exactly that reason.)
+        let mut t = TripletMatrix::new(6, 6);
+        for i in 1..6 {
+            t.push(i, i - 1, 0.45);
+            t.push(i, i, 0.3);
+        }
+        let a = t.to_csr();
+        let f = vec![1.0; 6];
+        let mut plain = vec![0.0; 6];
+        GaussSeidelSolver::new(1e-12).solve(&a, &f, &mut plain);
+        // Mild relaxation either side of 1; aggressive omega can diverge
+        // when the iteration matrix has complex eigenvalues, which is why
+        // omega stays a tunable rather than a default.
+        for omega in [0.5, 1.1, 1.25] {
+            let mut x = vec![0.0; 6];
+            let r = GaussSeidelSolver { omega, ..GaussSeidelSolver::new(1e-12) }
+                .solve(&a, &f, &mut x);
+            assert!(r.converged, "omega {omega} failed to converge");
+            assert!(vec_ops::l1_diff(&x, &plain) < 1e-8, "omega {omega} wrong fixed point");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "SOR requires")]
+    fn omega_out_of_range_rejected() {
+        let (a, f) = chain_system(3, 0.5);
+        let mut x = vec![0.0; 3];
+        let _ = GaussSeidelSolver { omega: 2.5, ..GaussSeidelSolver::default() }
+            .solve(&a, &f, &mut x);
+    }
+}

@@ -1,0 +1,53 @@
+//! Sparse linear-algebra substrate for distributed page ranking.
+//!
+//! The PageRank family of algorithms reduces to fixed-point iteration on a
+//! sparse linear system `x = Ax + f` where `A` is a (sub-stochastic) link
+//! matrix. This crate provides the pieces the paper's algorithms are built
+//! from:
+//!
+//! * [`Csr`] — compressed sparse row matrices with sequential and
+//!   [Rayon]-parallel matrix–vector products,
+//! * [`vec_ops`] — the dense-vector kernels (norms, axpy, differences) used
+//!   by every iteration loop,
+//! * [`solver`] — the Jacobi-style fixed-point solver of Algorithm 2
+//!   (`GroupPageRank`), with termination based on the `‖x_m − x_{m−1}‖`
+//!   criterion that Theorem 3.3 justifies,
+//! * [`theory`] — executable forms of Theorems 3.1–3.3 and the appendix
+//!   lemmas (spectral-radius bounds, contraction error bounds,
+//!   non-negativity and monotonicity of the fixed point).
+//!
+//! [Rayon]: https://docs.rs/rayon
+//!
+//! # Example
+//!
+//! ```
+//! use dpr_linalg::{FixedPointSolver, TripletMatrix};
+//!
+//! // x = [[0.5, 0], [0.25, 0.25]]·x + [1, 1]  ⇒  x* = [2, 2]
+//! let mut t = TripletMatrix::new(2, 2);
+//! t.push(0, 0, 0.5);
+//! t.push(1, 0, 0.25);
+//! t.push(1, 1, 0.25);
+//! let a = t.to_csr();
+//!
+//! let mut x = vec![0.0, 0.0];
+//! let report = FixedPointSolver::new(1e-12).solve(&a, &[1.0, 1.0], &mut x);
+//! assert!(report.converged);
+//! assert!((x[0] - 2.0).abs() < 1e-9 && (x[1] - 2.0).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod accel;
+pub mod csr;
+pub mod gauss_seidel;
+pub mod solver;
+pub mod theory;
+pub mod triplet;
+pub mod vec_ops;
+
+pub use accel::AitkenSolver;
+pub use csr::Csr;
+pub use gauss_seidel::GaussSeidelSolver;
+pub use solver::{FixedPointSolver, SolveReport};
+pub use triplet::TripletMatrix;

@@ -1,0 +1,226 @@
+//! Fixed-point solver for `x = A·x + f`.
+//!
+//! This is the computational heart of Algorithm 2 (`GroupPageRank`): each
+//! page group repeatedly applies `R ← A·R + (βE + X)` until the successive
+//! difference `‖Rᵢ₊₁ − Rᵢ‖₁` drops below a tolerance. Theorem 3.1 guarantees
+//! convergence whenever `ρ(A) < 1`, Theorem 3.2 reduces that to the checkable
+//! `‖A‖∞ < 1`, and Theorem 3.3 turns the successive difference into a bound
+//! on the true error — which is why the stopping rule is sound.
+
+use crate::csr::Csr;
+use crate::theory;
+use crate::vec_ops;
+
+/// Configuration for the Jacobi-style fixed-point iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedPointSolver {
+    /// Stop when `‖xᵢ₊₁ − xᵢ‖₁ ≤ tolerance`.
+    pub tolerance: f64,
+    /// Hard iteration cap (guards against a caller passing `‖A‖∞ ≥ 1`).
+    pub max_iters: usize,
+    /// Use the Rayon-parallel SpMV kernel.
+    pub parallel: bool,
+}
+
+impl Default for FixedPointSolver {
+    fn default() -> Self {
+        Self { tolerance: 1e-10, max_iters: 10_000, parallel: false }
+    }
+}
+
+/// Outcome of a fixed-point solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveReport {
+    /// Number of `x ← Ax + f` applications performed.
+    pub iterations: usize,
+    /// Final successive difference `‖xᵢ₊₁ − xᵢ‖₁`.
+    pub final_delta: f64,
+    /// Whether `final_delta ≤ tolerance` was reached within `max_iters`.
+    pub converged: bool,
+    /// Theorem 3.3 upper bound on `‖x* − x_m‖` from the final delta, or
+    /// `None` when `‖A‖∞ ≥ 1` (bound inapplicable).
+    pub error_bound: Option<f64>,
+}
+
+impl FixedPointSolver {
+    /// Creates a solver with the given tolerance and default limits.
+    #[must_use]
+    pub fn new(tolerance: f64) -> Self {
+        Self { tolerance, ..Self::default() }
+    }
+
+    /// Solves `x = A·x + f` in place, starting from the current contents of
+    /// `x`. `scratch` must be the same length as `x` and is used as the
+    /// double buffer (callers in hot loops reuse it across solves to avoid
+    /// reallocation).
+    ///
+    /// # Panics
+    /// If dimensions are inconsistent.
+    pub fn solve_with_scratch(
+        &self,
+        a: &Csr,
+        f: &[f64],
+        x: &mut Vec<f64>,
+        scratch: &mut Vec<f64>,
+    ) -> SolveReport {
+        let n = a.n_rows();
+        assert_eq!(a.n_cols(), n, "fixed-point iteration needs a square matrix");
+        assert_eq!(f.len(), n);
+        assert_eq!(x.len(), n);
+        scratch.resize(n, 0.0);
+
+        // Any matrix norm certifies the contraction (Thm 3.2); take the
+        // tighter of the two cheap ones — ranking matrices in pull
+        // orientation are bounded in the column norm, not the row norm.
+        let norm = a.inf_norm().min(a.one_norm());
+        let mut delta = f64::INFINITY;
+        let mut iters = 0;
+        while iters < self.max_iters {
+            // scratch ← A·x + f
+            if self.parallel {
+                a.mul_vec_par(x, scratch);
+            } else {
+                a.mul_vec(x, scratch);
+            }
+            for (s, fi) in scratch.iter_mut().zip(f.iter()) {
+                *s += fi;
+            }
+            iters += 1;
+            delta = vec_ops::l1_diff(scratch, x);
+            std::mem::swap(x, scratch);
+            if delta <= self.tolerance {
+                break;
+            }
+        }
+        SolveReport {
+            iterations: iters,
+            final_delta: delta,
+            converged: delta <= self.tolerance,
+            error_bound: theory::contraction_error_bound(norm, delta),
+        }
+    }
+
+    /// Convenience wrapper around [`Self::solve_with_scratch`] that allocates
+    /// its own scratch buffer.
+    pub fn solve(&self, a: &Csr, f: &[f64], x: &mut Vec<f64>) -> SolveReport {
+        let mut scratch = vec![0.0; x.len()];
+        self.solve_with_scratch(a, f, x, &mut scratch)
+    }
+
+    /// Performs exactly `steps` applications of `x ← A·x + f` (the DPR2 node
+    /// body does a single step per outer loop), returning the last successive
+    /// difference.
+    pub fn step(&self, a: &Csr, f: &[f64], x: &mut Vec<f64>, steps: usize) -> f64 {
+        let n = a.n_rows();
+        assert_eq!(a.n_cols(), n);
+        assert_eq!(f.len(), n);
+        assert_eq!(x.len(), n);
+        let mut scratch = vec![0.0; n];
+        let mut delta = 0.0;
+        for _ in 0..steps {
+            if self.parallel {
+                a.mul_vec_par(x, &mut scratch);
+            } else {
+                a.mul_vec(x, &mut scratch);
+            }
+            for (s, fi) in scratch.iter_mut().zip(f.iter()) {
+                *s += fi;
+            }
+            delta = vec_ops::l1_diff(&scratch, x);
+            std::mem::swap(x, &mut scratch);
+        }
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triplet::TripletMatrix;
+
+    /// 2×2 contraction with known fixed point:
+    /// x = [[0.5, 0], [0.25, 0.25]]·x + [1, 1] ⇒ x* = [2, 2].
+    fn small_system() -> (Csr, Vec<f64>, Vec<f64>) {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 0.5);
+        t.push(1, 0, 0.25);
+        t.push(1, 1, 0.25);
+        (t.to_csr(), vec![1.0, 1.0], vec![2.0, 2.0])
+    }
+
+    #[test]
+    fn converges_to_fixed_point() {
+        let (a, f, expect) = small_system();
+        let mut x = vec![0.0, 0.0];
+        let report = FixedPointSolver::new(1e-12).solve(&a, &f, &mut x);
+        assert!(report.converged);
+        assert!((x[0] - expect[0]).abs() < 1e-10);
+        assert!((x[1] - expect[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn error_bound_is_valid() {
+        let (a, f, expect) = small_system();
+        let mut x = vec![0.0, 0.0];
+        let solver = FixedPointSolver { tolerance: 1e-6, max_iters: 50, parallel: false };
+        let report = solver.solve(&a, &f, &mut x);
+        let true_err = vec_ops::l1_diff(&x, &expect);
+        let bound = report.error_bound.expect("norm < 1 so bound applies");
+        assert!(
+            true_err <= bound + 1e-12,
+            "Thm 3.3 violated: true error {true_err} > bound {bound}"
+        );
+    }
+
+    #[test]
+    fn warm_start_converges_faster() {
+        let (a, f, expect) = small_system();
+        let solver = FixedPointSolver::new(1e-12);
+        let mut cold = vec![0.0, 0.0];
+        let cold_report = solver.solve(&a, &f, &mut cold);
+        let mut warm = expect.clone();
+        let warm_report = solver.solve(&a, &f, &mut warm);
+        assert!(warm_report.iterations < cold_report.iterations);
+    }
+
+    #[test]
+    fn max_iters_respected_for_non_contraction() {
+        // A = [[1.0]] is not a contraction; x = x + 1 diverges.
+        let mut t = TripletMatrix::new(1, 1);
+        t.push(0, 0, 1.0);
+        let a = t.to_csr();
+        let solver = FixedPointSolver { tolerance: 1e-12, max_iters: 17, parallel: false };
+        let mut x = vec![0.0];
+        let report = solver.solve(&a, &[1.0], &mut x);
+        assert_eq!(report.iterations, 17);
+        assert!(!report.converged);
+        assert!(report.error_bound.is_none());
+    }
+
+    #[test]
+    fn single_step_matches_manual() {
+        let (a, f, _) = small_system();
+        let solver = FixedPointSolver::default();
+        let mut x = vec![4.0, 0.0];
+        solver.step(&a, &f, &mut x, 1);
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn parallel_solver_agrees() {
+        let (a, f, _) = small_system();
+        let mut x1 = vec![0.0, 0.0];
+        let mut x2 = vec![0.0, 0.0];
+        FixedPointSolver { parallel: false, ..FixedPointSolver::new(1e-12) }.solve(&a, &f, &mut x1);
+        FixedPointSolver { parallel: true, ..FixedPointSolver::new(1e-12) }.solve(&a, &f, &mut x2);
+        assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn zero_dimensional_system() {
+        let a = Csr::zero(0, 0);
+        let mut x: Vec<f64> = vec![];
+        let report = FixedPointSolver::default().solve(&a, &[], &mut x);
+        assert!(report.converged);
+    }
+}

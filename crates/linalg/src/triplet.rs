@@ -1,0 +1,151 @@
+//! Coordinate-format (triplet) matrix builder.
+//!
+//! Link matrices are assembled edge-by-edge while scanning a web graph; the
+//! triplet form accepts entries in any order (including duplicates, which
+//! are summed) and converts to [`Csr`] once construction is
+//! complete.
+
+use crate::csr::Csr;
+
+/// A sparse matrix under construction, stored as `(row, col, value)` entries.
+#[derive(Debug, Clone, Default)]
+pub struct TripletMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    entries: Vec<(u32, u32, f64)>,
+}
+
+impl TripletMatrix {
+    /// Creates an empty `n_rows × n_cols` builder.
+    #[must_use]
+    pub fn new(n_rows: usize, n_cols: usize) -> Self {
+        Self { n_rows, n_cols, entries: Vec::new() }
+    }
+
+    /// Creates a builder with pre-reserved capacity for `nnz` entries.
+    #[must_use]
+    pub fn with_capacity(n_rows: usize, n_cols: usize, nnz: usize) -> Self {
+        Self { n_rows, n_cols, entries: Vec::with_capacity(nnz) }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of entries pushed so far (duplicates counted separately).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries have been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds `value` at `(row, col)`. Duplicate coordinates are summed when
+    /// converting to CSR.
+    ///
+    /// # Panics
+    /// If the coordinate is out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.n_rows, "row {row} out of bounds ({})", self.n_rows);
+        assert!(col < self.n_cols, "col {col} out of bounds ({})", self.n_cols);
+        self.entries.push((row as u32, col as u32, value));
+    }
+
+    /// Converts to CSR, summing duplicate coordinates and dropping explicit
+    /// zeros that result from cancellation.
+    #[must_use]
+    pub fn to_csr(&self) -> Csr {
+        let mut entries = self.entries.clone();
+        entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut row_ptr = vec![0u64; self.n_rows + 1];
+        let mut col_idx = Vec::with_capacity(entries.len());
+        let mut values = Vec::with_capacity(entries.len());
+
+        let mut i = 0;
+        while i < entries.len() {
+            let (r, c, mut v) = entries[i];
+            let mut j = i + 1;
+            while j < entries.len() && entries[j].0 == r && entries[j].1 == c {
+                v += entries[j].2;
+                j += 1;
+            }
+            i = j;
+            if v != 0.0 {
+                col_idx.push(c);
+                values.push(v);
+                row_ptr[r as usize + 1] += 1;
+            }
+        }
+        for r in 0..self.n_rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        Csr::from_raw_parts(self.n_rows, self.n_cols, row_ptr, col_idx, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_builder() {
+        let t = TripletMatrix::new(3, 3);
+        assert!(t.is_empty());
+        let m = t.to_csr();
+        assert_eq!(m.n_rows(), 3);
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 1, 1.0);
+        t.push(0, 1, 2.0);
+        t.push(1, 0, 5.0);
+        let m = t.to_csr();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 1), 3.0);
+        assert_eq!(m.get(1, 0), 5.0);
+    }
+
+    #[test]
+    fn cancellation_drops_entry() {
+        let mut t = TripletMatrix::new(1, 1);
+        t.push(0, 0, 1.5);
+        t.push(0, 0, -1.5);
+        assert_eq!(t.to_csr().nnz(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row 2 out of bounds")]
+    fn out_of_bounds_row_panics() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn unordered_insertion() {
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(2, 0, 1.0);
+        t.push(0, 2, 2.0);
+        t.push(1, 1, 3.0);
+        let m = t.to_csr();
+        assert_eq!(m.get(2, 0), 1.0);
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(1, 1), 3.0);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Dense-vector kernels used by every iteration loop in the repository.
+//!
+//! All functions operate on `&[f64]` slices so callers can use plain `Vec`s,
+//! borrowed buffers, or sub-slices of larger workspaces without conversion.
+//! Length mismatches are programming errors and panic via `debug_assert!` in
+//! debug builds (the hot paths must not pay for checks in release builds).
+
+use rayon::prelude::*;
+
+/// Minimum vector length before the parallel kernels split work across the
+/// Rayon pool. Below this, thread coordination costs more than it saves.
+const PAR_THRESHOLD: usize = 1 << 14;
+
+/// The L1 norm `‖x‖₁ = Σ |xᵢ|`.
+///
+/// This is the norm the paper uses throughout (`D = ‖Rᵢ‖₁ − ‖Rᵢ₊₁‖₁`,
+/// `δ = ‖Rᵢ₊₁ − Rᵢ‖₁`).
+#[must_use]
+pub fn l1_norm(x: &[f64]) -> f64 {
+    // `+ 0.0` normalizes the signed zero: std's float `Sum` identity is
+    // -0.0, and a negative-zero "norm" breaks bit-level max tricks
+    // downstream (−0.0's bit pattern exceeds every positive float's).
+    if x.len() >= PAR_THRESHOLD {
+        x.par_iter().map(|v| v.abs()).sum::<f64>() + 0.0
+    } else {
+        x.iter().map(|v| v.abs()).sum::<f64>() + 0.0
+    }
+}
+
+/// The L∞ norm `‖x‖∞ = max |xᵢ|`; zero for the empty vector.
+#[must_use]
+pub fn linf_norm(x: &[f64]) -> f64 {
+    x.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+}
+
+/// The L1 distance `‖x − y‖₁` without materialising the difference vector.
+#[must_use]
+pub fn l1_diff(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    // `+ 0.0`: see `l1_norm` — keeps the empty diff at +0.0, not -0.0.
+    if x.len() >= PAR_THRESHOLD {
+        x.par_iter().zip(y.par_iter()).map(|(a, b)| (a - b).abs()).sum::<f64>() + 0.0
+    } else {
+        x.iter().zip(y.iter()).map(|(a, b)| (a - b).abs()).sum::<f64>() + 0.0
+    }
+}
+
+/// The L∞ distance `‖x − y‖∞`.
+#[must_use]
+pub fn linf_diff(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter()
+        .zip(y.iter())
+        .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
+}
+
+/// Sum of all elements (signed, unlike [`l1_norm`]).
+#[must_use]
+pub fn sum(x: &[f64]) -> f64 {
+    if x.len() >= PAR_THRESHOLD {
+        x.par_iter().sum()
+    } else {
+        x.iter().sum()
+    }
+}
+
+/// Arithmetic mean; zero for the empty vector.
+#[must_use]
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        0.0
+    } else {
+        sum(x) / x.len() as f64
+    }
+}
+
+/// `y ← y + a·x` (the classic axpy kernel).
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += a * xi;
+    }
+}
+
+/// `x ← a·x`.
+pub fn scale(a: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= a;
+    }
+}
+
+/// Adds the scalar `a` to every element (used for the uniform `βE` term).
+pub fn add_scalar(a: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi += a;
+    }
+}
+
+/// Element-wise `x ≥ y` (the partial order `r₁ ≥ r₂` of the appendix).
+#[must_use]
+pub fn ge_elementwise(x: &[f64], y: &[f64]) -> bool {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y.iter()).all(|(a, b)| a >= b)
+}
+
+/// Element-wise `x ≥ y − tol`, tolerating floating-point jitter when
+/// asserting the monotonicity of Theorem 4.1 on computed sequences.
+#[must_use]
+pub fn ge_elementwise_tol(x: &[f64], y: &[f64], tol: f64) -> bool {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y.iter()).all(|(a, b)| *a >= *b - tol)
+}
+
+/// `x ≥ 0` element-wise (appendix Lemma 1 precondition / conclusion).
+#[must_use]
+pub fn is_nonneg(x: &[f64]) -> bool {
+    x.iter().all(|v| *v >= 0.0)
+}
+
+/// Relative error `‖x − x*‖₁ / ‖x*‖₁`, the paper's §5 metric for the
+/// distance between distributed and centralized ranks.
+///
+/// Returns `f64::INFINITY` when `‖x*‖₁ = 0` and `x ≠ x*`, and `0.0` when
+/// both are zero.
+#[must_use]
+pub fn relative_error(x: &[f64], x_star: &[f64]) -> f64 {
+    let denom = l1_norm(x_star);
+    let num = l1_diff(x, x_star);
+    if denom == 0.0 {
+        if num == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        num / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_norm_basic() {
+        assert_eq!(l1_norm(&[1.0, -2.0, 3.0]), 6.0);
+        assert_eq!(l1_norm(&[]), 0.0);
+        // Empty norms must be POSITIVE zero (std's float Sum identity is
+        // -0.0; a sign bit here poisons bit-level comparisons).
+        assert_eq!(l1_norm(&[]).to_bits(), 0u64);
+        assert_eq!(l1_diff(&[], &[]).to_bits(), 0u64);
+    }
+
+    #[test]
+    fn l1_norm_parallel_path_matches_sequential() {
+        let big: Vec<f64> = (0..(PAR_THRESHOLD + 17)).map(|i| (i as f64) * 0.5 - 100.0).collect();
+        let seq: f64 = big.iter().map(|v| v.abs()).sum();
+        assert!((l1_norm(&big) - seq).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linf_norm_basic() {
+        assert_eq!(linf_norm(&[1.0, -7.0, 3.0]), 7.0);
+        assert_eq!(linf_norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn l1_diff_basic() {
+        assert_eq!(l1_diff(&[1.0, 2.0], &[0.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn linf_diff_basic() {
+        assert_eq!(linf_diff(&[1.0, 2.0], &[0.0, 4.0]), 2.0);
+    }
+
+    #[test]
+    fn sum_and_mean() {
+        assert_eq!(sum(&[1.0, 2.0, 3.0]), 6.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_basic() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn scale_and_add_scalar() {
+        let mut x = vec![1.0, -2.0];
+        scale(3.0, &mut x);
+        assert_eq!(x, vec![3.0, -6.0]);
+        add_scalar(1.0, &mut x);
+        assert_eq!(x, vec![4.0, -5.0]);
+    }
+
+    #[test]
+    fn elementwise_order() {
+        assert!(ge_elementwise(&[1.0, 2.0], &[1.0, 1.5]));
+        assert!(!ge_elementwise(&[1.0, 1.0], &[1.0, 1.5]));
+        assert!(ge_elementwise_tol(&[1.0, 1.0], &[1.0, 1.0 + 1e-13], 1e-12));
+    }
+
+    #[test]
+    fn nonneg_check() {
+        assert!(is_nonneg(&[0.0, 1.0]));
+        assert!(!is_nonneg(&[0.0, -1e-9]));
+    }
+
+    #[test]
+    fn relative_error_basic() {
+        assert_eq!(relative_error(&[1.0, 1.0], &[1.0, 1.0]), 0.0);
+        assert!((relative_error(&[1.1, 1.0], &[1.0, 1.0]) - 0.05).abs() < 1e-12);
+        assert_eq!(relative_error(&[0.0], &[0.0]), 0.0);
+        assert_eq!(relative_error(&[1.0], &[0.0]), f64::INFINITY);
+    }
+}

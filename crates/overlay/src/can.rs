@@ -1,0 +1,343 @@
+//! CAN — Content-Addressable Network (Ratnasamy et al. \[13\]), the third
+//! structured overlay the paper cites as a possible substrate.
+//!
+//! The key space is a `d`-dimensional unit torus. Every node owns a
+//! rectangular *zone*; a key hashes to a point and belongs to the zone
+//! containing it. Nodes keep only their zone-adjacent neighbors, and
+//! routing walks greedily through neighbors toward the key's point. With
+//! `n` nodes the expected path length is `Θ(d·n^(1/d))` — polynomial, not
+//! logarithmic, which is exactly why the paper's Table 1 uses Pastry's
+//! hop counts instead. Having CAN implemented lets the transmission
+//! experiments quantify that difference on the same traffic.
+//!
+//! Construction follows the CAN join protocol: each joining node picks a
+//! random point, the zone containing it is split in half (along the
+//! dimensions in round-robin order, as in the paper), and the joiner takes
+//! the half containing its point.
+
+use crate::id::splitmix64;
+use crate::{NodeIndex, Overlay};
+
+/// Maximum supported dimensionality (CAN's sweet spot is small `d`).
+pub const MAX_DIMS: usize = 4;
+
+/// A half-open axis-aligned box `[lo, hi)` in the unit torus.
+#[derive(Debug, Clone, PartialEq)]
+struct Zone {
+    lo: [f64; MAX_DIMS],
+    hi: [f64; MAX_DIMS],
+    /// Which dimension the next split of this zone uses (round-robin).
+    next_split: usize,
+}
+
+impl Zone {
+    fn contains(&self, p: &[f64; MAX_DIMS], d: usize) -> bool {
+        (0..d).all(|i| self.lo[i] <= p[i] && p[i] < self.hi[i])
+    }
+
+    /// Splits in half along `self.next_split`; returns the new (upper)
+    /// half and mutates `self` into the lower half.
+    fn split(&mut self) -> Zone {
+        let dim = self.next_split;
+        let mid = (self.lo[dim] + self.hi[dim]) / 2.0;
+        let mut upper = self.clone();
+        upper.lo[dim] = mid;
+        self.hi[dim] = mid;
+        self.next_split = (dim + 1) % MAX_DIMS;
+        upper.next_split = self.next_split;
+        upper
+    }
+}
+
+/// A simulated CAN over a fixed membership.
+#[derive(Debug, Clone)]
+pub struct CanNetwork {
+    d: usize,
+    zones: Vec<Zone>,
+    /// Cached zone adjacency (torus-aware).
+    neighbors: Vec<Vec<u32>>,
+}
+
+impl CanNetwork {
+    /// Builds a `d`-dimensional CAN of `n` nodes by running the join
+    /// protocol with deterministic random points.
+    ///
+    /// # Panics
+    /// If `n == 0` or `d ∉ 1..=MAX_DIMS`.
+    #[must_use]
+    pub fn with_nodes(n: usize, d: usize, seed: u64) -> Self {
+        assert!(n >= 1, "a CAN needs at least one node");
+        assert!((1..=MAX_DIMS).contains(&d), "d must be in 1..={MAX_DIMS}");
+        let mut zones = vec![Zone {
+            lo: [0.0; MAX_DIMS],
+            hi: {
+                // Unused dimensions are collapsed to the full [0,1) slab so
+                // `contains` stays simple.
+                let mut hi = [1.0; MAX_DIMS];
+                hi[..d].fill(1.0);
+                hi
+            },
+            next_split: 0,
+        }];
+        for j in 1..n {
+            let p = point_from_u64(splitmix64(seed ^ (j as u64).wrapping_mul(0xABCD_1234)), d);
+            let owner = zones
+                .iter()
+                .position(|z| z.contains(&p, d))
+                .expect("zones tile the torus");
+            // Keep splitting within the first d dims only.
+            while zones[owner].next_split >= d {
+                zones[owner].next_split = (zones[owner].next_split + 1) % MAX_DIMS;
+            }
+            let mut upper = zones[owner].split();
+            while upper.next_split >= d {
+                upper.next_split = (upper.next_split + 1) % MAX_DIMS;
+            }
+            // The joiner takes the half containing its point.
+            if upper.contains(&p, d) {
+                zones.push(upper);
+            } else {
+                let lower = std::mem::replace(&mut zones[owner], upper);
+                zones.push(lower);
+            }
+        }
+        let neighbors = Self::compute_neighbors(&zones, d);
+        Self { d, zones, neighbors }
+    }
+
+    /// The dimensionality.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.d
+    }
+
+    fn compute_neighbors(zones: &[Zone], d: usize) -> Vec<Vec<u32>> {
+        let n = zones.len();
+        let mut out = vec![Vec::new(); n];
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if Self::adjacent(&zones[a], &zones[b], d) {
+                    out[a].push(b as u32);
+                    out[b].push(a as u32);
+                }
+            }
+        }
+        out
+    }
+
+    /// Torus adjacency: abutting in exactly one dimension and overlapping
+    /// (with positive measure) in all others.
+    fn adjacent(a: &Zone, b: &Zone, d: usize) -> bool {
+        let mut abut_dims = 0;
+        for i in 0..d {
+            let abuts = a.hi[i] == b.lo[i]
+                || b.hi[i] == a.lo[i]
+                || (a.hi[i] == 1.0 && b.lo[i] == 0.0)
+                || (b.hi[i] == 1.0 && a.lo[i] == 0.0);
+            let overlaps = a.lo[i] < b.hi[i] && b.lo[i] < a.hi[i];
+            if overlaps {
+                continue;
+            }
+            if abuts {
+                abut_dims += 1;
+                if abut_dims > 1 {
+                    return false;
+                }
+                continue;
+            }
+            return false;
+        }
+        abut_dims == 1
+    }
+
+    /// Torus distance between two scalars in [0,1).
+    fn torus_dist_1d(a: f64, b: f64) -> f64 {
+        let d = (a - b).abs();
+        d.min(1.0 - d)
+    }
+
+    /// Torus distance from a point to a zone (0 inside).
+    fn dist_point_zone(&self, p: &[f64; MAX_DIMS], z: &Zone) -> f64 {
+        let mut acc = 0.0;
+        for (i, &pi) in p.iter().enumerate().take(self.d) {
+            if z.lo[i] <= pi && pi < z.hi[i] {
+                continue;
+            }
+            // Distance to the nearer face, on the torus. hi is exclusive;
+            // measure to a point just inside.
+            let dl = Self::torus_dist_1d(pi, z.lo[i]);
+            let dh = Self::torus_dist_1d(pi, z.hi[i]);
+            acc += dl.min(dh).powi(2);
+        }
+        acc.sqrt()
+    }
+}
+
+/// Maps a 64-bit hash to a point in the unit torus, `d` coordinates of
+/// ~16 bits each.
+fn point_from_u64(h: u64, d: usize) -> [f64; MAX_DIMS] {
+    let mut p = [0.0; MAX_DIMS];
+    let mut x = h;
+    for slot in p.iter_mut().take(d) {
+        x = splitmix64(x);
+        *slot = (x >> 11) as f64 / (1u64 << 53) as f64;
+    }
+    p
+}
+
+impl Overlay for CanNetwork {
+    fn n_nodes(&self) -> usize {
+        self.zones.len()
+    }
+
+    fn node_key(&self, idx: NodeIndex) -> u128 {
+        // Synthesize a key whose point is the zone center.
+        let z = &self.zones[idx];
+        let mut bits: u128 = 0;
+        for i in 0..self.d {
+            let c = (z.lo[i] + z.hi[i]) / 2.0;
+            bits = (bits << 16) | ((c * 65536.0) as u128 & 0xFFFF);
+        }
+        bits
+    }
+
+    fn responsible(&self, key: u128) -> NodeIndex {
+        let p = point_from_u64(key as u64 ^ (key >> 64) as u64, self.d);
+        self.zones
+            .iter()
+            .position(|z| z.contains(&p, self.d))
+            .expect("zones tile the torus")
+    }
+
+    fn route(&self, src: NodeIndex, key: u128) -> Vec<NodeIndex> {
+        let mut path = Vec::new();
+        let mut cur = src;
+        while let Some(next) = self.next_hop(cur, key) {
+            path.push(next);
+            cur = next;
+            assert!(path.len() <= self.n_nodes(), "CAN routing loop");
+        }
+        path
+    }
+
+    fn next_hop(&self, src: NodeIndex, key: u128) -> Option<NodeIndex> {
+        let p = point_from_u64(key as u64 ^ (key >> 64) as u64, self.d);
+        if self.zones[src].contains(&p, self.d) {
+            return None;
+        }
+        let my_dist = self.dist_point_zone(&p, &self.zones[src]);
+        // Greedy: the neighbor whose zone is closest to the target point.
+        // With rectangular zones tiling the torus, some neighbor is always
+        // strictly closer (the one across the face toward the target).
+        self.neighbors[src]
+            .iter()
+            .map(|&nb| (self.dist_point_zone(&p, &self.zones[nb as usize]), nb))
+            .filter(|&(dist, _)| dist < my_dist)
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+            .map(|(_, nb)| nb as NodeIndex)
+    }
+
+    fn neighbors(&self, idx: NodeIndex) -> Vec<NodeIndex> {
+        self.neighbors[idx].iter().map(|&n| n as NodeIndex).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::key_from_u64;
+    use crate::metrics::avg_route_hops;
+
+    #[test]
+    fn single_node_owns_everything() {
+        let net = CanNetwork::with_nodes(1, 2, 7);
+        assert_eq!(net.responsible(key_from_u64(5)), 0);
+        assert!(net.route(0, key_from_u64(5)).is_empty());
+    }
+
+    #[test]
+    fn zones_tile_the_torus() {
+        let net = CanNetwork::with_nodes(64, 2, 3);
+        // Volumes must sum to 1 and every probe point must be owned by
+        // exactly one zone.
+        let vol: f64 = net
+            .zones
+            .iter()
+            .map(|z| (0..net.d).map(|i| z.hi[i] - z.lo[i]).product::<f64>())
+            .sum();
+        assert!((vol - 1.0).abs() < 1e-12, "total volume {vol}");
+        for k in 0..200u64 {
+            let p = point_from_u64(splitmix64(k), net.d);
+            let owners = net.zones.iter().filter(|z| z.contains(&p, net.d)).count();
+            assert_eq!(owners, 1, "point {p:?} owned by {owners} zones");
+        }
+    }
+
+    #[test]
+    fn every_node_has_neighbors() {
+        let net = CanNetwork::with_nodes(50, 2, 11);
+        for i in 0..50 {
+            assert!(!net.neighbors(i).is_empty(), "node {i} is isolated");
+        }
+    }
+
+    #[test]
+    fn routing_always_delivers() {
+        for d in 1..=3 {
+            let net = CanNetwork::with_nodes(100, d, 5);
+            for k in 0..100u64 {
+                let key = key_from_u64(k);
+                let resp = net.responsible(key);
+                for src in [0usize, 37, 99] {
+                    let path = net.route(src, key);
+                    assert_eq!(
+                        path.last().copied().unwrap_or(src),
+                        resp,
+                        "d={d} key={k} src={src}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hops_scale_polynomially_not_logarithmically() {
+        // CAN d=2: ~(d/4)·n^(1/d) = 0.5·√n hops; Pastry: log16 n. At
+        // n=1024 that is ~16 vs ~2.5 — CAN must be clearly worse.
+        let can = CanNetwork::with_nodes(1024, 2, 9);
+        let pastry = crate::PastryNetwork::with_nodes(1024, 9);
+        let hc = avg_route_hops(&can, 500, 1).mean;
+        let hp = avg_route_hops(&pastry, 500, 1).mean;
+        assert!(hc > 2.0 * hp, "CAN {hc} vs Pastry {hp}");
+        assert!((4.0..40.0).contains(&hc), "CAN hops {hc} outside the d=2 band");
+    }
+
+    #[test]
+    fn higher_dimensions_shorten_routes() {
+        let h2 = avg_route_hops(&CanNetwork::with_nodes(512, 2, 4), 400, 2).mean;
+        let h4 = avg_route_hops(&CanNetwork::with_nodes(512, 4, 4), 400, 2).mean;
+        assert!(h4 < h2, "d=4 ({h4}) should route shorter than d=2 ({h2})");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = CanNetwork::with_nodes(64, 2, 42);
+        let b = CanNetwork::with_nodes(64, 2, 42);
+        assert_eq!(a.zones, b.zones);
+    }
+
+    #[test]
+    fn works_with_indirect_transport_semantics() {
+        // next_hop results must be neighbors (the transport layer depends
+        // on this to aggregate per neighbor).
+        let net = CanNetwork::with_nodes(80, 2, 13);
+        for src in 0..20 {
+            let nbrs = net.neighbors(src);
+            for k in 0..40u64 {
+                if let Some(nh) = net.next_hop(src, key_from_u64(k)) {
+                    assert!(nbrs.contains(&nh));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Chord ring overlay (Stoica et al. \[14\]) — the baseline structured
+//! overlay the paper cites alongside Pastry.
+//!
+//! Node ids live on a 64-bit ring. Each node keeps a successor pointer and a
+//! finger table (`finger[i]` = first node clockwise from `id + 2^i`).
+//! Lookups walk greedily: hop to the closest *preceding* finger of the key
+//! until the key falls between the current node and its successor. Expected
+//! hop count is `½·log₂ N`.
+
+use crate::id::splitmix64;
+use crate::{NodeIndex, Overlay};
+
+/// A simulated Chord network over a fixed membership.
+#[derive(Debug, Clone)]
+pub struct ChordNetwork {
+    /// Node ids (append-order; `NodeIndex` = position).
+    ids: Vec<u64>,
+    /// Handles sorted by id (the ring order).
+    order: Vec<u32>,
+    /// `fingers[h][i]` = handle of `successor(ids[h] + 2^i)`, deduplicated.
+    fingers: Vec<Vec<u32>>,
+    /// Number of successors each node tracks (Chord's successor list).
+    n_successors: usize,
+}
+
+impl ChordNetwork {
+    /// Builds a converged ring of `n` nodes with deterministic ids.
+    #[must_use]
+    pub fn with_nodes(n: usize, seed: u64) -> Self {
+        let ids = (0..n as u64).map(|i| splitmix64(seed ^ (i.wrapping_mul(0x9E37)))).collect();
+        Self::from_ids(ids)
+    }
+
+    /// Builds a converged ring from explicit ids.
+    ///
+    /// # Panics
+    /// If `ids` is empty or contains duplicates.
+    #[must_use]
+    pub fn from_ids(ids: Vec<u64>) -> Self {
+        assert!(!ids.is_empty(), "a ring needs at least one node");
+        let n = ids.len();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by_key(|&h| ids[h as usize]);
+        assert!(
+            order.windows(2).all(|w| ids[w[0] as usize] != ids[w[1] as usize]),
+            "duplicate node ids"
+        );
+        let mut net =
+            Self { ids, order, fingers: Vec::with_capacity(n), n_successors: 4.min(n - 1).max(1) };
+        for h in 0..n {
+            let mut f = Vec::with_capacity(64);
+            let base = net.ids[h];
+            for i in 0..64u32 {
+                let target = base.wrapping_add(1u64 << i);
+                let s = net.successor_handle(target);
+                if s != h as u32 && f.last() != Some(&s) {
+                    f.push(s);
+                }
+            }
+            f.sort_unstable();
+            f.dedup();
+            net.fingers.push(f);
+        }
+        net
+    }
+
+    /// The ring id of node `h`.
+    #[must_use]
+    pub fn id_of(&self, h: NodeIndex) -> u64 {
+        self.ids[h]
+    }
+
+    /// First node clockwise at or after `key` (with wraparound).
+    fn successor_handle(&self, key: u64) -> u32 {
+        let pos = self.order.partition_point(|&h| self.ids[h as usize] < key);
+        self.order[pos % self.order.len()]
+    }
+
+    /// Successor of node `h` on the ring.
+    fn ring_successor(&self, h: NodeIndex) -> u32 {
+        let pos = self.order.iter().position(|&o| o == h as u32).expect("handle in ring");
+        self.order[(pos + 1) % self.order.len()]
+    }
+
+    /// The node's successor list (ring-clockwise neighbors).
+    fn successor_list(&self, h: NodeIndex) -> Vec<u32> {
+        let pos = self.order.iter().position(|&o| o == h as u32).expect("handle in ring");
+        (1..=self.n_successors)
+            .map(|k| self.order[(pos + k) % self.order.len()])
+            .filter(|&s| s != h as u32)
+            .collect()
+    }
+
+    /// Clockwise distance from `a` to `b` on the ring.
+    fn clockwise(a: u64, b: u64) -> u64 {
+        b.wrapping_sub(a)
+    }
+
+    /// Folds a 128-bit key to the 64-bit ring (top half, preserving
+    /// uniformity).
+    fn fold(key: u128) -> u64 {
+        (key >> 64) as u64 ^ (key as u64)
+    }
+}
+
+impl Overlay for ChordNetwork {
+    fn n_nodes(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn node_key(&self, idx: NodeIndex) -> u128 {
+        u128::from(self.ids[idx]) << 64
+    }
+
+    fn responsible(&self, key: u128) -> NodeIndex {
+        self.successor_handle(Self::fold(key)) as NodeIndex
+    }
+
+    fn route(&self, src: NodeIndex, key: u128) -> Vec<NodeIndex> {
+        let mut path = Vec::new();
+        let mut cur = src;
+        while let Some(nh) = self.next_hop(cur, key) {
+            path.push(nh);
+            cur = nh;
+            debug_assert!(path.len() <= self.n_nodes(), "chord routing loop");
+        }
+        path
+    }
+
+    fn next_hop(&self, src: NodeIndex, key: u128) -> Option<NodeIndex> {
+        let k = Self::fold(key);
+        let resp = self.successor_handle(k) as NodeIndex;
+        if resp == src {
+            return None;
+        }
+        let succ = self.ring_successor(src);
+        if succ as NodeIndex == resp {
+            return Some(resp);
+        }
+        // Closest preceding finger: the finger maximizing clockwise
+        // progress from us without overshooting the key.
+        let my = self.ids[src];
+        let key_dist = Self::clockwise(my, k);
+        let mut best: Option<(u64, u32)> = None;
+        for &f in self.fingers[src].iter().chain(self.successor_list(src).iter()) {
+            let d = Self::clockwise(my, self.ids[f as usize]);
+            if d > 0 && d < key_dist && best.is_none_or(|(bd, _)| d > bd) {
+                best = Some((d, f));
+            }
+        }
+        match best {
+            Some((_, f)) => Some(f as NodeIndex),
+            // No finger precedes the key: the successor is the next step.
+            None => Some(succ as NodeIndex),
+        }
+    }
+
+    fn neighbors(&self, idx: NodeIndex) -> Vec<NodeIndex> {
+        let mut out: Vec<NodeIndex> =
+            self.fingers[idx].iter().map(|&f| f as NodeIndex).collect();
+        out.extend(self.successor_list(idx).iter().map(|&s| s as NodeIndex));
+        out.sort_unstable();
+        out.dedup();
+        out.retain(|&h| h != idx);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::key_from_u64;
+
+    #[test]
+    fn single_node_ring() {
+        let net = ChordNetwork::with_nodes(1, 7);
+        assert_eq!(net.responsible(key_from_u64(9)), 0);
+        assert!(net.route(0, key_from_u64(9)).is_empty());
+    }
+
+    #[test]
+    fn responsible_is_clockwise_successor() {
+        let net = ChordNetwork::from_ids(vec![100, 200, 300]);
+        // Keys fold as (hi ^ lo); craft raw keys directly.
+        let key_at = |v: u64| u128::from(v) << 64;
+        assert_eq!(net.id_of(net.responsible(key_at(150))), 200);
+        assert_eq!(net.id_of(net.responsible(key_at(200))), 200);
+        assert_eq!(net.id_of(net.responsible(key_at(301))), 100); // wraps
+        assert_eq!(net.id_of(net.responsible(key_at(50))), 100);
+    }
+
+    #[test]
+    fn routing_always_delivers() {
+        let net = ChordNetwork::with_nodes(128, 3);
+        for k in 0..300u64 {
+            let key = key_from_u64(k);
+            let resp = net.responsible(key);
+            for src in [0usize, 41, 127] {
+                let path = net.route(src, key);
+                assert_eq!(path.last().copied().unwrap_or(src), resp, "key {k} src {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn hops_scale_half_log2() {
+        let net = ChordNetwork::with_nodes(1024, 5);
+        let mut total = 0usize;
+        let samples = 400;
+        for k in 0..samples as u64 {
+            total += net.route((k as usize * 13) % 1024, key_from_u64(k)).len();
+        }
+        let avg = total as f64 / samples as f64;
+        // ½·log2(1024) = 5; allow a generous band.
+        assert!((3.0..=7.5).contains(&avg), "chord avg hops {avg}");
+    }
+
+    #[test]
+    fn next_hops_are_neighbors() {
+        let net = ChordNetwork::with_nodes(100, 17);
+        for src in 0..10 {
+            let nbrs = net.neighbors(src);
+            for k in 0..40u64 {
+                if let Some(nh) = net.next_hop(src, key_from_u64(k)) {
+                    assert!(nbrs.contains(&nh));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn finger_count_logarithmic() {
+        let net = ChordNetwork::with_nodes(1024, 29);
+        let g = net.mean_neighbors();
+        // ~log2(1024) = 10 fingers + successors; well under O(N).
+        assert!((6.0..=30.0).contains(&g), "chord mean neighbors {g}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node ids")]
+    fn duplicate_ids_rejected() {
+        let _ = ChordNetwork::from_ids(vec![5, 5]);
+    }
+}

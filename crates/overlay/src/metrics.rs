@@ -1,0 +1,90 @@
+//! Hop-count measurement over an overlay — produces the `h` constants the
+//! paper's §4.5 capacity analysis depends on (2.5 hops at 1k Pastry nodes,
+//! 3.5 at 10k, 4.0 at 100k).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::id::key_from_u64;
+use crate::Overlay;
+
+/// Distribution summary of routing hop counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HopStats {
+    /// Number of (source, key) lookups sampled.
+    pub samples: usize,
+    /// Mean hops — the paper's `h`.
+    pub mean: f64,
+    /// Maximum observed hops.
+    pub max: usize,
+    /// Histogram: `histogram[h]` = lookups that took exactly `h` hops.
+    pub histogram: Vec<usize>,
+}
+
+/// Measures average lookup hop count over `samples` random (source, key)
+/// pairs. Deterministic per seed.
+#[must_use]
+pub fn avg_route_hops<O: Overlay + ?Sized>(net: &O, samples: usize, seed: u64) -> HopStats {
+    assert!(samples > 0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let live: Vec<usize> = (0..net.n_nodes()).filter(|&i| net.is_live(i)).collect();
+    assert!(!live.is_empty(), "no live nodes to sample");
+    let mut total = 0usize;
+    let mut max = 0usize;
+    let mut histogram: Vec<usize> = Vec::new();
+    for _ in 0..samples {
+        let src = live[rng.gen_range(0..live.len())];
+        let key = key_from_u64(rng.gen());
+        let hops = net.route(src, key).len();
+        total += hops;
+        max = max.max(hops);
+        if histogram.len() <= hops {
+            histogram.resize(hops + 1, 0);
+        }
+        histogram[hops] += 1;
+    }
+    HopStats { samples, mean: total as f64 / samples as f64, max, histogram }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChordNetwork, PastryNetwork};
+
+    #[test]
+    fn pastry_hops_match_paper_band_at_1000() {
+        let net = PastryNetwork::with_nodes(1000, 1);
+        let stats = avg_route_hops(&net, 1000, 2);
+        // Paper: "For Pastry with 1000 nodes, the average number of hops is
+        // about 2.5".
+        assert!(
+            (1.8..=3.2).contains(&stats.mean),
+            "pastry h at 1000 nodes = {} (expected ≈ 2.5)",
+            stats.mean
+        );
+    }
+
+    #[test]
+    fn histogram_sums_to_samples() {
+        let net = ChordNetwork::with_nodes(64, 4);
+        let stats = avg_route_hops(&net, 500, 9);
+        assert_eq!(stats.histogram.iter().sum::<usize>(), 500);
+        assert_eq!(stats.samples, 500);
+        assert!(stats.max < 64);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let net = PastryNetwork::with_nodes(100, 8);
+        assert_eq!(avg_route_hops(&net, 200, 3), avg_route_hops(&net, 200, 3));
+    }
+
+    #[test]
+    fn hops_grow_with_network_size() {
+        let small = PastryNetwork::with_nodes(50, 6);
+        let large = PastryNetwork::with_nodes(2000, 6);
+        let hs = avg_route_hops(&small, 400, 1).mean;
+        let hl = avg_route_hops(&large, 400, 1).mean;
+        assert!(hl > hs, "hops should grow with N: {hs} vs {hl}");
+    }
+}

@@ -1,0 +1,194 @@
+//! Page partitioning for distributed page ranking (§4.1 of the paper).
+//!
+//! Pages crawled by the crawler(s) are divided into `K` groups, one per
+//! *page ranker*. The paper compares three strategies:
+//!
+//! * **random** — a fresh random assignment at every dividing event; cheap
+//!   but *unstable*: a page re-crawled later may land on a different ranker,
+//! * **hash by URL** — stable, but splits sites across rankers, cutting the
+//!   ~90% intra-site links and maximizing communication,
+//! * **hash by site** — stable *and* keeps each site's internal links local;
+//!   the paper's recommendation.
+//!
+//! [`Partition`] materializes an assignment and computes the quality metrics
+//! the recommendation is based on (cut links, balance, communication
+//! partners), plus the stability comparison across crawls.
+
+//!
+//! # Example
+//!
+//! ```
+//! use dpr_graph::generators::toy;
+//! use dpr_partition::{Partition, PartitionMetrics, Strategy};
+//!
+//! let g = toy::two_cliques(4); // two sites, one bridge link each way
+//! let p = Partition::build(&g, &Strategy::HashBySite, 8, 0);
+//! let m = PartitionMetrics::compute(&g, &p);
+//! // Site hashing never separates a site's pages, so only the two bridge
+//! // links can possibly be cut.
+//! assert!(m.cut_links <= 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod strategy;
+
+pub use metrics::PartitionMetrics;
+pub use strategy::Strategy;
+
+use dpr_graph::{PageId, WebGraph};
+
+/// A page-ranker group id (`0..k`).
+pub type GroupId = u32;
+
+/// A materialized assignment of every page to one of `k` groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    k: usize,
+    group_of: Vec<GroupId>,
+}
+
+impl Partition {
+    /// Assigns every page of `g` using `strategy` at dividing event
+    /// `crawl_epoch` (the epoch only affects the random strategy — that is
+    /// precisely its instability).
+    #[must_use]
+    pub fn build(g: &WebGraph, strategy: &Strategy, k: usize, crawl_epoch: u64) -> Self {
+        assert!(k >= 1, "need at least one group");
+        let group_of =
+            (0..g.n_pages() as u32).map(|p| strategy.assign(g, p, k, crawl_epoch)).collect();
+        Self { k, group_of }
+    }
+
+    /// Builds from an explicit assignment vector (for tests and custom
+    /// strategies).
+    ///
+    /// # Panics
+    /// If any group id is `>= k`.
+    #[must_use]
+    pub fn from_assignment(k: usize, group_of: Vec<GroupId>) -> Self {
+        assert!(group_of.iter().all(|&gp| (gp as usize) < k), "group id out of range");
+        Self { k, group_of }
+    }
+
+    /// Number of groups.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of assigned pages.
+    #[must_use]
+    pub fn n_pages(&self) -> usize {
+        self.group_of.len()
+    }
+
+    /// The group of page `p`.
+    #[must_use]
+    pub fn group_of(&self, p: PageId) -> GroupId {
+        self.group_of[p as usize]
+    }
+
+    /// The full assignment slice.
+    #[must_use]
+    pub fn assignment(&self) -> &[GroupId] {
+        &self.group_of
+    }
+
+    /// Page count per group.
+    #[must_use]
+    pub fn group_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k];
+        for &gp in &self.group_of {
+            sizes[gp as usize] += 1;
+        }
+        sizes
+    }
+
+    /// The pages of every group, as `k` vectors (one scan).
+    #[must_use]
+    pub fn group_pages(&self) -> Vec<Vec<PageId>> {
+        let mut out = vec![Vec::new(); self.k];
+        for (p, &gp) in self.group_of.iter().enumerate() {
+            out[gp as usize].push(p as PageId);
+        }
+        out
+    }
+
+    /// Fraction of pages assigned to the same group in `self` and `other`
+    /// (pages beyond the shorter assignment are ignored). 1.0 = perfectly
+    /// stable across the two dividing events.
+    #[must_use]
+    pub fn stability(&self, other: &Partition) -> f64 {
+        let n = self.group_of.len().min(other.group_of.len());
+        if n == 0 {
+            return 1.0;
+        }
+        let same = self
+            .group_of
+            .iter()
+            .zip(&other.group_of)
+            .filter(|(a, b)| a == b)
+            .count();
+        same as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpr_graph::generators::toy;
+
+    #[test]
+    fn build_assigns_all_pages() {
+        let g = toy::two_cliques(4);
+        let p = Partition::build(&g, &Strategy::HashBySite, 2, 0);
+        assert_eq!(p.n_pages(), 8);
+        assert_eq!(p.group_sizes().iter().sum::<usize>(), 8);
+    }
+
+    #[test]
+    fn site_strategy_keeps_sites_together() {
+        let g = toy::two_cliques(5);
+        let p = Partition::build(&g, &Strategy::HashBySite, 4, 0);
+        for page in 0..g.n_pages() as u32 {
+            let peer = (0..g.n_pages() as u32).find(|&q| g.site(q) == g.site(page)).unwrap();
+            assert_eq!(p.group_of(page), p.group_of(peer));
+        }
+    }
+
+    #[test]
+    fn group_pages_partition_the_page_set() {
+        let g = toy::cycle(20);
+        let p = Partition::build(&g, &Strategy::HashByUrl, 4, 0);
+        let groups = p.group_pages();
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 20);
+        for (gid, pages) in groups.iter().enumerate() {
+            for &page in pages {
+                assert_eq!(p.group_of(page), gid as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn stability_identity() {
+        let g = toy::cycle(10);
+        let p = Partition::build(&g, &Strategy::HashByUrl, 3, 0);
+        assert_eq!(p.stability(&p), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "group id out of range")]
+    fn from_assignment_validates() {
+        let _ = Partition::from_assignment(2, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn single_group_partition() {
+        let g = toy::star(5);
+        let p = Partition::build(&g, &Strategy::Random { seed: 1 }, 1, 0);
+        assert!(p.assignment().iter().all(|&gp| gp == 0));
+    }
+}

@@ -1,0 +1,140 @@
+//! The three dividing strategies of §4.1.
+
+use dpr_graph::urls::{fnv1a, splitmix64};
+use dpr_graph::{PageId, WebGraph};
+
+use crate::GroupId;
+
+/// How pages are divided among `K` page rankers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Fresh random assignment per dividing event. The assignment depends on
+    /// the `crawl_epoch` passed to [`Strategy::assign`], modelling the §4.1
+    /// hazard: a page re-divided after a re-crawl "risks being sent to
+    /// different page rankers on different times".
+    Random {
+        /// Base seed; combined with the crawl epoch and page id.
+        seed: u64,
+    },
+    /// Stable hash of the page's full URL. Deterministic across crawls, but
+    /// scatters each site's pages over all rankers.
+    HashByUrl,
+    /// Stable hash of the page's site host name. Deterministic across
+    /// crawls *and* keeps ~90% of links ranker-local — the paper's choice.
+    HashBySite,
+}
+
+impl Strategy {
+    /// Assigns page `p` of graph `g` to one of `k` groups at dividing event
+    /// `crawl_epoch`.
+    #[must_use]
+    pub fn assign(&self, g: &WebGraph, p: PageId, k: usize, crawl_epoch: u64) -> GroupId {
+        debug_assert!(k >= 1);
+        let h = match self {
+            Strategy::Random { seed } => {
+                splitmix64(seed ^ crawl_epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ u64::from(p))
+            }
+            Strategy::HashByUrl => fnv1a(g.url_of(p).as_bytes()),
+            Strategy::HashBySite => fnv1a(g.site_name(g.site(p)).as_bytes()),
+        };
+        (h % k as u64) as GroupId
+    }
+
+    /// Human-readable name for reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Random { .. } => "random",
+            Strategy::HashByUrl => "hash-by-url",
+            Strategy::HashBySite => "hash-by-site",
+        }
+    }
+
+    /// Whether the strategy assigns a page independently of the dividing
+    /// event — the §4.1 re-crawl requirement.
+    #[must_use]
+    pub fn is_stable(&self) -> bool {
+        !matches!(self, Strategy::Random { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpr_graph::generators::{edu, toy};
+
+    #[test]
+    fn hash_strategies_stable_across_epochs() {
+        let g = toy::two_cliques(4);
+        for strategy in [Strategy::HashByUrl, Strategy::HashBySite] {
+            for p in 0..g.n_pages() as u32 {
+                assert_eq!(strategy.assign(&g, p, 7, 0), strategy.assign(&g, p, 7, 99));
+            }
+        }
+    }
+
+    #[test]
+    fn random_strategy_unstable_across_epochs() {
+        let g = edu::edu_domain(&edu::EduDomainConfig::small());
+        let s = Strategy::Random { seed: 5 };
+        let k = 16;
+        let moved = (0..g.n_pages() as u32)
+            .filter(|&p| s.assign(&g, p, k, 0) != s.assign(&g, p, k, 1))
+            .count();
+        // With k=16, ~15/16 of pages should move between epochs.
+        let frac = moved as f64 / g.n_pages() as f64;
+        assert!(frac > 0.8, "random strategy suspiciously stable: moved {frac}");
+    }
+
+    #[test]
+    fn assignments_in_range() {
+        let g = toy::star(9);
+        for strategy in
+            [Strategy::Random { seed: 1 }, Strategy::HashByUrl, Strategy::HashBySite]
+        {
+            for k in [1usize, 2, 5] {
+                for p in 0..g.n_pages() as u32 {
+                    assert!((strategy.assign(&g, p, k, 3) as usize) < k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn site_strategy_groups_by_site() {
+        let g = edu::edu_domain(&edu::EduDomainConfig::small());
+        let s = Strategy::HashBySite;
+        let mut site_group = vec![None; g.n_sites()];
+        for p in 0..g.n_pages() as u32 {
+            let gp = s.assign(&g, p, 8, 0);
+            let slot = &mut site_group[g.site(p) as usize];
+            match slot {
+                None => *slot = Some(gp),
+                Some(prev) => assert_eq!(*prev, gp, "site split across groups"),
+            }
+        }
+    }
+
+    #[test]
+    fn url_strategy_spreads_sites() {
+        let g = edu::edu_domain(&edu::EduDomainConfig::small());
+        let s = Strategy::HashByUrl;
+        // The largest site should hit more than one group at k=8.
+        let big_site = (0..g.n_sites() as u32).max_by_key(|&st| g.site_size(st)).unwrap();
+        let mut groups = std::collections::HashSet::new();
+        for p in 0..g.n_pages() as u32 {
+            if g.site(p) == big_site {
+                groups.insert(s.assign(&g, p, 8, 0));
+            }
+        }
+        assert!(groups.len() > 1, "hash-by-url failed to spread a large site");
+    }
+
+    #[test]
+    fn names_and_stability_flags() {
+        assert_eq!(Strategy::HashBySite.name(), "hash-by-site");
+        assert!(Strategy::HashBySite.is_stable());
+        assert!(Strategy::HashByUrl.is_stable());
+        assert!(!Strategy::Random { seed: 0 }.is_stable());
+    }
+}

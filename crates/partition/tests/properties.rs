@@ -1,0 +1,122 @@
+//! Property tests for partitioning: assignment invariants, metric sanity,
+//! and the §4.1 stability/locality contracts across random graphs and K.
+
+use dpr_graph::generators::random;
+use dpr_graph::refresh::recrawl;
+use dpr_partition::{Partition, PartitionMetrics, Strategy as Dividing};
+use proptest::prelude::*;
+
+fn arb_strategy() -> impl Strategy<Value = Dividing> {
+    prop_oneof![
+        any::<u64>().prop_map(|seed| Dividing::Random { seed }),
+        Just(Dividing::HashByUrl),
+        Just(Dividing::HashBySite),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn every_page_assigned_in_range(
+        n in 2usize..300,
+        k in 1usize..40,
+        s in arb_strategy(),
+        seed in 0u64..100,
+    ) {
+        let g = random::erdos_renyi(n, 5, 3.0, seed);
+        let p = Partition::build(&g, &s, k, 0);
+        prop_assert_eq!(p.n_pages(), n);
+        prop_assert!(p.assignment().iter().all(|&gp| (gp as usize) < k));
+        prop_assert_eq!(p.group_sizes().iter().sum::<usize>(), n);
+    }
+
+    #[test]
+    fn group_pages_is_a_partition(
+        n in 2usize..200,
+        k in 1usize..20,
+        s in arb_strategy(),
+        seed in 0u64..100,
+    ) {
+        let g = random::erdos_renyi(n, 4, 2.0, seed);
+        let p = Partition::build(&g, &s, k, 0);
+        let groups = p.group_pages();
+        let mut seen = vec![false; n];
+        for (gid, pages) in groups.iter().enumerate() {
+            for &page in pages {
+                prop_assert!(!seen[page as usize], "page {page} in two groups");
+                seen[page as usize] = true;
+                prop_assert_eq!(p.group_of(page), gid as u32);
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn metrics_within_bounds(
+        n in 2usize..200,
+        k in 1usize..20,
+        s in arb_strategy(),
+        seed in 0u64..100,
+    ) {
+        let g = random::copy_model(n, 4, 4, 0.5, seed);
+        let p = Partition::build(&g, &s, k, 0);
+        let m = PartitionMetrics::compute(&g, &p);
+        prop_assert!(m.cut_links <= g.n_internal_links());
+        prop_assert!((0.0..=1.0).contains(&m.cut_fraction));
+        prop_assert!(m.non_empty_groups <= k.min(n));
+        prop_assert!(m.balance >= 1.0 - 1e-9 || n < k);
+        prop_assert!(m.max_out_partners < k);
+    }
+
+    /// §4.1's key requirement: hash strategies assign a surviving page to
+    /// the same ranker on *any* later dividing event, even after a
+    /// re-crawl rewired its links.
+    #[test]
+    fn hash_strategies_survive_recrawls(
+        n in 10usize..150,
+        k in 2usize..16,
+        change in 0.0f64..1.0,
+        seed in 0u64..100,
+        epoch in 1u64..1000,
+    ) {
+        let g = random::erdos_renyi(n, 5, 3.0, seed);
+        let (g2, _) = recrawl(&g, change, 0.3, seed ^ 1);
+        for s in [Dividing::HashByUrl, Dividing::HashBySite] {
+            let p1 = Partition::build(&g, &s, k, 0);
+            let p2 = Partition::build(&g2, &s, k, epoch);
+            prop_assert_eq!(p1.stability(&p2), 1.0, "{} unstable", s.name());
+        }
+    }
+
+    /// Site hashing never splits a site, for any graph and K.
+    #[test]
+    fn site_hash_never_splits_sites(
+        n in 2usize..200,
+        k in 1usize..32,
+        seed in 0u64..100,
+    ) {
+        let g = random::erdos_renyi(n, 6, 2.0, seed);
+        let p = Partition::build(&g, &Dividing::HashBySite, k, 0);
+        let mut site_group = vec![None; g.n_sites()];
+        for page in 0..n as u32 {
+            let slot = &mut site_group[g.site(page) as usize];
+            match slot {
+                None => *slot = Some(p.group_of(page)),
+                Some(prev) => prop_assert_eq!(*prev, p.group_of(page)),
+            }
+        }
+    }
+
+    /// Stability is symmetric and 1.0 against itself.
+    #[test]
+    fn stability_properties(
+        n in 2usize..100,
+        k in 1usize..10,
+        seed in 0u64..50,
+    ) {
+        let g = random::erdos_renyi(n, 3, 2.0, seed);
+        let a = Partition::build(&g, &Dividing::Random { seed }, k, 0);
+        let b = Partition::build(&g, &Dividing::Random { seed }, k, 1);
+        prop_assert_eq!(a.stability(&a), 1.0);
+        prop_assert!((a.stability(&b) - b.stability(&a)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,481 @@
+//! The virtual-time event loop.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Probability that a [`Ctx::send`] actually reaches its destination —
+    /// the paper's `p` (1.0 = reliable network, 0.7 = the lossy setting of
+    /// Figs 6–7).
+    pub send_success_prob: f64,
+    /// Network latency added to every successful send, in virtual time
+    /// units. Small relative to think times, as in the paper's model where
+    /// waiting dominates.
+    pub latency: f64,
+    /// Seed for all randomness (think times, drops). Same seed ⇒ identical
+    /// run.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self { send_success_prob: 1.0, latency: 0.01, seed: 0 }
+    }
+}
+
+/// Counters the engine maintains across a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Messages handed to [`Ctx::send`].
+    pub sends_attempted: u64,
+    /// Messages that were dropped by failure injection.
+    pub sends_dropped: u64,
+    /// Messages delivered to `on_message`.
+    pub deliveries: u64,
+    /// Wake events processed.
+    pub wakes: u64,
+}
+
+/// A simulated process (page ranker). Actors only interact with the world
+/// through the [`Ctx`] passed to their callbacks, which keeps them
+/// deterministic and testable in isolation.
+pub trait Actor {
+    /// The message type exchanged between actors.
+    type Msg;
+
+    /// Called once at simulation start (schedule the first wake here).
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Called when a previously scheduled wake fires.
+    fn on_wake(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Called when a message from `from` arrives.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg>, from: usize, msg: Self::Msg);
+}
+
+/// The actor-facing handle into the engine: clock, RNG, scheduling and
+/// messaging.
+pub struct Ctx<'a, M> {
+    now: f64,
+    me: usize,
+    kernel: &'a mut Kernel<M>,
+}
+
+impl<M> Ctx<'_, M> {
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// This actor's index.
+    #[must_use]
+    pub fn me(&self) -> usize {
+        self.me
+    }
+
+    /// The engine's deterministic RNG.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.kernel.rng
+    }
+
+    /// Schedules `on_wake` for this actor after `delay` time units.
+    pub fn schedule_wake(&mut self, delay: f64) {
+        assert!(delay >= 0.0 && delay.is_finite(), "invalid wake delay {delay}");
+        let t = self.now + delay;
+        self.kernel.push(t, EventKind::Wake { actor: self.me });
+    }
+
+    /// Sends `msg` to actor `dst`. Subject to failure injection: with
+    /// probability `1 − send_success_prob` the message silently vanishes
+    /// (the paper's model of Y failing to reach another group). Returns
+    /// whether the message survived.
+    pub fn send(&mut self, dst: usize, msg: M) -> bool {
+        self.kernel.stats.sends_attempted += 1;
+        let p = self.kernel.cfg.send_success_prob;
+        if p < 1.0 && !self.kernel.rng.gen_bool(p) {
+            self.kernel.stats.sends_dropped += 1;
+            return false;
+        }
+        let t = self.now + self.kernel.cfg.latency;
+        self.kernel.push(t, EventKind::Message { src: self.me, dst, msg });
+        true
+    }
+
+    /// Sends reliably regardless of the failure model (control-plane
+    /// traffic that the paper does not subject to loss).
+    pub fn send_reliable(&mut self, dst: usize, msg: M) {
+        self.kernel.stats.sends_attempted += 1;
+        let t = self.now + self.kernel.cfg.latency;
+        self.kernel.push(t, EventKind::Message { src: self.me, dst, msg });
+    }
+
+    /// Like [`Ctx::send`] but with `extra_delay` added on top of the base
+    /// latency — used to model multi-hop journeys (e.g. a DHT lookup that
+    /// takes `h` hops before the data message can leave). Still subject to
+    /// failure injection. Returns whether the message survived.
+    pub fn send_after(&mut self, dst: usize, extra_delay: f64, msg: M) -> bool {
+        assert!(extra_delay >= 0.0 && extra_delay.is_finite());
+        self.kernel.stats.sends_attempted += 1;
+        let p = self.kernel.cfg.send_success_prob;
+        if p < 1.0 && !self.kernel.rng.gen_bool(p) {
+            self.kernel.stats.sends_dropped += 1;
+            return false;
+        }
+        let t = self.now + self.kernel.cfg.latency + extra_delay;
+        self.kernel.push(t, EventKind::Message { src: self.me, dst, msg });
+        true
+    }
+}
+
+enum EventKind<M> {
+    Wake { actor: usize },
+    Message { src: usize, dst: usize, msg: M },
+}
+
+struct Event<M> {
+    time: f64,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+// Heap ordering: earliest time first, FIFO (sequence) among equal times.
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.total_cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+struct Kernel<M> {
+    queue: BinaryHeap<Reverse<Event<M>>>,
+    rng: SmallRng,
+    cfg: SimConfig,
+    stats: SimStats,
+    seq: u64,
+}
+
+impl<M> Kernel<M> {
+    fn push(&mut self, time: f64, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event { time, seq, kind }));
+    }
+}
+
+/// The simulation engine: a set of actors plus a virtual-time event queue.
+pub struct Simulation<A: Actor> {
+    actors: Vec<A>,
+    kernel: Kernel<A::Msg>,
+    now: f64,
+    started: bool,
+}
+
+impl<A: Actor> Simulation<A> {
+    /// Creates a simulation over `actors`.
+    #[must_use]
+    pub fn new(actors: Vec<A>, cfg: SimConfig) -> Self {
+        Self {
+            actors,
+            kernel: Kernel {
+                queue: BinaryHeap::new(),
+                rng: SmallRng::seed_from_u64(cfg.seed),
+                cfg,
+                stats: SimStats::default(),
+                seq: 0,
+            },
+            now: 0.0,
+            started: false,
+        }
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Engine counters.
+    #[must_use]
+    pub fn stats(&self) -> SimStats {
+        self.kernel.stats
+    }
+
+    /// Immutable view of the actors (for measurement between events).
+    #[must_use]
+    pub fn actors(&self) -> &[A] {
+        &self.actors
+    }
+
+    /// Mutable view of the actors.
+    pub fn actors_mut(&mut self) -> &mut [A] {
+        &mut self.actors
+    }
+
+    /// Consumes the simulation and returns the actors (post-run state).
+    #[must_use]
+    pub fn into_actors(self) -> Vec<A> {
+        self.actors
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.actors.len() {
+            let mut ctx = Ctx { now: self.now, me: i, kernel: &mut self.kernel };
+            self.actors[i].on_start(&mut ctx);
+        }
+    }
+
+    /// Processes the next event. Returns `false` when the queue is empty
+    /// (quiescence).
+    pub fn step(&mut self) -> bool {
+        self.start_if_needed();
+        let Some(Reverse(ev)) = self.kernel.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now, "time went backwards");
+        self.now = ev.time;
+        match ev.kind {
+            EventKind::Wake { actor } => {
+                self.kernel.stats.wakes += 1;
+                let mut ctx = Ctx { now: self.now, me: actor, kernel: &mut self.kernel };
+                self.actors[actor].on_wake(&mut ctx);
+            }
+            EventKind::Message { src, dst, msg } => {
+                self.kernel.stats.deliveries += 1;
+                let mut ctx = Ctx { now: self.now, me: dst, kernel: &mut self.kernel };
+                self.actors[dst].on_message(&mut ctx, src, msg);
+            }
+        }
+        true
+    }
+
+    /// Runs until virtual time exceeds `t_end` or the queue drains. Events
+    /// at exactly `t_end` are still processed.
+    pub fn run_until(&mut self, t_end: f64) {
+        self.start_if_needed();
+        while let Some(Reverse(ev)) = self.kernel.queue.peek() {
+            if ev.time > t_end {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(t_end.min(self.now.max(t_end)));
+    }
+
+    /// Runs in slices of `sample_every` virtual-time units, calling
+    /// `observe(time, &actors)` after each slice, until `t_end`. This is
+    /// how the figure harnesses sample relative error / average rank over
+    /// time.
+    pub fn run_sampled(
+        &mut self,
+        t_end: f64,
+        sample_every: f64,
+        mut observe: impl FnMut(f64, &[A]),
+    ) {
+        assert!(sample_every > 0.0);
+        let mut t = 0.0;
+        while t < t_end {
+            t = (t + sample_every).min(t_end);
+            self.run_until(t);
+            observe(t, &self.actors);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ping-pong pair: actor 0 sends a counter to 1, which returns it
+    /// incremented, for `limit` exchanges.
+    struct Pinger {
+        peer: usize,
+        is_initiator: bool,
+        limit: u64,
+        seen: Vec<u64>,
+    }
+
+    impl Actor for Pinger {
+        type Msg = u64;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            if self.is_initiator {
+                ctx.schedule_wake(0.0);
+            }
+        }
+        fn on_wake(&mut self, ctx: &mut Ctx<'_, u64>) {
+            ctx.send(self.peer, 0);
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, from: usize, msg: u64) {
+            self.seen.push(msg);
+            if msg < self.limit {
+                ctx.send(from, msg + 1);
+            }
+        }
+    }
+
+    fn ping_pair(limit: u64) -> Vec<Pinger> {
+        vec![
+            Pinger { peer: 1, is_initiator: true, limit, seen: vec![] },
+            Pinger { peer: 0, is_initiator: false, limit, seen: vec![] },
+        ]
+    }
+
+    #[test]
+    fn ping_pong_runs_to_quiescence() {
+        let mut sim = Simulation::new(ping_pair(10), SimConfig::default());
+        while sim.step() {}
+        assert_eq!(sim.actors()[1].seen, vec![0, 2, 4, 6, 8, 10]);
+        assert_eq!(sim.actors()[0].seen, vec![1, 3, 5, 7, 9]);
+        assert_eq!(sim.stats().deliveries, 11);
+        assert_eq!(sim.stats().sends_dropped, 0);
+    }
+
+    #[test]
+    fn time_advances_with_latency() {
+        let cfg = SimConfig { latency: 0.5, ..SimConfig::default() };
+        let mut sim = Simulation::new(ping_pair(4), cfg);
+        while sim.step() {}
+        // 5 messages × 0.5 latency.
+        assert!((sim.now() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_success_probability_drops_everything() {
+        let cfg = SimConfig { send_success_prob: 0.0, ..SimConfig::default() };
+        let mut sim = Simulation::new(ping_pair(10), cfg);
+        while sim.step() {}
+        assert_eq!(sim.stats().deliveries, 0);
+        assert_eq!(sim.stats().sends_dropped, 1);
+        assert!(sim.actors()[1].seen.is_empty());
+    }
+
+    #[test]
+    fn partial_loss_is_deterministic_per_seed() {
+        let cfg = SimConfig { send_success_prob: 0.5, seed: 42, ..SimConfig::default() };
+        let run = |cfg: SimConfig| {
+            let mut sim = Simulation::new(ping_pair(50), cfg);
+            while sim.step() {}
+            (sim.stats(), sim.actors()[0].seen.clone())
+        };
+        let (stats, seen) = run(cfg);
+        assert_eq!((stats, seen.clone()), run(cfg));
+        // Some messages were dropped, some delivered, under p = 0.5.
+        assert!(stats.sends_dropped > 0);
+        assert!(stats.deliveries > 0);
+    }
+
+    #[test]
+    fn send_reliable_ignores_failure_model() {
+        struct Once {
+            sent: bool,
+            got: bool,
+        }
+        impl Actor for Once {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                if !self.sent {
+                    self.sent = true;
+                    ctx.send_reliable(1, ());
+                }
+            }
+            fn on_wake(&mut self, _ctx: &mut Ctx<'_, ()>) {}
+            fn on_message(&mut self, _ctx: &mut Ctx<'_, ()>, _from: usize, _msg: ()) {
+                self.got = true;
+            }
+        }
+        let cfg = SimConfig { send_success_prob: 0.0, ..SimConfig::default() };
+        let mut sim = Simulation::new(
+            vec![Once { sent: false, got: false }, Once { sent: true, got: false }],
+            cfg,
+        );
+        while sim.step() {}
+        assert!(sim.actors()[1].got);
+    }
+
+    #[test]
+    fn send_after_adds_extra_delay() {
+        struct Delayed {
+            arrival: Option<f64>,
+        }
+        impl Actor for Delayed {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                if ctx.me() == 0 {
+                    ctx.send_after(1, 2.5, ());
+                }
+            }
+            fn on_wake(&mut self, _: &mut Ctx<'_, ()>) {}
+            fn on_message(&mut self, ctx: &mut Ctx<'_, ()>, _: usize, _: ()) {
+                self.arrival = Some(ctx.now());
+            }
+        }
+        let cfg = SimConfig { latency: 0.5, ..SimConfig::default() };
+        let mut sim =
+            Simulation::new(vec![Delayed { arrival: None }, Delayed { arrival: None }], cfg);
+        while sim.step() {}
+        assert_eq!(sim.actors()[1].arrival, Some(3.0)); // 0.5 base + 2.5 extra
+    }
+
+    #[test]
+    fn run_until_respects_bound() {
+        let cfg = SimConfig { latency: 1.0, ..SimConfig::default() };
+        let mut sim = Simulation::new(ping_pair(1000), cfg);
+        sim.run_until(10.0);
+        // 10 messages of latency 1.0 fit in [0, 10].
+        assert_eq!(sim.stats().deliveries, 10);
+    }
+
+    #[test]
+    fn run_sampled_observes_monotone_times() {
+        let mut sim = Simulation::new(ping_pair(100), SimConfig::default());
+        let mut times = vec![];
+        sim.run_sampled(1.0, 0.25, |t, _| times.push(t));
+        assert_eq!(times, vec![0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn equal_time_events_processed_fifo() {
+        // With zero latency, messages land at identical times; the sequence
+        // number must preserve send order.
+        struct Burst {
+            inbox: Vec<u64>,
+        }
+        impl Actor for Burst {
+            type Msg = u64;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+                if ctx.me() == 0 {
+                    for i in 0..10 {
+                        ctx.send(1, i);
+                    }
+                }
+            }
+            fn on_wake(&mut self, _: &mut Ctx<'_, u64>) {}
+            fn on_message(&mut self, _: &mut Ctx<'_, u64>, _: usize, m: u64) {
+                self.inbox.push(m);
+            }
+        }
+        let cfg = SimConfig { latency: 0.0, ..SimConfig::default() };
+        let mut sim = Simulation::new(vec![Burst { inbox: vec![] }, Burst { inbox: vec![] }], cfg);
+        while sim.step() {}
+        assert_eq!(sim.actors()[1].inbox, (0..10).collect::<Vec<_>>());
+    }
+}

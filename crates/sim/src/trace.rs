@@ -1,0 +1,159 @@
+//! Time-series recording for the paper's time-axis figures (Figs 6–7).
+
+/// An append-only series of `(time, value)` samples with monotonically
+/// non-decreasing times.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeries {
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// Empty series.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    /// If `time` precedes the last recorded time.
+    pub fn push(&mut self, time: f64, value: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(time >= last, "time series must be monotone: {time} < {last}");
+        }
+        self.points.push((time, value));
+    }
+
+    /// The raw samples.
+    #[must_use]
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no samples were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Last recorded value, if any.
+    #[must_use]
+    pub fn last_value(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+
+    /// Step-interpolated value at `time` (the most recent sample at or
+    /// before `time`); `None` before the first sample.
+    #[must_use]
+    pub fn value_at(&self, time: f64) -> Option<f64> {
+        let idx = self.points.partition_point(|&(t, _)| t <= time);
+        idx.checked_sub(1).map(|i| self.points[i].1)
+    }
+
+    /// Whether the value sequence is monotone non-decreasing up to `tol` —
+    /// the Fig 7 / Theorem 4.1 property check.
+    #[must_use]
+    pub fn is_monotone_nondecreasing(&self, tol: f64) -> bool {
+        self.points.windows(2).all(|w| w[1].1 >= w[0].1 - tol)
+    }
+
+    /// First time the value drops to or below `threshold` (for
+    /// convergence-time readouts on error curves); `None` if it never does.
+    #[must_use]
+    pub fn first_time_below(&self, threshold: f64) -> Option<f64> {
+        self.points.iter().find(|&&(_, v)| v <= threshold).map(|&(t, _)| t)
+    }
+
+    /// Resamples onto a uniform grid of `n` points over `[t0, t1]` using
+    /// step interpolation — used to print fixed-width figure rows.
+    #[must_use]
+    pub fn resample(&self, t0: f64, t1: f64, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2 && t1 > t0);
+        (0..n)
+            .map(|i| {
+                let t = t0 + (t1 - t0) * i as f64 / (n - 1) as f64;
+                (t, self.value_at(t).unwrap_or(f64::NAN))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_series() -> TimeSeries {
+        let mut s = TimeSeries::new();
+        s.push(0.0, 10.0);
+        s.push(1.0, 5.0);
+        s.push(2.0, 2.0);
+        s.push(4.0, 1.0);
+        s
+    }
+
+    #[test]
+    fn push_and_inspect() {
+        let s = sample_series();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.last_value(), Some(1.0));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn non_monotone_time_rejected() {
+        let mut s = sample_series();
+        s.push(3.0, 0.0);
+    }
+
+    #[test]
+    fn step_interpolation() {
+        let s = sample_series();
+        assert_eq!(s.value_at(-0.5), None);
+        assert_eq!(s.value_at(0.0), Some(10.0));
+        assert_eq!(s.value_at(0.9), Some(10.0));
+        assert_eq!(s.value_at(1.0), Some(5.0));
+        assert_eq!(s.value_at(3.0), Some(2.0));
+        assert_eq!(s.value_at(100.0), Some(1.0));
+    }
+
+    #[test]
+    fn monotonicity_check() {
+        let s = sample_series();
+        assert!(!s.is_monotone_nondecreasing(0.0));
+        let mut up = TimeSeries::new();
+        up.push(0.0, 1.0);
+        up.push(1.0, 1.0);
+        up.push(2.0, 3.0);
+        assert!(up.is_monotone_nondecreasing(0.0));
+        // Tolerance absorbs float jitter.
+        let mut jitter = TimeSeries::new();
+        jitter.push(0.0, 1.0);
+        jitter.push(1.0, 1.0 - 1e-13);
+        assert!(jitter.is_monotone_nondecreasing(1e-12));
+    }
+
+    #[test]
+    fn first_time_below() {
+        let s = sample_series();
+        assert_eq!(s.first_time_below(5.0), Some(1.0));
+        assert_eq!(s.first_time_below(0.5), None);
+    }
+
+    #[test]
+    fn resample_grid() {
+        let s = sample_series();
+        let grid = s.resample(0.0, 4.0, 5);
+        assert_eq!(grid.len(), 5);
+        assert_eq!(grid[0], (0.0, 10.0));
+        assert_eq!(grid[4], (4.0, 1.0));
+        assert_eq!(grid[2].1, 2.0); // t = 2.0
+    }
+}

@@ -1,0 +1,113 @@
+//! The paper's think-time model.
+//!
+//! Each page group `u` waits `Tw(u, m) ~ Exp(mean_u)` before loop step `m`,
+//! where `mean_u` is drawn once per group, uniformly from `[T1, T2]`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Exp};
+
+/// Per-group think-time generator.
+#[derive(Debug, Clone)]
+pub struct WaitModel {
+    /// Mean waiting time of each group (drawn from `[T1, T2]`).
+    means: Vec<f64>,
+}
+
+impl WaitModel {
+    /// Draws the per-group means for `k` groups uniformly from
+    /// `[t1, t2]`, deterministically from `seed`.
+    ///
+    /// `t1 = t2` gives every group the same mean (the synchronous-ish
+    /// setting of Fig 8, `T1 = T2 = 15`); `t1 = 0, t2 = 6` is the
+    /// heterogeneous setting of Figs 6–7.
+    ///
+    /// # Panics
+    /// If `t1 > t2`, either is negative, or `k == 0`.
+    #[must_use]
+    pub fn uniform_means(k: usize, t1: f64, t2: f64, seed: u64) -> Self {
+        assert!(k > 0);
+        assert!(t1 >= 0.0 && t2 >= t1, "invalid [T1, T2] = [{t1}, {t2}]");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let means = (0..k)
+            .map(|_| if t2 > t1 { rng.gen_range(t1..=t2) } else { t1 })
+            .collect();
+        Self { means }
+    }
+
+    /// The mean wait of group `u`.
+    #[must_use]
+    pub fn mean(&self, u: usize) -> f64 {
+        self.means[u]
+    }
+
+    /// Number of groups.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Whether there are no groups (never true for a constructed model).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.means.is_empty()
+    }
+
+    /// Samples `Tw(u, m)` — an exponential draw with group `u`'s mean. A
+    /// zero mean yields zero wait (the degenerate `T1 = T2 = 0` corner).
+    pub fn sample(&self, u: usize, rng: &mut SmallRng) -> f64 {
+        let mean = self.means[u];
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        Exp::new(1.0 / mean).expect("positive rate").sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_in_range() {
+        let m = WaitModel::uniform_means(100, 2.0, 6.0, 1);
+        assert_eq!(m.len(), 100);
+        assert!((0..100).all(|u| (2.0..=6.0).contains(&m.mean(u))));
+    }
+
+    #[test]
+    fn degenerate_interval() {
+        let m = WaitModel::uniform_means(10, 15.0, 15.0, 1);
+        assert!((0..10).all(|u| m.mean(u) == 15.0));
+    }
+
+    #[test]
+    fn zero_mean_gives_zero_wait() {
+        let m = WaitModel::uniform_means(1, 0.0, 0.0, 1);
+        let mut rng = SmallRng::seed_from_u64(9);
+        assert_eq!(m.sample(0, &mut rng), 0.0);
+    }
+
+    #[test]
+    fn sample_mean_converges_to_group_mean() {
+        let m = WaitModel::uniform_means(1, 5.0, 5.0, 1);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| m.sample(0, &mut rng)).sum();
+        let avg = total / f64::from(n);
+        assert!((avg - 5.0).abs() < 0.15, "empirical mean {avg}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = WaitModel::uniform_means(50, 0.0, 6.0, 3);
+        let b = WaitModel::uniform_means(50, 0.0, 6.0, 3);
+        assert_eq!(a.means, b.means);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid [T1, T2]")]
+    fn inverted_interval_rejected() {
+        let _ = WaitModel::uniform_means(3, 6.0, 2.0, 1);
+    }
+}

@@ -1,0 +1,224 @@
+//! Indirect transmission (§4.4, Figs 4–5) — the paper's scalable scheme.
+//!
+//! Instead of looking up each destination's address, a node packs all its
+//! pending updates by *next overlay hop* and hands one package to each
+//! neighbor. Every intermediate node unpacks arriving packages, recombines
+//! the contained batches by destination, and repacks per next hop —
+//! "something opposite to the spirit of P2P": data rides the DHT routing
+//! paths themselves. The win: messages flow only between neighbors, so an
+//! iteration needs `O(g·N)` messages instead of `O((h+1)·N²)`; the price:
+//! every byte is forwarded `h` times, `D_it = h·l·W`.
+
+use std::collections::BTreeMap;
+
+use dpr_overlay::{NodeIndex, Overlay};
+
+use crate::codec::SizeModel;
+use crate::stats::TransmissionStats;
+use crate::{Batch, Outgoing};
+
+/// The result of draining one exchange round through the overlay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndirectOutcome {
+    /// Aggregate network cost.
+    pub stats: TransmissionStats,
+    /// Batches delivered at each node, recombined by destination key
+    /// (`delivered[node]` = everything that node is responsible for).
+    pub delivered: Vec<Vec<Batch>>,
+}
+
+/// Simulates one full exchange round of indirect transmission: all senders'
+/// traffic is injected simultaneously, then forwarding proceeds in
+/// synchronous waves until every batch reaches the node responsible for its
+/// destination key. One message is counted per (node, neighbor) pair per
+/// wave that actually carries data — the per-neighbor package of Fig 4.
+#[must_use]
+pub fn simulate<O: Overlay + ?Sized, S: SizeModel>(
+    net: &O,
+    traffic: &[Outgoing],
+    sizes: &S,
+) -> IndirectOutcome {
+    let n = net.n_nodes();
+    let mut stats = TransmissionStats::default();
+    let mut delivered: Vec<Vec<Batch>> = vec![Vec::new(); n];
+
+    // pending[node] = batches currently held by `node` awaiting forwarding.
+    let mut pending: Vec<Vec<Batch>> = vec![Vec::new(); n];
+    for out in traffic {
+        assert!(out.sender < n, "sender out of range");
+        pending[out.sender].extend(out.batches.iter().cloned());
+    }
+
+    loop {
+        let mut moved = false;
+        // Next wave's pending queues.
+        let mut next: Vec<Vec<Batch>> = vec![Vec::new(); n];
+        for (node, batches) in pending.iter_mut().enumerate() {
+            if batches.is_empty() {
+                continue;
+            }
+            // Recombine by destination, then group by next hop: one package
+            // (= one message) per neighbor that has any traffic.
+            // BTreeMap keeps forwarding order deterministic across runs.
+            let mut by_hop: BTreeMap<NodeIndex, Vec<Batch>> = BTreeMap::new();
+            for batch in batches.drain(..) {
+                match net.next_hop(node, batch.dest_key) {
+                    None => {
+                        stats.delivered_updates += batch.updates.len() as u64;
+                        merge_into(&mut delivered[node], batch);
+                    }
+                    Some(hop) => {
+                        merge_into(by_hop.entry(hop).or_default(), batch);
+                    }
+                }
+            }
+            for (hop, package) in by_hop {
+                moved = true;
+                stats.messages += 1;
+                let payload: usize = package
+                    .iter()
+                    .flat_map(|b| b.updates.iter())
+                    .map(|u| sizes.update_size(u))
+                    .sum::<usize>()
+                    + sizes.header_size();
+                stats.bytes += payload as u64;
+                next[hop].extend(package);
+            }
+        }
+        if !moved {
+            break;
+        }
+        stats.rounds += 1;
+        pending = next;
+    }
+    IndirectOutcome { stats, delivered }
+}
+
+/// Appends `batch` to `list`, merging with an existing batch for the same
+/// destination key (the "recombines the data in them according to their
+/// destinations" step of Fig 4).
+fn merge_into(list: &mut Vec<Batch>, batch: Batch) {
+    if let Some(existing) = list.iter_mut().find(|b| b.dest_key == batch.dest_key) {
+        existing.updates.extend(batch.updates);
+    } else {
+        list.push(batch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{PaperSizeModel, RankUpdate};
+    use dpr_overlay::id::key_from_u64;
+    use dpr_overlay::PastryNetwork;
+
+    fn upd(score: f64) -> RankUpdate {
+        RankUpdate { from_page: 0, to_page: 1, score }
+    }
+
+    #[test]
+    fn delivers_to_responsible_node() {
+        let net = PastryNetwork::with_nodes(60, 4);
+        let key = key_from_u64(99);
+        let dest = net.responsible(key);
+        let sender = (0..60).find(|&s| s != dest).unwrap();
+        let traffic = vec![Outgoing {
+            sender,
+            batches: vec![Batch { dest_key: key, updates: vec![upd(0.25)] }],
+        }];
+        let out = simulate(&net, &traffic, &PaperSizeModel);
+        assert_eq!(out.stats.delivered_updates, 1);
+        assert_eq!(out.delivered[dest].len(), 1);
+        assert_eq!(out.delivered[dest][0].updates[0].score, 0.25);
+        // Messages = hop count of the route (one package per hop).
+        assert_eq!(out.stats.messages as usize, net.route(sender, key).len());
+    }
+
+    #[test]
+    fn local_batch_needs_no_messages() {
+        let net = PastryNetwork::with_nodes(10, 5);
+        let key = key_from_u64(1);
+        let home = net.responsible(key);
+        let traffic = vec![Outgoing {
+            sender: home,
+            batches: vec![Batch { dest_key: key, updates: vec![upd(1.0)] }],
+        }];
+        let out = simulate(&net, &traffic, &PaperSizeModel);
+        assert_eq!(out.stats.messages, 0);
+        assert_eq!(out.stats.delivered_updates, 1);
+    }
+
+    #[test]
+    fn packages_aggregate_batches_sharing_next_hop() {
+        // All nodes send to every group: per wave each node emits at most
+        // one message per neighbor, so total messages must be far below the
+        // direct-transmission bound even though the same traffic flows.
+        let net = PastryNetwork::with_nodes(40, 6);
+        let n = net.n_nodes();
+        let traffic: Vec<Outgoing> = (0..n)
+            .map(|s| Outgoing {
+                sender: s,
+                batches: (0..n as u64)
+                    .map(|g| Batch { dest_key: key_from_u64(g), updates: vec![upd(0.1)] })
+                    .collect(),
+            })
+            .collect();
+        let indirect = simulate(&net, &traffic, &PaperSizeModel).stats;
+        let direct = crate::direct::simulate(&net, &traffic, &PaperSizeModel);
+        assert_eq!(indirect.delivered_updates, (n * n) as u64);
+        assert_eq!(indirect.delivered_updates, direct.delivered_updates);
+        assert!(
+            indirect.messages < direct.messages / 2,
+            "indirect {} vs direct {}",
+            indirect.messages,
+            direct.messages
+        );
+        // But indirect pays forwarding bytes (h× the payload).
+        assert!(indirect.bytes > 0);
+    }
+
+    #[test]
+    fn all_updates_conserved() {
+        let net = PastryNetwork::with_nodes(25, 7);
+        let traffic: Vec<Outgoing> = (0..25)
+            .map(|s| Outgoing {
+                sender: s,
+                batches: (0..5u64)
+                    .map(|g| Batch {
+                        dest_key: key_from_u64(g),
+                        updates: vec![upd(s as f64), upd(s as f64 + 0.5)],
+                    })
+                    .collect(),
+            })
+            .collect();
+        let out = simulate(&net, &traffic, &PaperSizeModel);
+        assert_eq!(out.stats.delivered_updates, 25 * 5 * 2);
+        let total: usize = out
+            .delivered
+            .iter()
+            .flat_map(|v| v.iter())
+            .map(|b| b.updates.len())
+            .sum();
+        assert_eq!(total, 25 * 5 * 2);
+        // Every delivered batch must sit at its responsible node.
+        for (node, batches) in out.delivered.iter().enumerate() {
+            for b in batches {
+                assert_eq!(net.responsible(b.dest_key), node);
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_bounded_by_route_length() {
+        let net = PastryNetwork::with_nodes(200, 8);
+        let key = key_from_u64(3);
+        let dest = net.responsible(key);
+        let sender = (0..200).find(|&s| s != dest).unwrap();
+        let traffic = vec![Outgoing {
+            sender,
+            batches: vec![Batch { dest_key: key, updates: vec![upd(1.0)] }],
+        }];
+        let out = simulate(&net, &traffic, &PaperSizeModel);
+        assert_eq!(out.stats.rounds as usize, net.route(sender, key).len());
+    }
+}

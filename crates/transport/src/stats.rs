@@ -1,0 +1,129 @@
+//! Message and byte accounting, plus the closed-form cost model of §4.4.
+
+/// Accumulated cost of an exchange round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransmissionStats {
+    /// Point-to-point messages sent (every lookup hop and every data
+    /// package counts as one message).
+    pub messages: u64,
+    /// Total bytes crossing links (a byte forwarded over `h` hops counts
+    /// `h` times — that is what consumes network capacity).
+    pub bytes: u64,
+    /// Rank updates that reached their destination group.
+    pub delivered_updates: u64,
+    /// Forwarding rounds until all traffic drained (indirect transmission
+    /// only; 1 for direct).
+    pub rounds: u32,
+}
+
+impl TransmissionStats {
+    /// Merges another round's cost into this one.
+    pub fn merge(&mut self, other: &TransmissionStats) {
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+        self.delivered_updates += other.delivered_updates;
+        self.rounds = self.rounds.max(other.rounds);
+    }
+}
+
+impl std::fmt::Display for TransmissionStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} msgs, {} bytes, {} updates delivered in {} rounds",
+            self.messages, self.bytes, self.delivered_updates, self.rounds
+        )
+    }
+}
+
+/// The paper's closed-form estimates (formulas 4.1–4.4). All take the same
+/// symbols the paper uses: `w` pages total, `n` page rankers, `h` average
+/// lookup hops, `l` bytes per link record, `r` bytes per lookup message,
+/// `g` average neighbors per node.
+pub mod analytic {
+    /// Formula 4.1 — bytes moved per iteration with indirect transmission:
+    /// `D_it = h·l·W` (every one of the ~W inter-group link records is
+    /// forwarded over `h` hops on average).
+    #[must_use]
+    pub fn d_indirect(h: f64, l: f64, w: f64) -> f64 {
+        h * l * w
+    }
+
+    /// Formula 4.2 — bytes with direct transmission:
+    /// `D_dt = l·W + h·r·N²` (records travel one logical hop, but every
+    /// pair of rankers first pays an `h`-hop lookup of `r` bytes).
+    #[must_use]
+    pub fn d_direct(h: f64, l: f64, w: f64, r: f64, n: f64) -> f64 {
+        l * w + h * r * n * n
+    }
+
+    /// Formula 4.3 — messages per iteration with indirect transmission:
+    /// `S_it = g·N` (each node sends one package per neighbor).
+    #[must_use]
+    pub fn s_indirect(g: f64, n: f64) -> f64 {
+        g * n
+    }
+
+    /// Formula 4.4 — messages with direct transmission:
+    /// `S_dt = (h+1)·N²` (an `h`-message lookup plus one data message for
+    /// every ordered pair of rankers).
+    #[must_use]
+    pub fn s_direct(h: f64, n: f64) -> f64 {
+        (h + 1.0) * n * n
+    }
+
+    /// The N beyond which indirect transmission sends fewer messages than
+    /// direct: smallest `n` with `g·n < (h+1)·n²`, i.e. `n > g/(h+1)`.
+    /// "Direct transmission seems better only for small N."
+    #[must_use]
+    pub fn message_crossover_n(g: f64, h: f64) -> f64 {
+        g / (h + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = TransmissionStats { messages: 1, bytes: 10, delivered_updates: 2, rounds: 3 };
+        let b = TransmissionStats { messages: 4, bytes: 40, delivered_updates: 8, rounds: 2 };
+        a.merge(&b);
+        assert_eq!(a, TransmissionStats { messages: 5, bytes: 50, delivered_updates: 10, rounds: 3 });
+    }
+
+    #[test]
+    fn paper_example_formula_4_6() {
+        // §4.5 example: W = 3G pages, l = 100 B, h = 2.5 ⇒ D_it = 750 GB;
+        // at 100 MB/s that is T > 7500 s.
+        let d = analytic::d_indirect(2.5, 100.0, 3.0e9);
+        let t = d / 100.0e6;
+        assert!((t - 7500.0).abs() < 1.0, "T = {t}");
+    }
+
+    #[test]
+    fn indirect_beats_direct_for_large_n() {
+        let (h, g) = (2.5, 40.0);
+        let n = 1000.0;
+        assert!(analytic::s_indirect(g, n) < analytic::s_direct(h, n));
+        assert!(
+            analytic::d_indirect(h, 100.0, 3.0e9)
+                < analytic::d_direct(h, 100.0, 3.0e9, 50.0, 100_000.0)
+        );
+    }
+
+    #[test]
+    fn direct_beats_indirect_for_tiny_n() {
+        let (h, g) = (2.5, 40.0);
+        let n = 3.0; // below the crossover g/(h+1) ≈ 11.4
+        assert!(analytic::s_direct(h, n) < analytic::s_indirect(g, n));
+        assert!(analytic::message_crossover_n(g, h) > n);
+    }
+
+    #[test]
+    fn display_renders() {
+        let s = TransmissionStats::default();
+        assert!(s.to_string().contains("msgs"));
+    }
+}

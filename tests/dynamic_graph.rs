@@ -1,0 +1,96 @@
+//! The paper's dynamic-graph scenario (§4.3): Theorems 4.1/4.2 assume a
+//! static link graph, but the authors "believe the two algorithms DO
+//! converge" under change. These tests exercise exactly that: the crawl is
+//! refreshed mid-deployment (links rewired, new pages appear), ranking
+//! continues warm-started from the previous fixed point, and must converge
+//! to the *new* fixed point — faster than a cold start.
+
+use dpr::core::{open_pagerank, run_distributed, DistributedRunConfig, RankConfig};
+use dpr::graph::generators::edu::{edu_domain, EduDomainConfig};
+use dpr::graph::refresh::recrawl;
+use dpr::linalg::vec_ops::relative_error;
+use dpr::partition::Strategy;
+
+fn crawl() -> dpr::graph::WebGraph {
+    edu_domain(&EduDomainConfig { n_pages: 3_000, n_sites: 25, ..EduDomainConfig::default() })
+}
+
+fn cfg() -> DistributedRunConfig {
+    DistributedRunConfig {
+        k: 16,
+        strategy: Strategy::HashBySite,
+        t1: 0.5,
+        t2: 2.0,
+        t_end: 200.0,
+        sample_every: 2.0,
+        ..DistributedRunConfig::default()
+    }
+}
+
+#[test]
+fn ranking_tracks_a_refreshed_crawl() {
+    let g1 = crawl();
+    let first = run_distributed(&g1, cfg());
+    assert!(first.final_rel_err < 1e-4);
+
+    // 30% of pages change their links, 10% new pages appear.
+    let (g2, report) = recrawl(&g1, 0.3, 0.1, 99);
+    assert!(!report.changed_pages.is_empty());
+    assert!(!report.new_pages.is_empty());
+
+    // The old ranks are now wrong for the new graph…
+    let new_star = open_pagerank(&g2, &RankConfig::default()).ranks;
+    let stale_err = relative_error(
+        &first.final_ranks.iter().copied().chain(std::iter::repeat(0.0)).take(g2.n_pages()).collect::<Vec<_>>(),
+        &new_star,
+    );
+    assert!(stale_err > 1e-3, "recrawl changed too little to be a test: {stale_err}");
+
+    // …but a warm-started second deployment converges to the new fixed
+    // point.
+    let mut warm = first.final_ranks.clone();
+    warm.resize(g2.n_pages(), 0.0);
+    let second = run_distributed(&g2, DistributedRunConfig { warm_start: Some(warm), ..cfg() });
+    assert!(second.final_rel_err < 1e-4, "rel err {}", second.final_rel_err);
+}
+
+#[test]
+fn warm_start_converges_faster_than_cold() {
+    let g1 = crawl();
+    let first = run_distributed(&g1, cfg());
+    let (g2, _) = recrawl(&g1, 0.15, 0.05, 7);
+    let mut warm = first.final_ranks.clone();
+    warm.resize(g2.n_pages(), 0.0);
+
+    let threshold = 1e-3;
+    let cold = run_distributed(&g2, DistributedRunConfig { seed: 5, ..cfg() });
+    let warm_run = run_distributed(
+        &g2,
+        DistributedRunConfig { seed: 5, warm_start: Some(warm), ..cfg() },
+    );
+    let t_cold = cold.rel_err.first_time_below(threshold).expect("cold converges");
+    let t_warm = warm_run.rel_err.first_time_below(threshold).expect("warm converges");
+    assert!(
+        t_warm <= t_cold,
+        "warm start ({t_warm}) should not be slower than cold ({t_cold})"
+    );
+    // With only 15% churn the warm start should land close immediately.
+    assert!(warm_run.rel_err.points()[0].1 < cold.rel_err.points()[0].1);
+}
+
+#[test]
+fn dpr2_also_tracks_graph_changes() {
+    let g1 = crawl();
+    let first = run_distributed(&g1, cfg());
+    let (g2, _) = recrawl(&g1, 0.25, 0.0, 21);
+    let second = run_distributed(
+        &g2,
+        DistributedRunConfig {
+            variant: dpr::core::DprVariant::Dpr2,
+            warm_start: Some(first.final_ranks.clone()),
+            t_end: 400.0,
+            ..cfg()
+        },
+    );
+    assert!(second.final_rel_err < 1e-4, "rel err {}", second.final_rel_err);
+}

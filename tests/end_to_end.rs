@@ -1,0 +1,131 @@
+//! End-to-end integration: graph generation → partitioning → group build →
+//! asynchronous simulation → convergence against the centralized baseline,
+//! across datasets, strategies, variants and failure levels.
+
+use dpr::core::metrics::{sampled_order_agreement, top_k_overlap};
+use dpr::core::{
+    open_pagerank, run_distributed, DistributedRunConfig, DprVariant, RankConfig,
+};
+use dpr::graph::generators::edu::{edu_domain, EduDomainConfig};
+use dpr::graph::generators::{random, toy};
+use dpr::partition::Strategy;
+
+fn small_edu() -> dpr::graph::WebGraph {
+    edu_domain(&EduDomainConfig { n_pages: 4_000, n_sites: 25, ..EduDomainConfig::default() })
+}
+
+fn base_cfg() -> DistributedRunConfig {
+    DistributedRunConfig {
+        k: 16,
+        strategy: Strategy::HashBySite,
+        t1: 0.5,
+        t2: 3.0,
+        t_end: 250.0,
+        sample_every: 2.5,
+        ..DistributedRunConfig::default()
+    }
+}
+
+#[test]
+fn dpr1_matches_cpr_on_edu_graph() {
+    let g = small_edu();
+    let res = run_distributed(&g, base_cfg());
+    assert!(res.final_rel_err < 1e-4, "rel err {}", res.final_rel_err);
+    // The rankings agree, not just the error norm.
+    assert!(sampled_order_agreement(&res.final_ranks, &res.reference_ranks, 20_000, 7) > 0.999);
+    assert_eq!(top_k_overlap(&res.final_ranks, &res.reference_ranks, 50), 1.0);
+}
+
+#[test]
+fn dpr2_matches_cpr_on_edu_graph() {
+    let g = small_edu();
+    let res = run_distributed(
+        &g,
+        DistributedRunConfig { variant: DprVariant::Dpr2, t_end: 400.0, ..base_cfg() },
+    );
+    assert!(res.final_rel_err < 1e-4, "rel err {}", res.final_rel_err);
+}
+
+#[test]
+fn all_strategies_converge_to_the_same_ranks() {
+    let g = small_edu();
+    let star = open_pagerank(&g, &RankConfig::default()).ranks;
+    for strategy in
+        [Strategy::Random { seed: 5 }, Strategy::HashByUrl, Strategy::HashBySite]
+    {
+        let res = run_distributed(&g, DistributedRunConfig { strategy, ..base_cfg() });
+        let err = dpr::linalg::vec_ops::relative_error(&res.final_ranks, &star);
+        assert!(err < 1e-4, "{} strategy rel err {err}", strategy.name());
+    }
+}
+
+#[test]
+fn convergence_survives_heavy_message_loss() {
+    let g = small_edu();
+    let res = run_distributed(
+        &g,
+        DistributedRunConfig { send_success_prob: 0.3, t_end: 600.0, ..base_cfg() },
+    );
+    assert!(res.final_rel_err < 1e-3, "rel err {} at p = 0.3", res.final_rel_err);
+    let drop_rate =
+        res.sim_stats.sends_dropped as f64 / res.sim_stats.sends_attempted.max(1) as f64;
+    assert!((0.6..0.8).contains(&drop_rate), "drop rate {drop_rate} should be ~0.7");
+}
+
+#[test]
+fn k_exceeding_page_count_works() {
+    // More rankers than pages: most groups empty, system still converges.
+    let g = toy::two_cliques(3);
+    let res = run_distributed(
+        &g,
+        DistributedRunConfig { k: 64, strategy: Strategy::HashByUrl, ..base_cfg() },
+    );
+    assert!(res.final_rel_err < 1e-4);
+    assert!(res.active_groups <= g.n_pages());
+}
+
+#[test]
+fn single_ranker_degenerates_to_cpr() {
+    let g = small_edu();
+    let res = run_distributed(&g, DistributedRunConfig { k: 1, ..base_cfg() });
+    assert!(res.final_rel_err < 1e-6, "K=1 must match CPR almost exactly");
+    assert_eq!(res.active_groups, 1);
+    assert_eq!(res.sim_stats.sends_attempted, 0, "one group has nobody to talk to");
+}
+
+#[test]
+fn random_graph_without_site_structure_converges() {
+    let g = random::erdos_renyi(2_000, 10, 8.0, 3);
+    let res = run_distributed(
+        &g,
+        DistributedRunConfig { strategy: Strategy::HashByUrl, ..base_cfg() },
+    );
+    assert!(res.final_rel_err < 1e-4, "rel err {}", res.final_rel_err);
+}
+
+#[test]
+fn copy_model_graph_with_hubs_converges() {
+    let g = random::copy_model(2_000, 10, 8, 0.8, 9);
+    let res = run_distributed(&g, base_cfg());
+    assert!(res.final_rel_err < 1e-4, "rel err {}", res.final_rel_err);
+}
+
+#[test]
+fn deterministic_runs_per_seed() {
+    let g = toy::two_cliques(4);
+    let run = || run_distributed(&g, DistributedRunConfig { seed: 77, ..base_cfg() });
+    let a = run();
+    let b = run();
+    assert_eq!(a.final_ranks, b.final_ranks);
+    assert_eq!(a.sim_stats, b.sim_stats);
+    assert_eq!(a.rel_err.points(), b.rel_err.points());
+}
+
+#[test]
+fn reference_is_reproducible_from_result() {
+    // The result carries its own reference; recomputing CPR must agree.
+    let g = small_edu();
+    let res = run_distributed(&g, base_cfg());
+    let star = open_pagerank(&g, &RankConfig::default()).ranks;
+    assert_eq!(res.reference_ranks, star);
+}

@@ -1,0 +1,122 @@
+//! Reduced-scale versions of the paper's figures as regression tests: the
+//! *shapes* the paper reports must hold on every commit, not only when the
+//! full experiment binaries are run by hand.
+
+use dpr::core::centralized::open_pagerank_iterations_to;
+use dpr::core::{run_distributed, DistributedRunConfig, DprVariant, RankConfig};
+use dpr::graph::generators::edu::{edu_domain, EduDomainConfig};
+use dpr::model::table1;
+use dpr::partition::{Partition, PartitionMetrics, Strategy};
+
+fn graph() -> dpr::graph::WebGraph {
+    edu_domain(&EduDomainConfig { n_pages: 5_000, n_sites: 40, ..EduDomainConfig::default() })
+}
+
+fn fig_cfg(p: f64, t1: f64, t2: f64) -> DistributedRunConfig {
+    DistributedRunConfig {
+        k: 40,
+        strategy: Strategy::HashBySite,
+        t1,
+        t2,
+        send_success_prob: p,
+        t_end: 120.0,
+        sample_every: 2.0,
+        seed: 11,
+        ..DistributedRunConfig::default()
+    }
+}
+
+/// FIG6 shape: all three settings converge; the reliable/fast setting (A)
+/// reaches the threshold no later than the lossy/slow one (C).
+#[test]
+fn fig6_shape_reliable_beats_lossy_slow() {
+    let g = graph();
+    let a = run_distributed(&g, fig_cfg(1.0, 0.0, 6.0));
+    let c = run_distributed(&g, fig_cfg(0.7, 0.0, 15.0));
+    assert!(a.final_rel_err < 1e-3);
+    assert!(c.final_rel_err < 1e-2);
+    let ta = a.rel_err.first_time_below(0.01).expect("A must reach 1%");
+    let tc = c.rel_err.first_time_below(0.01).expect("C must reach 1%");
+    assert!(ta <= tc, "A at {ta} should beat C at {tc}");
+    // And errors decrease overall.
+    let pts = a.rel_err.points();
+    assert!(pts.first().unwrap().1 > 10.0 * pts.last().unwrap().1.max(1e-12));
+}
+
+/// FIG7 shape: DPR1's average-rank sequence is monotone and converges to a
+/// leakage-determined value well below E = 1.
+#[test]
+fn fig7_shape_monotone_rank_below_one() {
+    let g = graph();
+    let res = run_distributed(
+        &g,
+        DistributedRunConfig { track_theorems: true, ..fig_cfg(0.7, 0.0, 6.0) },
+    );
+    assert!(res.avg_rank.is_monotone_nondecreasing(1e-9));
+    let last = res.avg_rank.last_value().unwrap();
+    assert!((0.1..0.6).contains(&last), "converged avg rank {last}");
+    let (monotone, bounded) = res.theorems_held.unwrap();
+    assert!(monotone && bounded);
+}
+
+/// FIG8 shape: DPR1 needs fewer outer iterations than DPR2, and K has
+/// limited effect on DPR1.
+#[test]
+fn fig8_shape_dpr1_beats_dpr2_and_k_is_flat() {
+    let g = graph();
+    let run = |k: usize, variant: DprVariant| {
+        run_distributed(
+            &g,
+            DistributedRunConfig {
+                k,
+                variant,
+                t1: 15.0,
+                t2: 15.0,
+                t_end: 1_200.0,
+                sample_every: 1.0,
+                ..fig_cfg(1.0, 15.0, 15.0)
+            },
+        )
+        .mean_outer_iters_at_threshold
+        .expect("must converge")
+    };
+    let dpr1_k10 = run(10, DprVariant::Dpr1);
+    let dpr1_k80 = run(80, DprVariant::Dpr1);
+    let dpr2_k10 = run(10, DprVariant::Dpr2);
+    assert!(
+        dpr1_k10 < dpr2_k10,
+        "DPR1 ({dpr1_k10}) must converge in fewer outer iterations than DPR2 ({dpr2_k10})"
+    );
+    let ratio = dpr1_k10.max(dpr1_k80) / dpr1_k10.min(dpr1_k80);
+    assert!(ratio < 3.0, "K changed DPR1 iterations by {ratio}x");
+    // CPR is in the same ballpark as DPR2-style stepping.
+    let cpr = open_pagerank_iterations_to(&g, &RankConfig::default(), 1e-4);
+    assert!((5..=60).contains(&cpr), "CPR iterations {cpr} out of expected band");
+}
+
+/// TAB1 shape: the paper's published numbers come out of the model.
+#[test]
+fn table1_shape() {
+    let rows = table1();
+    assert_eq!(rows.len(), 3);
+    assert!((rows[0].min_iteration_interval_secs - 7_500.0).abs() < 1.0);
+    // Interval grows with N (more hops) while per-node bandwidth falls.
+    assert!(rows[0].min_iteration_interval_secs < rows[2].min_iteration_interval_secs);
+    assert!(rows[0].min_bottleneck_bytes_per_sec > rows[2].min_bottleneck_bytes_per_sec);
+}
+
+/// ABL-PARTITION shape: hash-by-site cuts several times fewer links than
+/// the page-granularity strategies on a site-structured crawl.
+#[test]
+fn partition_ablation_shape() {
+    let g = graph();
+    let k = 32;
+    let cut = |s: Strategy| {
+        PartitionMetrics::compute(&g, &Partition::build(&g, &s, k, 0)).cut_fraction
+    };
+    let site = cut(Strategy::HashBySite);
+    let url = cut(Strategy::HashByUrl);
+    let rnd = cut(Strategy::Random { seed: 2 });
+    assert!(site * 3.0 < url, "site {site} vs url {url}");
+    assert!(site * 3.0 < rnd, "site {site} vs random {rnd}");
+}

@@ -1,0 +1,57 @@
+//! The deepest integration path in the repository: a hidden web is crawled
+//! by cooperating agents, the dataset is partitioned by site, ranking runs
+//! with `Y` exchanged *through a live Pastry overlay*, a ranker crashes and
+//! recovers, and the converged state answers top-k queries — every crate in
+//! one scenario.
+
+use dpr::core::metrics::top_k;
+use dpr::core::{open_pagerank, run_over_network, NetRunConfig, RankConfig, Transmission};
+use dpr::crawl::crawler::parallel_crawl;
+use dpr::crawl::{crawl_to_graph, CrawlBudget, HiddenWeb, HiddenWebConfig, Mode};
+use dpr::linalg::vec_ops::relative_error;
+use dpr::partition::Strategy;
+
+#[test]
+fn crawl_rank_over_overlay_crash_and_query() {
+    // 1. Crawl.
+    let web = HiddenWeb::new(HiddenWebConfig {
+        total_pages: 12_000,
+        n_sites: 24,
+        ..HiddenWebConfig::default()
+    });
+    let crawl = parallel_crawl(&web, 4, Mode::Exchange, CrawlBudget { max_pages: 1_500 });
+    let g = crawl_to_graph(&web, &crawl.fetched);
+    assert!(g.n_external_links() > 0, "partial crawl must leak links");
+
+    // 2. Rank over a live overlay with a mid-run crash.
+    let res = run_over_network(
+        &g,
+        NetRunConfig {
+            k: 24,
+            n_nodes: 24,
+            transmission: Transmission::Indirect,
+            strategy: Strategy::HashBySite,
+            t_end: 400.0,
+            sample_every: 2.0,
+            departures: vec![(150.0, 2)],
+            ..NetRunConfig::default()
+        },
+    );
+    assert!(res.final_rel_err < 1e-3, "rel err {}", res.final_rel_err);
+
+    // 3. The overlay-routed result matches plain centralized ranking.
+    let star = open_pagerank(&g, &RankConfig::default()).ranks;
+    assert!(relative_error(&res.final_ranks, &star) < 1e-3);
+
+    // 4. Query the converged state: distributed and centralized top-10
+    //    agree.
+    let got = top_k(&res.final_ranks, 10);
+    let want = top_k(&star, 10);
+    let overlap = got.iter().filter(|p| want.contains(p)).count();
+    assert!(overlap >= 9, "top-10 overlap only {overlap}");
+
+    // 5. And the winners are real crawled pages with URLs.
+    for &p in &got[..3] {
+        assert!(g.url_of(p).starts_with("http://"));
+    }
+}

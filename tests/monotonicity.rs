@@ -1,0 +1,144 @@
+//! Property-based verification of the paper's theory across random
+//! configurations: Theorems 4.1/4.2 (DPR1 monotone, bounded), the appendix
+//! lemmas, and convergence of the open-system solver — driven by proptest.
+
+use dpr::core::{run_distributed, DistributedRunConfig, DprVariant};
+use dpr::graph::generators::random;
+use dpr::linalg::{theory, TripletMatrix};
+use dpr::partition::Strategy;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Theorems 4.1 & 4.2 on random graphs, K, loss rates and schedules:
+    /// every node's rank sequence is monotone non-decreasing and bounded by
+    /// the centralized fixed point.
+    #[test]
+    fn dpr1_rank_sequences_monotone_and_bounded(
+        n in 20usize..200,
+        k in 2usize..12,
+        p in 0.3f64..=1.0,
+        t2 in 1.0f64..8.0,
+        seed in 0u64..1000,
+    ) {
+        let g = random::erdos_renyi(n, 4, 5.0, seed);
+        let res = run_distributed(&g, DistributedRunConfig {
+            k,
+            variant: DprVariant::Dpr1,
+            strategy: Strategy::HashByUrl,
+            t1: 0.0,
+            t2,
+            send_success_prob: p,
+            seed,
+            t_end: 60.0,
+            sample_every: 5.0,
+            track_theorems: true,
+            ..DistributedRunConfig::default()
+        });
+        let (monotone, bounded) = res.theorems_held.unwrap();
+        prop_assert!(monotone, "Theorem 4.1 violated (n={n}, k={k}, p={p})");
+        prop_assert!(bounded, "Theorem 4.2 violated (n={n}, k={k}, p={p})");
+        // The global average-rank series inherits monotonicity.
+        prop_assert!(res.avg_rank.is_monotone_nondecreasing(1e-9));
+    }
+
+    /// Same properties for DPR2 (which requires R0 = 0 — our default).
+    #[test]
+    fn dpr2_rank_sequences_monotone_and_bounded(
+        n in 20usize..150,
+        k in 2usize..8,
+        seed in 0u64..1000,
+    ) {
+        let g = random::copy_model(n, 4, 5, 0.6, seed);
+        let res = run_distributed(&g, DistributedRunConfig {
+            k,
+            variant: DprVariant::Dpr2,
+            strategy: Strategy::HashByUrl,
+            t1: 0.5,
+            t2: 2.0,
+            seed,
+            t_end: 80.0,
+            sample_every: 5.0,
+            track_theorems: true,
+            ..DistributedRunConfig::default()
+        });
+        let (monotone, bounded) = res.theorems_held.unwrap();
+        prop_assert!(monotone);
+        prop_assert!(bounded);
+    }
+
+    /// Appendix Lemma 1: non-negative fixed points of random contractions.
+    #[test]
+    fn lemma1_nonneg_fixed_point(
+        dim in 1usize..30,
+        entries in prop::collection::vec((0usize..30, 0usize..30, 0.0f64..0.2), 0..60),
+        f_scale in 0.0f64..10.0,
+        seed in 0u64..100,
+    ) {
+        let mut t = TripletMatrix::new(dim, dim);
+        for (r, c, v) in entries {
+            if r < dim && c < dim {
+                t.push(r, c, v / dim as f64); // keep ||A||inf < 1
+            }
+        }
+        let a = t.to_csr();
+        prop_assume!(a.inf_norm() < 1.0);
+        let f: Vec<f64> = (0..dim).map(|i| f_scale * ((i as u64 ^ seed) % 7) as f64 / 7.0).collect();
+        prop_assert!(theory::check_lemma1_nonneg_fixed_point(&a, &f, 1e-9));
+    }
+
+    /// Appendix Lemma 2: the fixed point is monotone in f.
+    #[test]
+    fn lemma2_monotone_in_f(
+        dim in 1usize..25,
+        entries in prop::collection::vec((0usize..25, 0usize..25, 0.0f64..0.15), 0..50),
+        bump in prop::collection::vec(0.0f64..3.0, 1..25),
+    ) {
+        let mut t = TripletMatrix::new(dim, dim);
+        for (r, c, v) in entries {
+            if r < dim && c < dim {
+                t.push(r, c, v / dim as f64);
+            }
+        }
+        let a = t.to_csr();
+        prop_assume!(a.inf_norm() < 1.0);
+        let f2: Vec<f64> = (0..dim).map(|i| i as f64 * 0.1).collect();
+        let f1: Vec<f64> =
+            f2.iter().enumerate().map(|(i, v)| v + bump.get(i % bump.len()).copied().unwrap_or(0.0)).collect();
+        prop_assert!(theory::check_lemma2_monotone_in_f(&a, &f1, &f2, 1e-9));
+    }
+
+    /// Theorem 3.3's stopping rule: wherever the solver reports
+    /// convergence, the true error is within the certified bound.
+    #[test]
+    fn contraction_error_bound_sound(
+        dim in 2usize..20,
+        density in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut t = TripletMatrix::new(dim, dim);
+        for r in 0..dim {
+            for _ in 0..density {
+                let c = rng.gen_range(0..dim);
+                t.push(r, c, rng.gen_range(0.0..0.8 / density as f64));
+            }
+        }
+        let a = t.to_csr();
+        prop_assume!(a.inf_norm() < 1.0);
+        let f: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect();
+
+        // Loose solve, then tight solve as "truth".
+        let solver = dpr::linalg::FixedPointSolver { tolerance: 1e-4, max_iters: 10_000, parallel: false };
+        let mut x = vec![0.0; dim];
+        let report = solver.solve(&a, &f, &mut x);
+        prop_assert!(report.converged);
+        let mut x_star = vec![0.0; dim];
+        dpr::linalg::FixedPointSolver::new(1e-14).solve(&a, &f, &mut x_star);
+        let true_err = dpr::linalg::vec_ops::l1_diff(&x, &x_star);
+        let bound = report.error_bound.expect("contraction certified");
+        prop_assert!(true_err <= bound + 1e-9, "true {true_err} > bound {bound}");
+    }
+}
