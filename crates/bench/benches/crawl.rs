@@ -30,19 +30,13 @@ fn bench_crawl(c: &mut Criterion) {
         b.iter(|| crawl_bfs(&web, CrawlBudget { max_pages: 10_000 }).fetched.len());
     });
     for agents in [2usize, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("exchange_full", agents),
-            &agents,
-            |b, &agents| {
-                b.iter(|| {
-                    parallel_crawl(&web, agents, Mode::Exchange, CrawlBudget {
-                        max_pages: usize::MAX,
-                    })
+        group.bench_with_input(BenchmarkId::new("exchange_full", agents), &agents, |b, &agents| {
+            b.iter(|| {
+                parallel_crawl(&web, agents, Mode::Exchange, CrawlBudget { max_pages: usize::MAX })
                     .fetched
                     .len()
-                });
-            },
-        );
+            });
+        });
     }
     group.finish();
 }

@@ -10,7 +10,8 @@ use dpr_graph::generators::edu::{edu_domain, EduDomainConfig};
 use dpr_partition::Strategy;
 
 fn bench_k_sweep(c: &mut Criterion) {
-    let g = edu_domain(&EduDomainConfig { n_pages: 5_000, n_sites: 50, ..EduDomainConfig::default() });
+    let g =
+        edu_domain(&EduDomainConfig { n_pages: 5_000, n_sites: 50, ..EduDomainConfig::default() });
     let mut group = c.benchmark_group("fig8_k_sweep");
     group.sample_size(10);
     for &k in &[2usize, 10, 100, 1_000] {
@@ -37,7 +38,8 @@ fn bench_k_sweep(c: &mut Criterion) {
 }
 
 fn bench_cpr_baseline(c: &mut Criterion) {
-    let g = edu_domain(&EduDomainConfig { n_pages: 5_000, n_sites: 50, ..EduDomainConfig::default() });
+    let g =
+        edu_domain(&EduDomainConfig { n_pages: 5_000, n_sites: 50, ..EduDomainConfig::default() });
     c.bench_function("fig8_cpr_iterations", |b| {
         b.iter(|| open_pagerank_iterations_to(&g, &RankConfig::default(), 1e-4));
     });

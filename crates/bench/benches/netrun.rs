@@ -9,7 +9,8 @@ use dpr_graph::generators::edu::{edu_domain, EduDomainConfig};
 use dpr_partition::Strategy;
 
 fn bench_full_system(c: &mut Criterion) {
-    let g = edu_domain(&EduDomainConfig { n_pages: 3_000, n_sites: 30, ..EduDomainConfig::default() });
+    let g =
+        edu_domain(&EduDomainConfig { n_pages: 3_000, n_sites: 30, ..EduDomainConfig::default() });
     let mut group = c.benchmark_group("full_system");
     group.sample_size(10);
     for (name, t) in [("direct", Transmission::Direct), ("indirect", Transmission::Indirect)] {
@@ -37,7 +38,13 @@ fn bench_full_system(c: &mut Criterion) {
     let run = |t| {
         run_over_network(
             &g,
-            NetRunConfig { k: 48, n_nodes: 48, transmission: t, t_end: 120.0, ..NetRunConfig::default() },
+            NetRunConfig {
+                k: 48,
+                n_nodes: 48,
+                transmission: t,
+                t_end: 120.0,
+                ..NetRunConfig::default()
+            },
         )
     };
     let d = run(Transmission::Direct);

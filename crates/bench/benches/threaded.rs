@@ -9,7 +9,8 @@ use dpr_graph::generators::edu::{edu_domain, EduDomainConfig};
 use dpr_partition::Strategy;
 
 fn bench_threaded(c: &mut Criterion) {
-    let g = edu_domain(&EduDomainConfig { n_pages: 20_000, n_sites: 64, ..EduDomainConfig::default() });
+    let g =
+        edu_domain(&EduDomainConfig { n_pages: 20_000, n_sites: 64, ..EduDomainConfig::default() });
     let mut group = c.benchmark_group("threaded");
     group.sample_size(10);
     for &k in &[1usize, 4, 8] {

@@ -37,7 +37,8 @@ fn main() {
     let seed = arg(&args, "seed", 5u64);
 
     eprintln!("[bottleneck] generating edu-domain graph: {pages} pages");
-    let g = edu_domain(&EduDomainConfig { n_pages: pages, n_sites: 50, ..EduDomainConfig::default() });
+    let g =
+        edu_domain(&EduDomainConfig { n_pages: pages, n_sites: 50, ..EduDomainConfig::default() });
     let base = NetRunConfig {
         k,
         n_nodes: k,
@@ -50,10 +51,8 @@ fn main() {
     // --- Sweep B. ----------------------------------------------------------
     let mut rows = Vec::new();
     for b in [None, Some(1e6), Some(2e5), Some(1e5), Some(5e4), Some(2e4)] {
-        let res = run_over_network(
-            &g,
-            NetRunConfig { bottleneck_bytes_per_time: b, ..base.clone() },
-        );
+        let res =
+            run_over_network(&g, NetRunConfig { bottleneck_bytes_per_time: b, ..base.clone() });
         eprintln!(
             "[bottleneck] B = {b:?}: 1% at t = {:?}, final {:.4}%",
             res.rel_err.first_time_below(0.01),

@@ -41,9 +41,11 @@ fn main() {
         if agents > max_agents {
             break;
         }
-        for (name, mode) in
-            [("firewall", Mode::Firewall), ("crossover", Mode::CrossOver), ("exchange", Mode::Exchange)]
-        {
+        for (name, mode) in [
+            ("firewall", Mode::Firewall),
+            ("crossover", Mode::CrossOver),
+            ("exchange", Mode::Exchange),
+        ] {
             let res = parallel_crawl(&web, agents, mode, budget);
             rows.push(Row {
                 mode: name.to_string(),
@@ -67,7 +69,13 @@ fn main() {
     for r in &rows {
         println!(
             "{:>7} {:<10} {:>10} {:>9.1}% {:>10} {:>12} {:>10.2}",
-            r.agents, r.mode, r.pages_fetched, r.coverage_pct, r.overlap, r.urls_exchanged, r.exchanged_per_page
+            r.agents,
+            r.mode,
+            r.pages_fetched,
+            r.coverage_pct,
+            r.overlap,
+            r.urls_exchanged,
+            r.exchanged_per_page
         );
     }
 

@@ -29,7 +29,11 @@ fn main() {
     let seed = arg(&args, "seed", 42u64);
 
     eprintln!("[fig6] generating edu-domain graph: {pages} pages, {sites} sites");
-    let g = edu_domain(&EduDomainConfig { n_pages: pages, n_sites: sites, ..EduDomainConfig::default() });
+    let g = edu_domain(&EduDomainConfig {
+        n_pages: pages,
+        n_sites: sites,
+        ..EduDomainConfig::default()
+    });
 
     let settings = [
         ("A (p=1.0, T1=0, T2=6)", 1.0, 0.0, 6.0),

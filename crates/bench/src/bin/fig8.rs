@@ -37,13 +37,21 @@ fn main() {
     let trials = arg(&args, "trials", 3u64);
 
     eprintln!("[fig8] generating edu-domain graph: {pages} pages, {sites} sites");
-    let g = edu_domain(&EduDomainConfig { n_pages: pages, n_sites: sites, ..EduDomainConfig::default() });
+    let g = edu_domain(&EduDomainConfig {
+        n_pages: pages,
+        n_sites: sites,
+        ..EduDomainConfig::default()
+    });
 
     let rank = RankConfig::default();
     let cpr_iters = open_pagerank_iterations_to(&g, &rank, threshold);
-    eprintln!("[fig8] CPR needs {cpr_iters} iterations to reach {:.4}% relative error", threshold * 100.0);
+    eprintln!(
+        "[fig8] CPR needs {cpr_iters} iterations to reach {:.4}% relative error",
+        threshold * 100.0
+    );
 
-    let ks: Vec<usize> = [2usize, 10, 100, 1_000, 10_000].into_iter().filter(|&k| k <= max_k).collect();
+    let ks: Vec<usize> =
+        [2usize, 10, 100, 1_000, 10_000].into_iter().filter(|&k| k <= max_k).collect();
     let mut rows = Vec::new();
     for &k in &ks {
         let mut iters = [None, None];
@@ -80,12 +88,18 @@ fn main() {
                 }
             }
             iters[i] = (ok > 0).then(|| sum / ok as f64);
-            eprintln!("[fig8] K={k:>6} {variant:?}: {:?} outer iters (mean of {ok} trials)", iters[i]);
+            eprintln!(
+                "[fig8] K={k:>6} {variant:?}: {:?} outer iters (mean of {ok} trials)",
+                iters[i]
+            );
         }
         rows.push(Fig8Row { k, dpr1_iters: iters[0], dpr2_iters: iters[1], cpr_iters });
     }
 
-    println!("\nFig 8 — iterations to reach {:.2}% relative error (p=1, T1=T2=15)\n", threshold * 100.0);
+    println!(
+        "\nFig 8 — iterations to reach {:.2}% relative error (p=1, T1=T2=15)\n",
+        threshold * 100.0
+    );
     println!("{:>10} {:>12} {:>12} {:>12}", "K", "DPR1", "DPR2", "CPR");
     for r in &rows {
         println!(

@@ -34,7 +34,11 @@ fn main() {
     let seed = arg(&args, "seed", 17u64);
 
     eprintln!("[full_system] generating edu-domain graph: {pages} pages, {sites} sites");
-    let g = edu_domain(&EduDomainConfig { n_pages: pages, n_sites: sites, ..EduDomainConfig::default() });
+    let g = edu_domain(&EduDomainConfig {
+        n_pages: pages,
+        n_sites: sites,
+        ..EduDomainConfig::default()
+    });
 
     let mut rows = Vec::new();
     for (name, t) in [("direct", Transmission::Direct), ("indirect", Transmission::Indirect)] {

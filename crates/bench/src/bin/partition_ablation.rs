@@ -32,7 +32,11 @@ fn main() {
     let k = arg(&args, "k", 64usize);
 
     eprintln!("[partition] generating edu-domain graph: {pages} pages, {sites} sites");
-    let g = edu_domain(&EduDomainConfig { n_pages: pages, n_sites: sites, ..EduDomainConfig::default() });
+    let g = edu_domain(&EduDomainConfig {
+        n_pages: pages,
+        n_sites: sites,
+        ..EduDomainConfig::default()
+    });
     eprintln!(
         "[partition] intra-site link fraction: {:.3} (paper's [16]: ~0.9)",
         g.intra_site_fraction()
@@ -40,8 +44,7 @@ fn main() {
     // A second crawl of the same web: 20% of pages changed links, 5% growth.
     let (g2, _) = recrawl(&g, 0.2, 0.05, 99);
 
-    let strategies =
-        [Strategy::Random { seed: 11 }, Strategy::HashByUrl, Strategy::HashBySite];
+    let strategies = [Strategy::Random { seed: 11 }, Strategy::HashByUrl, Strategy::HashBySite];
     let mut rows = Vec::new();
     for s in strategies {
         let p = Partition::build(&g, &s, k, 0);

@@ -39,8 +39,7 @@ fn rewire_site(g: &WebGraph, site: u32) -> WebGraph {
     for p in 0..g.n_pages() as u32 {
         if g.site(p) == site {
             for (i, _) in g.out_links(p).iter().enumerate() {
-                let mut v =
-                    (dpr_graph::urls::splitmix64(u64::from(p) * 131 + i as u64) % n) as u32;
+                let mut v = (dpr_graph::urls::splitmix64(u64::from(p) * 131 + i as u64) % n) as u32;
                 if v == p {
                     v = (v + 1) % g.n_pages() as u32;
                 }
@@ -64,7 +63,11 @@ fn main() {
     let site = arg(&args, "site", 5u32);
 
     eprintln!("[perturbation] generating edu-domain graph: {pages} pages");
-    let g = edu_domain(&EduDomainConfig { n_pages: pages, n_sites: sites, ..EduDomainConfig::default() });
+    let g = edu_domain(&EduDomainConfig {
+        n_pages: pages,
+        n_sites: sites,
+        ..EduDomainConfig::default()
+    });
     let cfg = RankConfig { epsilon: 1e-12, ..RankConfig::default() };
     let before = open_pagerank(&g, &cfg).ranks;
 
@@ -73,8 +76,7 @@ fn main() {
 
     // Distance from the changed pages (seeds = the rewired site, measured
     // on the *new* graph where the perturbation propagates).
-    let seeds: Vec<u32> =
-        (0..g.n_pages() as u32).filter(|&p| g.site(p) == site).collect();
+    let seeds: Vec<u32> = (0..g.n_pages() as u32).filter(|&p| g.site(p) == site).collect();
     eprintln!("[perturbation] rewired site {site}: {} pages", seeds.len());
     let dist = bfs_distance(&g2, &seeds);
 

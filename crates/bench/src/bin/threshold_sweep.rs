@@ -33,7 +33,8 @@ fn main() {
     let seed = arg(&args, "seed", 9u64);
 
     eprintln!("[threshold] generating edu-domain graph: {pages} pages");
-    let g = edu_domain(&EduDomainConfig { n_pages: pages, n_sites: 64, ..EduDomainConfig::default() });
+    let g =
+        edu_domain(&EduDomainConfig { n_pages: pages, n_sites: 64, ..EduDomainConfig::default() });
 
     let run = |threshold: f64| {
         run_distributed(

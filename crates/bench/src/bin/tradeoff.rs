@@ -36,7 +36,11 @@ fn main() {
 
     // Measure outer iteration counts once on the simulated deployment.
     eprintln!("[tradeoff] measuring iteration counts on a {pages}-page dataset …");
-    let g = edu_domain(&EduDomainConfig { n_pages: pages, n_sites: sites, ..EduDomainConfig::default() });
+    let g = edu_domain(&EduDomainConfig {
+        n_pages: pages,
+        n_sites: sites,
+        ..EduDomainConfig::default()
+    });
     let iters = |variant| {
         run_distributed(
             &g,
@@ -100,9 +104,7 @@ fn main() {
     println!(
         "\nAt the paper's 1% allowance, full convergence takes ~{:.0} days (DPR1); compression \
          ({}x smaller records) brings it to ~{:.1} days — why §7 names it first among future work.",
-        rows[2].dpr1_convergence_days,
-        10,
-        rows[2].compressed_dpr1_days
+        rows[2].dpr1_convergence_days, 10, rows[2].compressed_dpr1_days
     );
 
     match write_json("tradeoff", &rows) {

@@ -57,10 +57,8 @@ fn main() {
     let updates = arg(&args, "updates-per-pair", 3usize);
     let overlay_kind = args.get("overlay").map(String::as_str).unwrap_or("pastry").to_string();
 
-    let ns: Vec<usize> = [5usize, 10, 25, 50, 100, 200, 400, 800]
-        .into_iter()
-        .filter(|&n| n <= max_n)
-        .collect();
+    let ns: Vec<usize> =
+        [5usize, 10, 25, 50, 100, 200, 400, 800].into_iter().filter(|&n| n <= max_n).collect();
 
     let mut rows = Vec::new();
     for &n in &ns {
@@ -73,7 +71,10 @@ fn main() {
         let traffic = all_to_all(n, updates);
         let d = direct::simulate(net, &traffic, &PaperSizeModel);
         let i = indirect::simulate(net, &traffic, &PaperSizeModel).stats;
-        assert_eq!(d.delivered_updates, i.delivered_updates, "both schemes must deliver all updates");
+        assert_eq!(
+            d.delivered_updates, i.delivered_updates,
+            "both schemes must deliver all updates"
+        );
         let hops = avg_route_hops(net, 1_000.min(n * 20), 1).mean;
         let g = net.mean_neighbors();
         rows.push(Row {
@@ -87,13 +88,25 @@ fn main() {
             s_dt_analytic: analytic::s_direct(hops, n as f64),
             s_it_analytic: analytic::s_indirect(g, n as f64),
         });
-        eprintln!("[transmission] N={n:>4}: direct {} msgs / indirect {} msgs", d.messages, i.messages);
+        eprintln!(
+            "[transmission] N={n:>4}: direct {} msgs / indirect {} msgs",
+            d.messages, i.messages
+        );
     }
 
     println!("\nDirect vs indirect transmission ({overlay_kind} overlay, all-to-all exchange, {updates} updates/pair)\n");
     println!(
         "{:>5} {:>6} {:>6} | {:>12} {:>12} {:>8} | {:>12} {:>12} | {:>12} {:>12}",
-        "N", "h", "g", "direct msgs", "(h+1)N^2", "ratio", "indir msgs", "gN", "direct MB", "indir MB"
+        "N",
+        "h",
+        "g",
+        "direct msgs",
+        "(h+1)N^2",
+        "ratio",
+        "indir msgs",
+        "gN",
+        "direct MB",
+        "indir MB"
     );
     for r in &rows {
         println!(

@@ -92,7 +92,12 @@ pub fn ascii_chart(series: &[(&str, &TimeSeries)], width: usize, height: usize) 
         out.push('\n');
     }
     out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(width)));
-    out.push_str(&format!("{:>12}t={t0:<10.1}{:>width$}\n", "", format!("t={t1:.1}"), width = width - 10));
+    out.push_str(&format!(
+        "{:>12}t={t0:<10.1}{:>width$}\n",
+        "",
+        format!("t={t1:.1}"),
+        width = width - 10
+    ));
     for (si, (name, _)) in series.iter().enumerate() {
         out.push_str(&format!("  {} = {}\n", marks[si % marks.len()] as char, name));
     }
@@ -109,10 +114,9 @@ struct JsonSeries<'a> {
 /// Writes experiment output as JSON under `target/experiments/<name>.json`.
 /// Returns the path written.
 pub fn write_json<T: Serialize>(name: &str, payload: &T) -> std::io::Result<PathBuf> {
-    let dir = PathBuf::from(
-        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()),
-    )
-    .join("experiments");
+    let dir =
+        PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()))
+            .join("experiments");
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
     let mut f = std::fs::File::create(&path)?;

@@ -37,6 +37,15 @@ COMMANDS:
             Asynchronous distributed ranking with failure injection;
             rank files enable warm restarts across invocations;
             --threaded runs real OS threads instead of the simulator.
+            Whole-system mode (rank exchange routed through the overlay):
+            --net [--nodes N] [--overlay pastry|chord|can] [--can-dims D]
+            [--transmission indirect|direct]
+            [--reliable] [--ack-timeout T] [--max-retries R]
+            [--crash T:NODE[,T:NODE...]] [--join T:SEED[,T:SEED...]]
+            [--partition T1:T2:LO-HI]
+            --reliable turns on ack/retry/dedup delivery; --crash departs
+            nodes (state lost), --join adds nodes (graceful handoff),
+            --partition severs nodes LO..=HI from the rest during [T1,T2).
   top       FILE --ranks RANKS [--k K] [--site S]
             Top pages from a saved rank file (optionally one site only).
   analyze   FILE [--sinks-only]
@@ -163,6 +172,143 @@ pub fn rank(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// Parses a `T:V[,T:V...]` schedule (`--crash`, `--join`).
+fn parse_schedule<T: std::str::FromStr>(spec: &str, what: &str) -> Result<Vec<(f64, T)>, String> {
+    let entries: Vec<(f64, T)> = spec
+        .split(',')
+        .map(|entry| {
+            let (t, v) = entry
+                .split_once(':')
+                .ok_or_else(|| format!("bad {what} entry `{entry}` (want T:VALUE)"))?;
+            let t: f64 = t.parse().map_err(|_| format!("bad {what} time `{t}` in `{entry}`"))?;
+            let v: T = v.parse().map_err(|_| format!("bad {what} value `{v}` in `{entry}`"))?;
+            Ok((t, v))
+        })
+        .collect::<Result<_, String>>()?;
+    if entries.windows(2).any(|w| w[0].0 >= w[1].0) {
+        return Err(format!("{what} times must be strictly increasing in `{spec}`"));
+    }
+    Ok(entries)
+}
+
+/// Parses `T1:T2:LO-HI` (`--partition`): window plus a node index range.
+fn parse_partition(spec: &str) -> Result<(f64, f64, Vec<usize>), String> {
+    let bad = || format!("bad --partition `{spec}` (want T1:T2:LO-HI)");
+    let mut it = spec.splitn(3, ':');
+    let t1: f64 = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    let t2: f64 = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    let range = it.next().ok_or_else(bad)?;
+    let (lo, hi) = range.split_once('-').ok_or_else(bad)?;
+    let lo: usize = lo.parse().map_err(|_| bad())?;
+    let hi: usize = hi.parse().map_err(|_| bad())?;
+    if t1 >= t2 || lo > hi {
+        return Err(bad());
+    }
+    Ok((t1, t2, (lo..=hi).collect()))
+}
+
+/// The `--net` branch of `dpr simulate`: the whole-system simulator with
+/// overlay routing, fault injection and optional reliable delivery.
+fn simulate_net(args: &Args, g: &WebGraph, variant: DprVariant) -> CmdResult {
+    use dpr_core::{try_run_over_network, NetRunConfig, OverlayKind, Reliability, Transmission};
+    use dpr_sim::FaultPlan;
+
+    let k = args.get("k", 64usize);
+    let overlay = match args.get_str("overlay", "pastry") {
+        "pastry" => OverlayKind::Pastry,
+        "chord" => OverlayKind::Chord,
+        "can" => OverlayKind::Can { d: args.get("can-dims", 2usize) },
+        other => return Err(format!("unknown overlay `{other}` (pastry|chord|can)")),
+    };
+    let transmission = match args.get_str("transmission", "indirect") {
+        "indirect" => Transmission::Indirect,
+        "direct" => Transmission::Direct,
+        other => return Err(format!("unknown transmission `{other}` (indirect|direct)")),
+    };
+    let reliability = if args.flag("reliable") {
+        Some(Reliability {
+            ack_timeout: args.get("ack-timeout", Reliability::default().ack_timeout),
+            max_retries: args.get("max-retries", Reliability::default().max_retries),
+            ..Reliability::default()
+        })
+    } else {
+        None
+    };
+    let departures = match args.get_str("crash", "") {
+        "" => Vec::new(),
+        spec => parse_schedule::<usize>(spec, "--crash")?,
+    };
+    let joins = match args.get_str("join", "") {
+        "" => Vec::new(),
+        spec => parse_schedule::<u64>(spec, "--join")?,
+    };
+    let p = args.get("p", 1.0f64);
+    let faults = match args.get_str("partition", "") {
+        "" => None,
+        spec => {
+            let (t1, t2, side_a) = parse_partition(spec)?;
+            Some(
+                FaultPlan::new()
+                    .with_latency(0.01)
+                    .with_default_success(p)
+                    .with_partition(t1, t2, &side_a),
+            )
+        }
+    };
+    let t_end = args.get("t-end", 200.0f64);
+    let cfg = NetRunConfig {
+        k,
+        n_nodes: args.get("nodes", k),
+        transmission,
+        overlay,
+        variant,
+        strategy: parse_strategy(args.get_str("strategy", "site"))?,
+        t1: args.get("t1", 0.5f64),
+        t2: args.get("t2", 3.0f64),
+        send_success_prob: p,
+        seed: args.get("seed", 0u64),
+        t_end,
+        sample_every: args.get("sample-every", 2.0f64),
+        departures,
+        joins,
+        reliability,
+        faults,
+        ..NetRunConfig::default()
+    };
+    let res = try_run_over_network(g, cfg).map_err(|e| e.to_string())?;
+    println!(
+        "whole-system run: {k} groups on {} {overlay:?} nodes, {transmission:?} transmission",
+        args.get("nodes", k)
+    );
+    println!(
+        "network: {} data msgs, {} lookups, {:.1} MB on the wire, {:.2} mean route hops",
+        res.counters.data_messages,
+        res.counters.lookup_messages,
+        res.counters.bytes as f64 / 1e6,
+        res.mean_route_hops
+    );
+    if res.counters.acks > 0 || res.counters.retries > 0 {
+        println!(
+            "reliability: {} acks, {} retries, {} duplicates suppressed, {} abandoned",
+            res.counters.acks,
+            res.counters.retries,
+            res.counters.duplicates_suppressed,
+            res.counters.retry_exhausted
+        );
+    }
+    let s = res.sim_stats;
+    println!(
+        "engine: {} sends, {} dropped ({} by partition, {} by crash), {} delivered",
+        s.sends_attempted, s.sends_dropped, s.partition_dropped, s.crash_dropped, s.deliveries
+    );
+    println!("final relative error {:.6}%", res.final_rel_err * 100.0);
+    match res.rel_err.first_time_below(1e-3) {
+        Some(t) => println!("reached 0.1% relative error at t = {t:.1}"),
+        None => println!("did not reach 0.1% relative error within t = {t_end}"),
+    }
+    Ok(())
+}
+
 /// `dpr simulate`
 pub fn simulate(args: &Args) -> CmdResult {
     let g = load_graph(args.positional(0, "graph")?)?;
@@ -171,6 +317,13 @@ pub fn simulate(args: &Args) -> CmdResult {
         "dpr2" => DprVariant::Dpr2,
         other => return Err(format!("unknown variant `{other}` (dpr1|dpr2)")),
     };
+    let p = args.get("p", 1.0f64);
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("--p must be a probability in [0, 1], got {p}"));
+    }
+    if args.flag("net") {
+        return simulate_net(args, &g, variant);
+    }
     if args.flag("threaded") {
         let res = dpr_core::run_threaded(
             &g,
@@ -208,7 +361,7 @@ pub fn simulate(args: &Args) -> CmdResult {
         strategy: parse_strategy(args.get_str("strategy", "site"))?,
         t1: args.get("t1", 0.0f64),
         t2: args.get("t2", 6.0f64),
-        send_success_prob: args.get("p", 1.0f64),
+        send_success_prob: p,
         seed: args.get("seed", 0u64),
         t_end: args.get("t-end", 100.0f64),
         sample_every: args.get("sample-every", 1.0f64),
@@ -235,7 +388,10 @@ pub fn simulate(args: &Args) -> CmdResult {
             "reached 0.01% relative error at t = {t:.1} ({:.1} mean outer iterations)",
             res.mean_outer_iters_at_threshold.unwrap_or(f64::NAN)
         ),
-        None => println!("did not reach 0.01% relative error within t = {}", args.get("t-end", 100.0f64)),
+        None => println!(
+            "did not reach 0.01% relative error within t = {}",
+            args.get("t-end", 100.0f64)
+        ),
     }
     println!(
         "final relative error {:.6}%, average rank {:.4}",
@@ -262,9 +418,8 @@ pub fn top(args: &Args) -> CmdResult {
     }
     let k = args.get("k", 10usize);
     let site_filter: Option<u32> = args.options.get("site").and_then(|v| v.parse().ok());
-    let candidates: Option<Vec<u32>> = site_filter.map(|s| {
-        (0..g.n_pages() as u32).filter(|&p| g.site(p) == s).collect()
-    });
+    let candidates: Option<Vec<u32>> =
+        site_filter.map(|s| (0..g.n_pages() as u32).filter(|&p| g.site(p) == s).collect());
     let order = match &candidates {
         None => top_k(&ranks, k),
         Some(c) => {
@@ -347,18 +502,12 @@ pub fn plan(args: &Args) -> CmdResult {
         model.total_pages,
         pastry_hops(n)
     );
-    println!(
-        "  bytes per iteration:        {:.1} GB",
-        model.bytes_per_iteration(row.hops) / 1e9
-    );
+    println!("  bytes per iteration:        {:.1} GB", model.bytes_per_iteration(row.hops) / 1e9);
     println!(
         "  minimal iteration interval: {:.0} s ({:.1} h)",
         row.min_iteration_interval_secs,
         row.min_iteration_interval_secs / 3600.0
     );
-    println!(
-        "  per-node bottleneck needed: {:.1} KB/s",
-        row.min_bottleneck_bytes_per_sec / 1e3
-    );
+    println!("  per-node bottleneck needed: {:.1} KB/s", row.min_bottleneck_bytes_per_sec / 1e3);
     Ok(())
 }

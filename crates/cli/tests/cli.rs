@@ -17,19 +17,15 @@ fn tmp(name: &str) -> String {
 #[test]
 fn generate_stats_partition_rank_simulate_pipeline() {
     let path = tmp("pipeline.graph");
-    commands::generate(&args(&[
-        "generate", "--pages", "3000", "--sites", "20", "--out", &path,
-    ]))
-    .unwrap();
+    commands::generate(&args(&["generate", "--pages", "3000", "--sites", "20", "--out", &path]))
+        .unwrap();
     commands::stats(&args(&["stats", &path])).unwrap();
     commands::partition(&args(&["partition", &path, "--k", "8", "--strategy", "site"])).unwrap();
     commands::rank(&args(&["rank", &path, "--top", "5"])).unwrap();
     commands::rank(&args(&["rank", &path, "--algo", "hits", "--top", "3"])).unwrap();
     commands::rank(&args(&["rank", &path, "--algo", "pagerank", "--accelerated"])).unwrap();
-    commands::simulate(&args(&[
-        "simulate", &path, "--k", "10", "--p", "0.8", "--t-end", "60",
-    ]))
-    .unwrap();
+    commands::simulate(&args(&["simulate", &path, "--k", "10", "--p", "0.8", "--t-end", "60"]))
+        .unwrap();
     std::fs::remove_file(&path).ok();
 }
 
@@ -37,8 +33,17 @@ fn generate_stats_partition_rank_simulate_pipeline() {
 fn crawl_subcommand_produces_rankable_dataset() {
     let path = tmp("crawled.graph");
     commands::crawl(&args(&[
-        "crawl", "--web-pages", "5000", "--sites", "16", "--agents", "3", "--budget", "400",
-        "--out", &path,
+        "crawl",
+        "--web-pages",
+        "5000",
+        "--sites",
+        "16",
+        "--agents",
+        "3",
+        "--budget",
+        "400",
+        "--out",
+        &path,
     ]))
     .unwrap();
     commands::rank(&args(&["rank", &path, "--top", "3"])).unwrap();
@@ -52,7 +57,14 @@ fn simulate_save_and_warm_start_roundtrip() {
     commands::generate(&args(&["generate", "--pages", "2000", "--sites", "15", "--out", &graph]))
         .unwrap();
     commands::simulate(&args(&[
-        "simulate", &graph, "--k", "8", "--t-end", "80", "--save-ranks", &ranks,
+        "simulate",
+        &graph,
+        "--k",
+        "8",
+        "--t-end",
+        "80",
+        "--save-ranks",
+        &ranks,
     ]))
     .unwrap();
     let saved = dpr_core::ranks_io::load(&ranks).unwrap();
@@ -60,7 +72,14 @@ fn simulate_save_and_warm_start_roundtrip() {
     assert!(saved.iter().any(|&r| r > 0.0));
     // Second invocation warm-starts from the saved file.
     commands::simulate(&args(&[
-        "simulate", &graph, "--k", "8", "--t-end", "40", "--warm-start", &ranks,
+        "simulate",
+        &graph,
+        "--k",
+        "8",
+        "--t-end",
+        "40",
+        "--warm-start",
+        &ranks,
     ]))
     .unwrap();
     std::fs::remove_file(&graph).ok();
@@ -83,7 +102,14 @@ fn top_reads_saved_ranks() {
     commands::generate(&args(&["generate", "--pages", "800", "--sites", "8", "--out", &graph]))
         .unwrap();
     commands::simulate(&args(&[
-        "simulate", &graph, "--k", "8", "--t-end", "60", "--save-ranks", &ranks,
+        "simulate",
+        &graph,
+        "--k",
+        "8",
+        "--t-end",
+        "60",
+        "--save-ranks",
+        &ranks,
     ]))
     .unwrap();
     commands::top(&args(&["top", &graph, "--ranks", &ranks, "--k", "5"])).unwrap();
@@ -145,4 +171,88 @@ fn bad_enums_are_clean_errors() {
 #[test]
 fn generate_requires_out() {
     assert!(commands::generate(&args(&["generate"])).unwrap_err().contains("--out"));
+}
+
+#[test]
+fn net_simulate_with_faults_and_reliability() {
+    let graph = tmp("net.graph");
+    commands::generate(&args(&["generate", "--pages", "800", "--sites", "8", "--out", &graph]))
+        .unwrap();
+    // Plain whole-system run over the default Pastry overlay.
+    commands::simulate(&args(&["simulate", &graph, "--net", "--k", "8", "--t-end", "120"]))
+        .unwrap();
+    // Lossy run with the reliability protocol and a crash + join schedule.
+    commands::simulate(&args(&[
+        "simulate",
+        &graph,
+        "--net",
+        "--k",
+        "8",
+        "--t-end",
+        "150",
+        "--p",
+        "0.7",
+        "--reliable",
+        "--ack-timeout",
+        "0.5",
+        "--max-retries",
+        "4",
+        "--crash",
+        "40:2",
+        "--join",
+        "60:901",
+    ]))
+    .unwrap();
+    // Partition window on a Chord deployment.
+    commands::simulate(&args(&[
+        "simulate",
+        &graph,
+        "--net",
+        "--k",
+        "8",
+        "--overlay",
+        "chord",
+        "--t-end",
+        "150",
+        "--partition",
+        "30:60:0-3",
+    ]))
+    .unwrap();
+    std::fs::remove_file(&graph).ok();
+}
+
+#[test]
+fn net_simulate_rejects_bad_specs() {
+    let graph = tmp("net-bad.graph");
+    commands::generate(&args(&["generate", "--pages", "400", "--sites", "4", "--out", &graph]))
+        .unwrap();
+    assert!(commands::simulate(&args(&["simulate", &graph, "--net", "--overlay", "kademlia"]))
+        .unwrap_err()
+        .contains("unknown overlay"));
+    assert!(commands::simulate(&args(&["simulate", &graph, "--net", "--crash", "oops"]))
+        .unwrap_err()
+        .contains("--crash"));
+    assert!(commands::simulate(&args(&["simulate", &graph, "--net", "--partition", "9:3:0-1"]))
+        .unwrap_err()
+        .contains("--partition"));
+    assert!(commands::simulate(&args(&["simulate", &graph, "--p", "1.5"]))
+        .unwrap_err()
+        .contains("--p"));
+    assert!(commands::simulate(&args(&["simulate", &graph, "--net", "--join", "5:9,3:8"]))
+        .unwrap_err()
+        .contains("strictly increasing"));
+    // Churn on an overlay that cannot support it surfaces as an error, not
+    // a panic.
+    assert!(commands::simulate(&args(&[
+        "simulate",
+        &graph,
+        "--net",
+        "--overlay",
+        "can",
+        "--crash",
+        "10:1",
+    ]))
+    .unwrap_err()
+    .contains("not supported on the CAN overlay"));
+    std::fs::remove_file(&graph).ok();
 }

@@ -109,10 +109,7 @@ mod tests {
 
     #[test]
     fn beta_e_custom() {
-        let c = RankConfig {
-            e: EVector::Custom(vec![0.0, 2.0, 4.0]),
-            ..RankConfig::default()
-        };
+        let c = RankConfig { e: EVector::Custom(vec![0.0, 2.0, 4.0]), ..RankConfig::default() };
         let v = c.beta_e_for(&[2, 0]);
         assert!((v[0] - 0.6).abs() < 1e-12);
         assert_eq!(v[1], 0.0);

@@ -242,8 +242,12 @@ impl RankerNode {
         let x = self.afferent.refresh();
         match self.variant {
             DprVariant::Dpr1 => {
-                let report =
-                    self.ctx.group_pagerank(&mut self.r, x, self.inner_epsilon, self.max_inner_iters);
+                let report = self.ctx.group_pagerank(
+                    &mut self.r,
+                    x,
+                    self.inner_epsilon,
+                    self.max_inner_iters,
+                );
                 self.inner_iterations += report.iterations as u64;
             }
             DprVariant::Dpr2 => {
@@ -350,7 +354,8 @@ impl Actor for RankerNode {
                 // keeps accumulating in `afferent` meanwhile.
                 self.blackouts += 1;
                 let u: f64 = ctx.rng().gen::<f64>();
-                let pause = if b.mean_duration > 0.0 { -b.mean_duration * (1.0 - u).ln() } else { 0.0 };
+                let pause =
+                    if b.mean_duration > 0.0 { -b.mean_duration * (1.0 - u).ln() } else { 0.0 };
                 let wait = self.sample_wait(ctx);
                 ctx.schedule_wake(pause + wait);
                 return;
@@ -528,8 +533,7 @@ mod tests {
         let nodes: Vec<RankerNode> = GroupContext::build_all(&g, &p, &cfg)
             .into_iter()
             .map(|c| {
-                let mut n =
-                    RankerNode::new(c, DprVariant::Dpr1, 1.0).with_deferred_publish();
+                let mut n = RankerNode::new(c, DprVariant::Dpr1, 1.0).with_deferred_publish();
                 n.enable_theorem_tracking(None);
                 n
             })

@@ -68,10 +68,8 @@ impl GroupContext {
             }
         }
 
-        let mut triplets: Vec<TripletMatrix> = group_pages
-            .iter()
-            .map(|pages| TripletMatrix::new(pages.len(), pages.len()))
-            .collect();
+        let mut triplets: Vec<TripletMatrix> =
+            group_pages.iter().map(|pages| TripletMatrix::new(pages.len(), pages.len())).collect();
         let mut efferent_maps: Vec<HashMap<GroupId, Vec<EfferentEdge>>> = vec![HashMap::new(); k];
 
         for u in 0..g.n_pages() as u32 {
@@ -198,10 +196,7 @@ impl GroupContext {
     /// own are ignored (stale traffic after a repartition).
     #[must_use]
     pub fn localize(&self, entries: &[(PageId, f64)]) -> Vec<(u32, f64)> {
-        entries
-            .iter()
-            .filter_map(|&(p, s)| self.local_index(p).map(|i| (i as u32, s)))
-            .collect()
+        entries.iter().filter_map(|&(p, s)| self.local_index(p).map(|i| (i as u32, s))).collect()
     }
 }
 

@@ -54,7 +54,10 @@ pub use centralized::{open_pagerank, pagerank, PageRankOutcome};
 pub use config::RankConfig;
 pub use dpr::{DprVariant, RankerNode, YMessage};
 pub use group::{AfferentState, GroupContext};
-pub use netrun::{run_over_network, NetRunConfig, NetRunResult, OverlayKind, Transmission};
+pub use netrun::{
+    run_over_network, try_run_over_network, ChurnUnsupported, NetCounters, NetRunConfig,
+    NetRunResult, OverlayKind, Reliability, Transmission,
+};
 pub use query::{distributed_top_k, Hit};
 pub use run::{run_distributed, DistributedRun, DistributedRunConfig, RunResult};
 pub use threaded::{run_threaded, ThreadedRunConfig, ThreadedRunResult};

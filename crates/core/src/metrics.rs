@@ -69,7 +69,6 @@ pub fn top_k_overlap(a: &[f64], b: &[f64], k: usize) -> f64 {
     inter as f64 / k.min(a.len()).max(1) as f64
 }
 
-
 /// Distribution summary of a rank vector — the concentration statistics a
 /// search-engine operator watches (PageRank on web graphs is famously
 /// heavy-tailed; a uniform distribution would mean the link structure
@@ -105,7 +104,16 @@ impl RankSummary {
         assert!(ranks.iter().all(|r| r.is_finite() && *r >= 0.0), "ranks must be >= 0");
         let n = ranks.len();
         if n == 0 {
-            return Self { n: 0, mean: 0.0, gini: 0.0, entropy_bits: 0.0, p50: 0.0, p90: 0.0, p99: 0.0, max: 0.0 };
+            return Self {
+                n: 0,
+                mean: 0.0,
+                gini: 0.0,
+                entropy_bits: 0.0,
+                p50: 0.0,
+                p90: 0.0,
+                p99: 0.0,
+                max: 0.0,
+            };
         }
         let mut sorted: Vec<f64> = ranks.to_vec();
         sorted.sort_unstable_by(f64::total_cmp);
@@ -114,8 +122,7 @@ impl RankSummary {
 
         // Gini via the sorted form: G = (2·Σ i·x_i)/(n·Σ x) − (n+1)/n.
         let gini = if total > 0.0 {
-            let weighted: f64 =
-                sorted.iter().enumerate().map(|(i, x)| (i + 1) as f64 * x).sum();
+            let weighted: f64 = sorted.iter().enumerate().map(|(i, x)| (i + 1) as f64 * x).sum();
             (2.0 * weighted / (n as f64 * total) - (n as f64 + 1.0) / n as f64).max(0.0)
         } else {
             0.0

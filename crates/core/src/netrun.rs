@@ -21,6 +21,7 @@
 //!   (direct: `O((h+1)K²)` messages; indirect: neighbor-bound packages but
 //!   `h×` forwarded bytes) *while the ranks are converging*.
 
+use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -30,7 +31,7 @@ use dpr_linalg::vec_ops;
 use dpr_overlay::{CanNetwork, ChordNetwork, NodeIndex, Overlay, PastryNetwork};
 use dpr_partition::{GroupId, Partition};
 use dpr_sim::waits::WaitModel;
-use dpr_sim::{Actor, Ctx, SimConfig, SimStats, Simulation, TimeSeries};
+use dpr_sim::{Actor, Ctx, FaultPlan, SimStats, Simulation, TimeSeries};
 
 use crate::centralized::open_pagerank;
 use crate::config::RankConfig;
@@ -51,9 +52,26 @@ pub enum OverlayKind {
     },
 }
 
+/// A churn operation the active overlay implementation does not support.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnUnsupported {
+    /// The requested operation (`"departures"` or `"joins"`).
+    pub op: &'static str,
+    /// The overlay that rejected it.
+    pub overlay: &'static str,
+}
+
+impl std::fmt::Display for ChurnUnsupported {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "mid-run {} are not supported on the {} overlay", self.op, self.overlay)
+    }
+}
+
+impl std::error::Error for ChurnUnsupported {}
+
 /// Concrete overlay storage behind the shared lock (an enum rather than a
-/// trait object so churn operations, which only Pastry supports, stay
-/// available).
+/// trait object so churn operations, which not every overlay supports,
+/// stay available).
 pub enum AnyOverlay {
     /// Pastry prefix routing.
     Pastry(PastryNetwork),
@@ -72,14 +90,48 @@ impl AnyOverlay {
         }
     }
 
-    /// Node departure; only Pastry models churn.
-    ///
-    /// # Panics
-    /// On Chord/CAN.
-    pub fn depart(&mut self, h: NodeIndex) {
+    fn name(&self) -> &'static str {
         match self {
-            AnyOverlay::Pastry(p) => p.depart(h),
-            _ => panic!("mid-run departures require the Pastry overlay"),
+            AnyOverlay::Pastry(_) => "Pastry",
+            AnyOverlay::Chord(_) => "Chord",
+            AnyOverlay::Can(_) => "CAN",
+        }
+    }
+
+    /// Node departure. Pastry and Chord repair their routing state; CAN
+    /// does not model churn and returns an error.
+    ///
+    /// # Errors
+    /// [`ChurnUnsupported`] on CAN.
+    pub fn depart(&mut self, h: NodeIndex) -> Result<(), ChurnUnsupported> {
+        match self {
+            AnyOverlay::Pastry(p) => {
+                p.depart(h);
+                Ok(())
+            }
+            AnyOverlay::Chord(c) => {
+                c.depart(h);
+                Ok(())
+            }
+            AnyOverlay::Can(_) => Err(ChurnUnsupported { op: "departures", overlay: self.name() }),
+        }
+    }
+
+    /// Mid-run join: derives a fresh node id from `seed`, bootstraps off
+    /// the first live node, and returns the newcomer's handle. Only Pastry
+    /// implements incremental joins.
+    ///
+    /// # Errors
+    /// [`ChurnUnsupported`] on Chord/CAN.
+    pub fn join(&mut self, seed: u64) -> Result<NodeIndex, ChurnUnsupported> {
+        match self {
+            AnyOverlay::Pastry(p) => {
+                let bootstrap = (0..p.n_nodes())
+                    .find(|&h| p.is_alive(h))
+                    .expect("network has at least one live node");
+                Ok(p.join(bootstrap, seed))
+            }
+            _ => Err(ChurnUnsupported { op: "joins", overlay: self.name() }),
         }
     }
 }
@@ -92,6 +144,32 @@ pub enum Transmission {
     /// Hop-by-hop forwarding along overlay routes with per-relay
     /// aggregation.
     Indirect,
+}
+
+/// Hop-by-hop reliable-delivery settings: every data package is
+/// sequence-numbered, the receiver acknowledges it, and the sender
+/// retransmits unacked packages with exponential backoff until a bounded
+/// retry budget runs out. Receivers suppress duplicates (a retransmission
+/// whose original did arrive) but re-ack them, since the earlier ack may
+/// itself have been lost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reliability {
+    /// Time to wait for an ack before the first retransmission. Should
+    /// comfortably exceed one round trip (`2 × hop_latency` plus engine
+    /// latency).
+    pub ack_timeout: f64,
+    /// Maximum retransmissions per package; afterwards the package is
+    /// abandoned and counted in [`NetCounters::retry_exhausted`].
+    pub max_retries: u32,
+    /// Multiplier applied to the timeout after every retransmission
+    /// (exponential backoff).
+    pub backoff: f64,
+}
+
+impl Default for Reliability {
+    fn default() -> Self {
+        Self { ack_timeout: 1.0, max_retries: 5, backoff: 2.0 }
+    }
 }
 
 /// Parameters of a whole-system run.
@@ -142,8 +220,23 @@ pub struct NetRunConfig {
     /// Scheduled node crashes: at each `(time, node)` the node departs the
     /// overlay, its hosted groups *lose their state* and migrate to the
     /// new responsible nodes, and ranking must re-converge. Requires
-    /// [`OverlayKind::Pastry`]. Times must be strictly increasing.
+    /// [`OverlayKind::Pastry`] or [`OverlayKind::Chord`]. Times must be
+    /// strictly increasing.
     pub departures: Vec<(f64, NodeIndex)>,
+    /// Scheduled node joins: at each `(time, id_seed)` a fresh node joins
+    /// the overlay and the groups it becomes responsible for are handed
+    /// over *gracefully* — ranking state moves with them (contrast with
+    /// `departures`, where state is lost). Requires
+    /// [`OverlayKind::Pastry`]. Times must be strictly increasing.
+    pub joins: Vec<(f64, u64)>,
+    /// Optional ack/retry/dedup protocol on every data package. `None`
+    /// keeps the paper's fire-and-forget model where lost `Y` vectors are
+    /// simply absorbed by the next exchange.
+    pub reliability: Option<Reliability>,
+    /// Full fault model for the underlying engine. When set, it takes
+    /// precedence over `send_success_prob` (the plan's own loss, latency,
+    /// jitter, partitions, stragglers and crash windows govern delivery).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for NetRunConfig {
@@ -168,6 +261,9 @@ impl Default for NetRunConfig {
             header_bytes: 40,
             bottleneck_bytes_per_time: None,
             departures: Vec::new(),
+            joins: Vec::new(),
+            reliability: None,
+            faults: None,
         }
     }
 }
@@ -184,19 +280,47 @@ pub struct YPart {
     pub entries: Vec<(PageId, f64)>,
 }
 
-/// The simulator message: a package of parts sharing one overlay hop.
+/// A package of parts sharing one overlay hop.
 #[derive(Debug, Clone)]
 pub struct Package(pub Vec<YPart>);
+
+/// The simulator message: a data package (sequence-numbered when the
+/// reliability protocol is active) or a hop-by-hop acknowledgment.
+#[derive(Debug, Clone)]
+pub enum NetMsg {
+    /// A data package.
+    Data {
+        /// Sender-local sequence number; `None` = fire-and-forget.
+        seq: Option<u64>,
+        /// The payload.
+        package: Package,
+    },
+    /// Acknowledgment of the sender's `Data { seq }`.
+    Ack {
+        /// The acknowledged sequence number.
+        seq: u64,
+    },
+}
 
 /// Per-node network cost counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetCounters {
-    /// Data packages sent (each counted once per hop under indirect).
+    /// Data packages sent (each counted once per hop under indirect;
+    /// retransmissions count again — they cost real bandwidth).
     pub data_messages: u64,
     /// Lookup messages charged (direct transmission only).
     pub lookup_messages: u64,
-    /// Bytes put on the wire (forwarded bytes count at every hop).
+    /// Bytes put on the wire (forwarded bytes count at every hop; ack
+    /// frames and retransmitted payloads included).
     pub bytes: u64,
+    /// Retransmissions triggered by ack timeouts.
+    pub retries: u64,
+    /// Ack frames sent.
+    pub acks: u64,
+    /// Received duplicates suppressed by the dedup filter.
+    pub duplicates_suppressed: u64,
+    /// Packages abandoned after exhausting the retry budget.
+    pub retry_exhausted: u64,
 }
 
 /// One group's ranking state hosted on a node.
@@ -226,6 +350,25 @@ pub struct NetNode {
     active: bool,
     /// Network cost counters for traffic *originated or forwarded* here.
     pub counters: NetCounters,
+    /// Next data sequence number (reliability protocol).
+    next_seq: u64,
+    /// Unacked packages awaiting retransmission, by sequence number
+    /// (`BTreeMap` so the retransmit scan order is deterministic).
+    pending: BTreeMap<u64, PendingSend>,
+    /// `(sender, seq)` pairs already processed, for duplicate suppression.
+    seen: HashSet<(usize, u64)>,
+}
+
+/// One unacked package on the sender side.
+struct PendingSend {
+    dst: NodeIndex,
+    parts: Vec<YPart>,
+    /// Retransmissions already performed.
+    retries: u32,
+    /// Virtual time at which the package is considered lost.
+    deadline: f64,
+    /// Current retransmission timeout (grows by the backoff factor).
+    rto: f64,
 }
 
 impl NetNode {
@@ -256,18 +399,74 @@ impl NetNode {
         done - now
     }
 
-    /// Sends a set of parts toward their (shared) next hop, with counters.
-    fn send_package(&mut self, ctx: &mut Ctx<'_, Package>, hop: NodeIndex, parts: Vec<YPart>) {
+    /// The single data-send path: counts the message and bytes, pays the
+    /// uplink, registers the package for retransmission when reliability
+    /// is on, and hands it to the engine. `extra_delay` models time spent
+    /// before the message can leave (a direct-mode lookup).
+    fn transmit(
+        &mut self,
+        ctx: &mut Ctx<'_, NetMsg>,
+        dst: NodeIndex,
+        extra_delay: f64,
+        parts: Vec<YPart>,
+    ) {
         self.counters.data_messages += 1;
         let bytes = self.payload_bytes(&parts);
         self.counters.bytes += bytes;
         let queueing = self.uplink_delay(ctx.now(), bytes);
-        ctx.send_after(hop, self.cfg.hop_latency + queueing, Package(parts));
+        let delay = self.cfg.hop_latency + queueing + extra_delay;
+        let seq = self.cfg.reliability.map(|rel| {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.pending.insert(
+                seq,
+                PendingSend {
+                    dst,
+                    parts: parts.clone(),
+                    retries: 0,
+                    deadline: ctx.now() + delay + rel.ack_timeout,
+                    rto: rel.ack_timeout,
+                },
+            );
+            seq
+        });
+        ctx.send_after(dst, delay, NetMsg::Data { seq, package: Package(parts) });
+    }
+
+    /// Retransmits every pending package whose ack deadline has passed,
+    /// with exponential backoff, abandoning those out of retry budget.
+    /// Runs at every wake, so the scan granularity is the think time.
+    fn retransmit_due(&mut self, ctx: &mut Ctx<'_, NetMsg>, rel: Reliability) {
+        let now = ctx.now();
+        let due: Vec<u64> =
+            self.pending.iter().filter(|(_, p)| p.deadline <= now).map(|(&s, _)| s).collect();
+        for seq in due {
+            let mut p = self.pending.remove(&seq).expect("due entry present");
+            if p.retries >= rel.max_retries {
+                self.counters.retry_exhausted += 1;
+                continue;
+            }
+            p.retries += 1;
+            self.counters.retries += 1;
+            self.counters.data_messages += 1;
+            let bytes = self.payload_bytes(&p.parts);
+            self.counters.bytes += bytes;
+            let queueing = self.uplink_delay(now, bytes);
+            let delay = self.cfg.hop_latency + queueing;
+            ctx.send_after(
+                p.dst,
+                delay,
+                NetMsg::Data { seq: Some(seq), package: Package(p.parts.clone()) },
+            );
+            p.rto *= rel.backoff;
+            p.deadline = now + delay + p.rto;
+            self.pending.insert(seq, p);
+        }
     }
 
     /// Routes parts one overlay hop (indirect) or directly to the owner
     /// (direct), grouping by next hop so each neighbor gets one package.
-    fn dispatch(&mut self, ctx: &mut Ctx<'_, Package>, parts: Vec<YPart>) {
+    fn dispatch(&mut self, ctx: &mut Ctx<'_, NetMsg>, parts: Vec<YPart>) {
         match self.cfg.transmission {
             Transmission::Direct => {
                 for part in parts {
@@ -286,18 +485,13 @@ impl NetNode {
                         .len() as u64;
                     self.counters.lookup_messages += hops;
                     self.counters.bytes += hops * self.cfg.lookup_bytes;
-                    let delay = hops as f64 * self.cfg.hop_latency;
-                    self.counters.data_messages += 1;
-                    let bytes = self.payload_bytes(std::slice::from_ref(&part));
-                    self.counters.bytes += bytes;
-                    let queueing = self.uplink_delay(ctx.now(), bytes);
-                    ctx.send_after(owner, delay + self.cfg.hop_latency + queueing, Package(vec![part]));
+                    let lookup_delay = hops as f64 * self.cfg.hop_latency;
+                    self.transmit(ctx, owner, lookup_delay, vec![part]);
                 }
             }
             Transmission::Indirect => {
                 // BTreeMap: package send order must be deterministic.
-                let mut by_hop: std::collections::BTreeMap<NodeIndex, Vec<YPart>> =
-                    std::collections::BTreeMap::new();
+                let mut by_hop: BTreeMap<NodeIndex, Vec<YPart>> = BTreeMap::new();
                 for part in parts {
                     let hop = self
                         .overlay
@@ -310,13 +504,13 @@ impl NetNode {
                     }
                 }
                 for (hop, package) in by_hop {
-                    self.send_package(ctx, hop, package);
+                    self.transmit(ctx, hop, 0.0, package);
                 }
             }
         }
     }
 
-    fn sample_wait(&self, ctx: &mut Ctx<'_, Package>) -> f64 {
+    fn sample_wait(&self, ctx: &mut Ctx<'_, NetMsg>) -> f64 {
         use rand::Rng;
         if self.mean_wait <= 0.0 {
             return 1e-3;
@@ -327,25 +521,30 @@ impl NetNode {
 }
 
 impl Actor for NetNode {
-    type Msg = Package;
+    type Msg = NetMsg;
 
-    fn on_start(&mut self, ctx: &mut Ctx<'_, Package>) {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, NetMsg>) {
         let w = self.sample_wait(ctx);
         ctx.schedule_wake(w);
     }
 
-    fn on_wake(&mut self, ctx: &mut Ctx<'_, Package>) {
+    fn on_wake(&mut self, ctx: &mut Ctx<'_, NetMsg>) {
         if !self.active {
             return; // departed: no work, no reschedule
         }
-        // 1. Forward buffered relay traffic (indirect transmission's
+        // 1. Retransmit unacked packages whose deadline passed.
+        if let Some(rel) = self.cfg.reliability {
+            self.retransmit_due(ctx, rel);
+        }
+
+        // 2. Forward buffered relay traffic (indirect transmission's
         //    store-recombine-forward cycle).
         if !self.relay.is_empty() {
             let parts = std::mem::take(&mut self.relay);
             self.dispatch(ctx, parts);
         }
 
-        // 2. Run the DPR loop body for every hosted group and collect the
+        // 3. Run the DPR loop body for every hosted group and collect the
         //    resulting Y parts.
         let mut outgoing = Vec::new();
         for gi in 0..self.groups.len() {
@@ -376,11 +575,32 @@ impl Actor for NetNode {
         ctx.schedule_wake(w);
     }
 
-    fn on_message(&mut self, _ctx: &mut Ctx<'_, Package>, _from: usize, msg: Package) {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, NetMsg>, from: usize, msg: NetMsg) {
         if !self.active {
             return; // a departed node neither relays nor delivers
         }
-        for part in msg.0 {
+        let package = match msg {
+            NetMsg::Ack { seq } => {
+                self.pending.remove(&seq);
+                return;
+            }
+            NetMsg::Data { seq, package } => {
+                if let Some(seq) = seq {
+                    // Ack first — even for duplicates, since the previous
+                    // ack may have been lost. Ack frames are header-sized
+                    // control traffic; they skip the §4.5 data uplink.
+                    self.counters.acks += 1;
+                    self.counters.bytes += self.cfg.header_bytes;
+                    ctx.send(from, NetMsg::Ack { seq });
+                    if !self.seen.insert((from, seq)) {
+                        self.counters.duplicates_suppressed += 1;
+                        return;
+                    }
+                }
+                package
+            }
+        };
+        for part in package.0 {
             if self.owner_of.read()[part.dest_group as usize] == self.me {
                 self.deliver_local(part);
             } else {
@@ -409,21 +629,55 @@ pub struct NetRunResult {
     pub mean_route_hops: f64,
 }
 
+/// One scheduled churn event, merged from `departures` and `joins`.
+enum ChurnEvent {
+    Depart(NodeIndex),
+    Join { id_seed: u64 },
+}
+
 /// Builds and executes a whole-system run.
+///
+/// # Panics
+/// If the configured churn schedule is unsupported by the chosen overlay;
+/// use [`try_run_over_network`] to handle that case as an error.
 #[must_use]
 pub fn run_over_network(g: &WebGraph, cfg: NetRunConfig) -> NetRunResult {
+    try_run_over_network(g, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Builds and executes a whole-system run, validating churn support.
+///
+/// # Errors
+/// [`ChurnUnsupported`] when `departures` are scheduled on CAN or `joins`
+/// on anything but Pastry.
+pub fn try_run_over_network(
+    g: &WebGraph,
+    cfg: NetRunConfig,
+) -> Result<NetRunResult, ChurnUnsupported> {
     cfg.rank.validate(g.n_pages());
     assert!(cfg.k >= 1 && cfg.n_nodes >= 1);
     let cfg = Arc::new(cfg);
 
     if !cfg.departures.is_empty() {
-        assert!(
-            matches!(cfg.overlay, OverlayKind::Pastry),
-            "mid-run departures require the Pastry overlay"
-        );
+        if matches!(cfg.overlay, OverlayKind::Can { .. }) {
+            return Err(ChurnUnsupported { op: "departures", overlay: "CAN" });
+        }
         assert!(
             cfg.departures.windows(2).all(|w| w[0].0 < w[1].0),
             "departure times must be strictly increasing"
+        );
+    }
+    if !cfg.joins.is_empty() {
+        match cfg.overlay {
+            OverlayKind::Pastry => {}
+            OverlayKind::Chord => return Err(ChurnUnsupported { op: "joins", overlay: "Chord" }),
+            OverlayKind::Can { .. } => {
+                return Err(ChurnUnsupported { op: "joins", overlay: "CAN" })
+            }
+        }
+        assert!(
+            cfg.joins.windows(2).all(|w| w[0].0 < w[1].0),
+            "join times must be strictly increasing"
         );
     }
     let overlay: Arc<RwLock<AnyOverlay>> = Arc::new(RwLock::new(match cfg.overlay {
@@ -446,7 +700,10 @@ pub fn run_over_network(g: &WebGraph, cfg: NetRunConfig) -> NetRunResult {
     let partition = Partition::build(g, &cfg.strategy, cfg.k, 0);
     let reference = open_pagerank(g, &cfg.rank).ranks;
     let contexts = GroupContext::build_all(g, &partition, &cfg.rank);
-    let waits = WaitModel::uniform_means(cfg.n_nodes, cfg.t1, cfg.t2, cfg.seed ^ 0xCAFE);
+    // Draw means for joiners too; uniform_means samples sequentially, so
+    // the first n_nodes means are unchanged by the extension.
+    let waits =
+        WaitModel::uniform_means(cfg.n_nodes + cfg.joins.len(), cfg.t1, cfg.t2, cfg.seed ^ 0xCAFE);
 
     // Place groups on their owner nodes.
     let mut hosted: Vec<Vec<GroupState>> = (0..cfg.n_nodes).map(|_| Vec::new()).collect();
@@ -484,28 +741,51 @@ pub fn run_over_network(g: &WebGraph, cfg: NetRunConfig) -> NetRunResult {
             uplink_busy_until: 0.0,
             active: true,
             counters: NetCounters::default(),
+            next_seq: 0,
+            pending: BTreeMap::new(),
+            seen: HashSet::new(),
         })
         .collect();
 
-    let mut sim = Simulation::new(
-        nodes,
-        SimConfig { send_success_prob: cfg.send_success_prob, latency: 0.01, seed: cfg.seed },
-    );
+    // The fault plan takes precedence over the legacy scalar knob.
+    let plan = cfg.faults.clone().unwrap_or_else(|| {
+        FaultPlan::new().with_latency(0.01).with_default_success(cfg.send_success_prob)
+    });
+    let mut sim = Simulation::with_plan(nodes, cfg.seed, plan);
+
+    // Merge departures and joins into one time-ordered churn schedule.
+    let mut churn: Vec<(f64, ChurnEvent)> = cfg
+        .departures
+        .iter()
+        .map(|&(t, node)| (t, ChurnEvent::Depart(node)))
+        .chain(cfg.joins.iter().map(|&(t, id_seed)| (t, ChurnEvent::Join { id_seed })))
+        .collect();
+    churn.sort_by(|a, b| a.0.total_cmp(&b.0));
 
     let mut rel_err = TimeSeries::new();
     let n_pages = g.n_pages();
-    let mut departures = cfg.departures.clone().into_iter().peekable();
+    let mut churn = churn.into_iter().peekable();
+    let mut joined = 0usize;
     let mut t = 0.0;
     while t < cfg.t_end {
         let next_t = (t + cfg.sample_every).min(cfg.t_end);
-        // Apply any crash scheduled inside this slice first.
-        while let Some(&(dt, node)) = departures.peek() {
-            if dt > next_t {
+        // Apply any churn scheduled inside this slice first.
+        while let Some(&(ct, _)) = churn.peek() {
+            if ct > next_t {
                 break;
             }
-            departures.next();
-            sim.run_until(dt);
-            apply_departure(&mut sim, &overlay, &owner_of, &key_of, node);
+            let (ct, ev) = churn.next().expect("peeked");
+            sim.run_until(ct);
+            match ev {
+                ChurnEvent::Depart(node) => {
+                    apply_departure(&mut sim, &overlay, &owner_of, &key_of, node);
+                }
+                ChurnEvent::Join { id_seed } => {
+                    let mean_wait = waits.mean(cfg.n_nodes + joined);
+                    joined += 1;
+                    apply_join(&mut sim, &overlay, &owner_of, &key_of, &cfg, mean_wait, id_seed);
+                }
+            }
         }
         sim.run_until(next_t);
         rel_err.push(next_t, vec_ops::relative_error(&assemble(sim.actors(), n_pages), &reference));
@@ -517,16 +797,20 @@ pub fn run_over_network(g: &WebGraph, cfg: NetRunConfig) -> NetRunResult {
         acc.data_messages += n.counters.data_messages;
         acc.lookup_messages += n.counters.lookup_messages;
         acc.bytes += n.counters.bytes;
+        acc.retries += n.counters.retries;
+        acc.acks += n.counters.acks;
+        acc.duplicates_suppressed += n.counters.duplicates_suppressed;
+        acc.retry_exhausted += n.counters.retry_exhausted;
         acc
     });
-    NetRunResult {
+    Ok(NetRunResult {
         final_rel_err: vec_ops::relative_error(&final_ranks, &reference),
         rel_err,
         final_ranks,
         counters,
         sim_stats: sim.stats(),
         mean_route_hops: if hop_count == 0 { 0.0 } else { hop_total as f64 / hop_count as f64 },
-    }
+    })
 }
 
 /// Crashes `node`: removes it from the overlay, recomputes group
@@ -540,7 +824,7 @@ fn apply_departure(
     key_of: &Arc<Vec<u128>>,
     node: NodeIndex,
 ) {
-    overlay.write().depart(node);
+    overlay.write().depart(node).expect("churn support validated before the run");
     {
         let ov = overlay.read();
         let mut owners = owner_of.write();
@@ -552,6 +836,7 @@ fn apply_departure(
     actors[node].active = false;
     let orphaned = std::mem::take(&mut actors[node].groups);
     actors[node].relay.clear();
+    actors[node].pending.clear();
     let owners = owner_of.read();
     for gs in orphaned {
         let gid = gs.ctx.group_id() as usize;
@@ -563,6 +848,68 @@ fn apply_departure(
             afferent: AfferentState::new(n),
             outer_iterations: 0,
         });
+    }
+}
+
+/// Joins a fresh node (id derived from `id_seed`): inserts it into the
+/// overlay, recomputes group ownership, spawns its actor mid-run, and
+/// hands over the groups it is now responsible for *with their ranking
+/// state intact* — a graceful handoff, unlike the state loss of
+/// [`apply_departure`].
+fn apply_join(
+    sim: &mut Simulation<NetNode>,
+    overlay: &Arc<RwLock<AnyOverlay>>,
+    owner_of: &Arc<RwLock<Vec<NodeIndex>>>,
+    key_of: &Arc<Vec<u128>>,
+    cfg: &Arc<NetRunConfig>,
+    mean_wait: f64,
+    id_seed: u64,
+) {
+    let new = overlay.write().join(id_seed).expect("churn support validated before the run");
+    {
+        let ov = overlay.read();
+        let mut owners = owner_of.write();
+        for (gid, slot) in owners.iter_mut().enumerate() {
+            *slot = ov.as_overlay().responsible(key_of[gid]);
+        }
+    }
+    let idx = sim.add_actor(NetNode {
+        me: new,
+        groups: Vec::new(),
+        overlay: Arc::clone(overlay),
+        owner_of: Arc::clone(owner_of),
+        key_of: Arc::clone(key_of),
+        relay: Vec::new(),
+        cfg: Arc::clone(cfg),
+        mean_wait,
+        uplink_busy_until: 0.0,
+        active: true,
+        counters: NetCounters::default(),
+        next_seq: 0,
+        pending: BTreeMap::new(),
+        seen: HashSet::new(),
+    });
+    debug_assert_eq!(idx, new, "overlay handle and actor index must agree");
+
+    // Graceful handoff: any group no longer hosted by its owner moves,
+    // state and all.
+    let owners = owner_of.read();
+    let actors = sim.actors_mut();
+    let mut migrating = Vec::new();
+    for (host, actor) in actors.iter_mut().enumerate() {
+        let mut i = 0;
+        while i < actor.groups.len() {
+            let gid = actor.groups[i].ctx.group_id() as usize;
+            if owners[gid] != host {
+                migrating.push(actor.groups.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+    }
+    for gs in migrating {
+        let gid = gs.ctx.group_id() as usize;
+        actors[owners[gid]].groups.push(gs);
     }
 }
 
@@ -614,24 +961,21 @@ mod tests {
 
     #[test]
     fn indirect_sends_fewer_messages_than_direct() {
-        let g = edu_domain(&EduDomainConfig { n_pages: 3_000, n_sites: 30, ..EduDomainConfig::default() });
+        let g = edu_domain(&EduDomainConfig {
+            n_pages: 3_000,
+            n_sites: 30,
+            ..EduDomainConfig::default()
+        });
         let k = 48;
-        let run = |t| {
-            run_over_network(
-                &g,
-                NetRunConfig { k, n_nodes: k, t_end: 150.0, ..quick(t) },
-            )
-        };
+        let run =
+            |t| run_over_network(&g, NetRunConfig { k, n_nodes: k, t_end: 150.0, ..quick(t) });
         let d = run(Transmission::Direct);
         let i = run(Transmission::Indirect);
         assert!(d.final_rel_err < 1e-3);
         assert!(i.final_rel_err < 1e-3);
         let d_total = d.counters.data_messages + d.counters.lookup_messages;
         let i_total = i.counters.data_messages;
-        assert!(
-            i_total < d_total,
-            "indirect {i_total} should beat direct {d_total} messages"
-        );
+        assert!(i_total < d_total, "indirect {i_total} should beat direct {d_total} messages");
     }
 
     #[test]
@@ -657,11 +1001,7 @@ mod tests {
         let g = toy::two_cliques(5);
         let res = run_over_network(
             &g,
-            NetRunConfig {
-                send_success_prob: 0.8,
-                t_end: 600.0,
-                ..quick(Transmission::Indirect)
-            },
+            NetRunConfig { send_success_prob: 0.8, t_end: 900.0, ..quick(Transmission::Indirect) },
         );
         assert!(res.final_rel_err < 1e-3, "rel err {}", res.final_rel_err);
         assert!(res.sim_stats.sends_dropped > 0);
@@ -681,15 +1021,9 @@ mod tests {
     fn converges_on_every_overlay_kind() {
         let g = toy::two_cliques(5);
         for overlay in [OverlayKind::Pastry, OverlayKind::Chord, OverlayKind::Can { d: 2 }] {
-            let res = run_over_network(
-                &g,
-                NetRunConfig { overlay, ..quick(Transmission::Indirect) },
-            );
-            assert!(
-                res.final_rel_err < 1e-4,
-                "{overlay:?}: rel err {}",
-                res.final_rel_err
-            );
+            let res =
+                run_over_network(&g, NetRunConfig { overlay, ..quick(Transmission::Indirect) });
+            assert!(res.final_rel_err < 1e-4, "{overlay:?}: rel err {}", res.final_rel_err);
         }
     }
 
@@ -698,12 +1032,16 @@ mod tests {
         // §4.5's B as queueing: an uplink that cannot keep up with the Y
         // traffic must push the 1%-error crossing later, but never break
         // convergence.
-        let g = edu_domain(&EduDomainConfig { n_pages: 2_000, n_sites: 20, ..EduDomainConfig::default() });
+        let g = edu_domain(&EduDomainConfig {
+            n_pages: 2_000,
+            n_sites: 20,
+            ..EduDomainConfig::default()
+        });
         let base = NetRunConfig {
             k: 24,
             n_nodes: 24,
             strategy: Strategy::HashByUrl,
-            t_end: 400.0,
+            t_end: 900.0,
             ..NetRunConfig::default()
         };
         let fast = run_over_network(&g, base.clone());
@@ -723,7 +1061,11 @@ mod tests {
         // A node hosting groups crashes mid-run: its state is lost, its
         // groups migrate to the new responsible nodes, and the system
         // re-converges — the paper's "resilient" P2P substrate, end to end.
-        let g = edu_domain(&EduDomainConfig { n_pages: 2_000, n_sites: 20, ..EduDomainConfig::default() });
+        let g = edu_domain(&EduDomainConfig {
+            n_pages: 2_000,
+            n_sites: 20,
+            ..EduDomainConfig::default()
+        });
         let base = NetRunConfig {
             k: 24,
             n_nodes: 24,
@@ -781,16 +1123,128 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "departures require the Pastry overlay")]
-    fn departures_rejected_on_chord() {
+    fn departures_rejected_on_can() {
         let g = toy::cycle(4);
-        let _ = run_over_network(
+        let err = try_run_over_network(
             &g,
             NetRunConfig {
-                overlay: OverlayKind::Chord,
+                overlay: OverlayKind::Can { d: 2 },
                 departures: vec![(1.0, 0)],
                 ..NetRunConfig::default()
             },
+        )
+        .unwrap_err();
+        assert_eq!(err, ChurnUnsupported { op: "departures", overlay: "CAN" });
+        assert!(err.to_string().contains("not supported on the CAN overlay"));
+    }
+
+    #[test]
+    fn joins_rejected_on_chord_and_can() {
+        let g = toy::cycle(4);
+        for overlay in [OverlayKind::Chord, OverlayKind::Can { d: 2 }] {
+            let err = try_run_over_network(
+                &g,
+                NetRunConfig { overlay, joins: vec![(1.0, 77)], ..NetRunConfig::default() },
+            )
+            .unwrap_err();
+            assert_eq!(err.op, "joins");
+        }
+    }
+
+    #[test]
+    fn chord_departures_reconverge() {
+        // The former panic path: Chord now repairs successors and fingers
+        // on departure and the ranking survives the migration.
+        let g = toy::two_cliques(5);
+        let res = run_over_network(
+            &g,
+            NetRunConfig {
+                overlay: OverlayKind::Chord,
+                departures: vec![(60.0, 2), (90.0, 5)],
+                t_end: 400.0,
+                ..quick(Transmission::Indirect)
+            },
         );
+        assert!(res.final_rel_err < 1e-3, "rel err {}", res.final_rel_err);
+    }
+
+    #[test]
+    fn joins_hand_over_groups_gracefully() {
+        let g = toy::two_cliques(5);
+        let base = NetRunConfig {
+            n_nodes: 8, // few nodes: joiners very likely take over groups
+            t_end: 400.0,
+            ..quick(Transmission::Indirect)
+        };
+        let res = run_over_network(
+            &g,
+            NetRunConfig { joins: vec![(50.0, 901), (80.0, 902), (110.0, 903)], ..base.clone() },
+        );
+        assert!(res.final_rel_err < 1e-4, "rel err {}", res.final_rel_err);
+        // Handoff keeps state: the error curve never spikes back above the
+        // pre-join level once converged (graceful, not a crash).
+        let before = res.rel_err.value_at(49.0).unwrap();
+        let after_max = res
+            .rel_err
+            .points()
+            .iter()
+            .filter(|&&(t, _)| t > 50.0)
+            .map(|&(_, v)| v)
+            .fold(0.0f64, f64::max);
+        assert!(
+            after_max <= before * 1.5 + 1e-12,
+            "joins must not perturb ranks: before {before}, after max {after_max}"
+        );
+    }
+
+    #[test]
+    fn reliable_delivery_suppresses_duplicates_and_acks() {
+        let g = toy::two_cliques(5);
+        let res = run_over_network(
+            &g,
+            NetRunConfig {
+                send_success_prob: 0.5,
+                reliability: Some(Reliability::default()),
+                t_end: 300.0,
+                ..quick(Transmission::Indirect)
+            },
+        );
+        assert!(res.counters.acks > 0, "acks must flow");
+        assert!(res.counters.retries > 0, "50% loss must trigger retries");
+        assert!(res.final_rel_err < 1e-3, "rel err {}", res.final_rel_err);
+    }
+
+    #[test]
+    fn reliability_is_quiet_on_a_perfect_network() {
+        let g = toy::two_cliques(4);
+        let res = run_over_network(
+            &g,
+            NetRunConfig {
+                reliability: Some(Reliability::default()),
+                ..quick(Transmission::Indirect)
+            },
+        );
+        assert_eq!(res.counters.retries, 0);
+        assert_eq!(res.counters.duplicates_suppressed, 0);
+        assert_eq!(res.counters.retry_exhausted, 0);
+        assert!(res.counters.acks >= res.counters.data_messages);
+        assert!(res.final_rel_err < 1e-4);
+    }
+
+    #[test]
+    fn fault_plan_overrides_scalar_loss() {
+        // A plan with no loss beats the scalar knob claiming total loss:
+        // `faults` must take precedence.
+        let g = toy::two_cliques(4);
+        let res = run_over_network(
+            &g,
+            NetRunConfig {
+                send_success_prob: 0.0,
+                faults: Some(FaultPlan::new().with_latency(0.01)),
+                ..quick(Transmission::Indirect)
+            },
+        );
+        assert_eq!(res.sim_stats.sends_dropped, 0);
+        assert!(res.final_rel_err < 1e-4, "rel err {}", res.final_rel_err);
     }
 }

@@ -16,9 +16,7 @@ use crate::config::{EVector, RankConfig};
 pub fn site_biased_e(g: &WebGraph, site: SiteId, base: f64, boost: f64) -> EVector {
     assert!(base >= 0.0 && boost >= 0.0);
     EVector::Custom(
-        (0..g.n_pages() as u32)
-            .map(|p| if g.site(p) == site { boost } else { base })
-            .collect(),
+        (0..g.n_pages() as u32).map(|p| if g.site(p) == site { boost } else { base }).collect(),
     )
 }
 
@@ -53,14 +51,11 @@ mod tests {
         let g = toy::two_cliques(5); // sites 0 and 1
         let cfg = RankConfig::default();
         let uniform = open_pagerank(&g, &cfg).ranks;
-        let biased =
-            personalized_pagerank(&g, cfg, site_biased_e(&g, 0, 0.1, 2.0)).ranks;
+        let biased = personalized_pagerank(&g, cfg, site_biased_e(&g, 0, 0.1, 2.0)).ranks;
         // Site 0's total rank share must grow relative to uniform.
         let share = |r: &[f64]| {
-            let site0: f64 = (0..g.n_pages() as u32)
-                .filter(|&p| g.site(p) == 0)
-                .map(|p| r[p as usize])
-                .sum();
+            let site0: f64 =
+                (0..g.n_pages() as u32).filter(|&p| g.site(p) == 0).map(|p| r[p as usize]).sum();
             site0 / sum(r)
         };
         assert!(share(&biased) > share(&uniform) + 0.1);
@@ -84,8 +79,7 @@ mod tests {
     #[test]
     fn zero_preference_pages_still_get_flow_through_links() {
         let g = toy::cycle(4);
-        let out =
-            personalized_pagerank(&g, RankConfig::default(), preference_set_e(&g, &[0], 1.0));
+        let out = personalized_pagerank(&g, RankConfig::default(), preference_set_e(&g, &[0], 1.0));
         // E is zero on pages 1..3, but link flow reaches them.
         assert!(out.ranks[1] > 0.0);
         assert!(out.ranks[2] > 0.0);

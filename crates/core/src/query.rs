@@ -30,16 +30,10 @@ pub fn local_top_k(node: &RankerNode, k: usize, candidates: Option<&[PageId]>) -
     let pages = node.group().pages();
     let ranks = node.ranks();
     let mut hits: Vec<Hit> = match candidates {
-        None => pages
-            .iter()
-            .zip(ranks)
-            .map(|(&page, &rank)| Hit { page, rank })
-            .collect(),
+        None => pages.iter().zip(ranks).map(|(&page, &rank)| Hit { page, rank }).collect(),
         Some(cands) => cands
             .iter()
-            .filter_map(|&p| {
-                node.group().local_index(p).map(|li| Hit { page: p, rank: ranks[li] })
-            })
+            .filter_map(|&p| node.group().local_index(p).map(|li| Hit { page: p, rank: ranks[li] }))
             .collect(),
     };
     hits.sort_unstable_by(|a, b| b.rank.total_cmp(&a.rank).then(a.page.cmp(&b.page)));
@@ -56,8 +50,7 @@ pub fn distributed_top_k(
     k: usize,
     candidates: Option<&[PageId]>,
 ) -> Vec<Hit> {
-    let mut merged: Vec<Hit> =
-        nodes.iter().flat_map(|n| local_top_k(n, k, candidates)).collect();
+    let mut merged: Vec<Hit> = nodes.iter().flat_map(|n| local_top_k(n, k, candidates)).collect();
     merged.sort_unstable_by(|a, b| b.rank.total_cmp(&a.rank).then(a.page.cmp(&b.page)));
     merged.truncate(k);
     merged

@@ -102,7 +102,8 @@ mod tests {
         let mut buf = Vec::new();
         write_ranks(&[1.0, 2.0], &mut buf).unwrap();
         // Drop the entire final value line.
-        let cut = buf.len() - 1 - buf[..buf.len() - 1].iter().rev().position(|&b| b == b'\n').unwrap();
+        let cut =
+            buf.len() - 1 - buf[..buf.len() - 1].iter().rev().position(|&b| b == b'\n').unwrap();
         buf.truncate(cut);
         assert!(read_ranks(buf.as_slice()).is_err());
     }

@@ -135,9 +135,9 @@ impl DistributedRun {
             .into_iter()
             .enumerate()
             .map(|(i, c)| {
-                let bound: Option<Vec<f64>> = cfg.track_theorems.then(|| {
-                    c.pages().iter().map(|&p| reference[p as usize]).collect()
-                });
+                let bound: Option<Vec<f64>> = cfg
+                    .track_theorems
+                    .then(|| c.pages().iter().map(|&p| reference[p as usize]).collect());
                 let mut node = RankerNode::new(c, cfg.variant, waits.mean(i))
                     .with_inner_epsilon(cfg.inner_epsilon)
                     .with_y_threshold(cfg.y_threshold);
@@ -153,11 +153,7 @@ impl DistributedRun {
 
         let sim = Simulation::new(
             nodes,
-            SimConfig {
-                send_success_prob: cfg.send_success_prob,
-                latency: 0.01,
-                seed: cfg.seed,
-            },
+            SimConfig { send_success_prob: cfg.send_success_prob, latency: 0.01, seed: cfg.seed },
         );
         Self { sim, reference, n_pages: g.n_pages(), cfg }
     }
@@ -192,10 +188,10 @@ impl DistributedRun {
         let final_rel_err = vec_ops::relative_error(&final_ranks, &reference);
         let active_groups = nodes.iter().filter(|n| n.group().n_local() > 0).count();
         let theorems_held = self.cfg.track_theorems.then(|| {
-            nodes.iter().filter_map(|n| n.theorems_held()).fold(
-                (true, true),
-                |(am, ab), (m, b)| (am && m, ab && b),
-            )
+            nodes
+                .iter()
+                .filter_map(|n| n.theorems_held())
+                .fold((true, true), |(am, ab), (m, b)| (am && m, ab && b))
         });
 
         let y_entries_sent = nodes.iter().map(|n| n.y_entries_sent).sum();
@@ -254,7 +250,11 @@ mod tests {
 
     #[test]
     fn lossy_run_converges_slower_but_converges() {
-        let g = edu_domain(&EduDomainConfig { n_pages: 2_000, n_sites: 20, ..EduDomainConfig::default() });
+        let g = edu_domain(&EduDomainConfig {
+            n_pages: 2_000,
+            n_sites: 20,
+            ..EduDomainConfig::default()
+        });
         let reliable = run_distributed(
             &g,
             DistributedRunConfig { send_success_prob: 1.0, seed: 9, ..quick_cfg() },
@@ -275,11 +275,12 @@ mod tests {
 
     #[test]
     fn avg_rank_monotone_and_theorems_hold() {
-        let g = edu_domain(&EduDomainConfig { n_pages: 1_500, n_sites: 15, ..EduDomainConfig::default() });
-        let res = run_distributed(
-            &g,
-            DistributedRunConfig { track_theorems: true, ..quick_cfg() },
-        );
+        let g = edu_domain(&EduDomainConfig {
+            n_pages: 1_500,
+            n_sites: 15,
+            ..EduDomainConfig::default()
+        });
+        let res = run_distributed(&g, DistributedRunConfig { track_theorems: true, ..quick_cfg() });
         assert!(res.avg_rank.is_monotone_nondecreasing(1e-9), "Fig 7 property violated");
         let (monotone, bounded) = res.theorems_held.unwrap();
         assert!(monotone, "Theorem 4.1 violated");
@@ -290,7 +291,11 @@ mod tests {
     fn leaky_dataset_average_rank_settles_below_one() {
         // The Fig 7 observation: with ~53% of links leaving the dataset the
         // converged average rank sits near 0.3, not 1.0.
-        let g = edu_domain(&EduDomainConfig { n_pages: 2_000, n_sites: 20, ..EduDomainConfig::default() });
+        let g = edu_domain(&EduDomainConfig {
+            n_pages: 2_000,
+            n_sites: 20,
+            ..EduDomainConfig::default()
+        });
         let res = run_distributed(&g, DistributedRunConfig { t_end: 200.0, ..quick_cfg() });
         let avg = res.avg_rank.last_value().unwrap();
         assert!((0.15..=0.5).contains(&avg), "converged average rank {avg}");
@@ -300,7 +305,11 @@ mod tests {
     fn k_has_little_effect_on_iterations() {
         // Fig 8's second conclusion. Compare outer iterations at K=4 vs
         // K=32 on the same dataset.
-        let g = edu_domain(&EduDomainConfig { n_pages: 2_000, n_sites: 20, ..EduDomainConfig::default() });
+        let g = edu_domain(&EduDomainConfig {
+            n_pages: 2_000,
+            n_sites: 20,
+            ..EduDomainConfig::default()
+        });
         let iters = |k: usize| {
             run_distributed(
                 &g,
@@ -317,12 +326,14 @@ mod tests {
 
     #[test]
     fn y_threshold_cuts_traffic_without_breaking_convergence() {
-        let g = edu_domain(&EduDomainConfig { n_pages: 2_000, n_sites: 20, ..EduDomainConfig::default() });
+        let g = edu_domain(&EduDomainConfig {
+            n_pages: 2_000,
+            n_sites: 20,
+            ..EduDomainConfig::default()
+        });
         let full = run_distributed(&g, DistributedRunConfig { seed: 4, ..quick_cfg() });
-        let thresholded = run_distributed(
-            &g,
-            DistributedRunConfig { seed: 4, y_threshold: 1e-6, ..quick_cfg() },
-        );
+        let thresholded =
+            run_distributed(&g, DistributedRunConfig { seed: 4, y_threshold: 1e-6, ..quick_cfg() });
         assert_eq!(full.y_entries_suppressed, 0);
         assert!(thresholded.y_entries_suppressed > 0, "threshold never fired");
         // Traffic drops substantially…
@@ -340,22 +351,21 @@ mod tests {
     fn distributed_personalized_ranking_converges() {
         // §3: non-uniform E = personalized ranking — the distributed
         // machinery must converge to the personalized fixed point too.
-        let g = edu_domain(&EduDomainConfig { n_pages: 1_500, n_sites: 15, ..EduDomainConfig::default() });
+        let g = edu_domain(&EduDomainConfig {
+            n_pages: 1_500,
+            n_sites: 15,
+            ..EduDomainConfig::default()
+        });
         let e = crate::personalized::site_biased_e(&g, 3, 0.1, 2.0);
         let rank = crate::RankConfig { e, ..crate::RankConfig::default() };
-        let res = run_distributed(
-            &g,
-            DistributedRunConfig { rank: rank.clone(), ..quick_cfg() },
-        );
+        let res = run_distributed(&g, DistributedRunConfig { rank: rank.clone(), ..quick_cfg() });
         assert!(res.final_rel_err < 1e-4, "rel err {}", res.final_rel_err);
         // The reference it converged to is the personalized one: site 3's
         // share must exceed its share under uniform E.
         let uniform = crate::centralized::open_pagerank(&g, &crate::RankConfig::default()).ranks;
         let share = |r: &[f64]| {
-            let site3: f64 = (0..g.n_pages() as u32)
-                .filter(|&p| g.site(p) == 3)
-                .map(|p| r[p as usize])
-                .sum();
+            let site3: f64 =
+                (0..g.n_pages() as u32).filter(|&p| g.site(p) == 3).map(|p| r[p as usize]).sum();
             site3 / dpr_linalg::vec_ops::sum(r)
         };
         assert!(share(&res.final_ranks) > share(&uniform) * 1.5);
@@ -366,11 +376,7 @@ mod tests {
         let g = toy::two_cliques(4); // 2 sites
         let res = run_distributed(
             &g,
-            DistributedRunConfig {
-                k: 16,
-                strategy: Strategy::HashBySite,
-                ..quick_cfg()
-            },
+            DistributedRunConfig { k: 16, strategy: Strategy::HashBySite, ..quick_cfg() },
         );
         assert!(res.active_groups <= 2);
         assert!(res.final_rel_err < 1e-3);

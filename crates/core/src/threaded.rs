@@ -232,7 +232,11 @@ mod tests {
 
     #[test]
     fn many_threads_on_a_real_dataset() {
-        let g = edu_domain(&EduDomainConfig { n_pages: 3_000, n_sites: 24, ..EduDomainConfig::default() });
+        let g = edu_domain(&EduDomainConfig {
+            n_pages: 3_000,
+            n_sites: 24,
+            ..EduDomainConfig::default()
+        });
         let res = run_threaded(
             &g,
             &ThreadedRunConfig {
@@ -249,11 +253,7 @@ mod tests {
         let g = toy::two_cliques(5);
         let res = run_threaded(
             &g,
-            &ThreadedRunConfig {
-                k: 4,
-                variant: DprVariant::Dpr2,
-                ..ThreadedRunConfig::default()
-            },
+            &ThreadedRunConfig { k: 4, variant: DprVariant::Dpr2, ..ThreadedRunConfig::default() },
         );
         assert!(res.final_rel_err < 1e-5, "rel err {}", res.final_rel_err);
         // One Jacobi step per round: rounds ≈ the CPR iteration count.
@@ -272,7 +272,11 @@ mod tests {
     fn results_are_bit_deterministic_across_runs() {
         // Threads race inside a round, but the barrier discipline plus the
         // fixed-order afferent summation make the output exact.
-        let g = edu_domain(&EduDomainConfig { n_pages: 1_000, n_sites: 10, ..EduDomainConfig::default() });
+        let g = edu_domain(&EduDomainConfig {
+            n_pages: 1_000,
+            n_sites: 10,
+            ..EduDomainConfig::default()
+        });
         let cfg = ThreadedRunConfig { k: 8, ..ThreadedRunConfig::default() };
         let a = run_threaded(&g, &cfg);
         let b = run_threaded(&g, &cfg);

@@ -152,10 +152,7 @@ impl HiddenWeb {
     /// All out-links of a page (materialized; self-links removed).
     #[must_use]
     pub fn out_links(&self, p: WebPageId) -> Vec<WebPageId> {
-        (0..self.out_degree(p))
-            .map(|i| self.link_target(p, i))
-            .filter(|&v| v != p)
-            .collect()
+        (0..self.out_degree(p)).map(|i| self.link_target(p, i)).filter(|&v| v != p).collect()
     }
 }
 

@@ -103,10 +103,8 @@ pub fn edu_domain(cfg: &EduDomainConfig) -> WebGraph {
         (1..=cfg.n_sites).map(|r| 1.0 / (r as f64).powf(cfg.zipf_exponent)).collect();
     let wsum: f64 = weights.iter().sum();
     let spare = cfg.n_pages - cfg.n_sites;
-    let mut sizes: Vec<usize> = weights
-        .iter()
-        .map(|w| 1 + ((w / wsum) * spare as f64).floor() as usize)
-        .collect();
+    let mut sizes: Vec<usize> =
+        weights.iter().map(|w| 1 + ((w / wsum) * spare as f64).floor() as usize).collect();
     // Distribute the rounding remainder to the largest sites.
     let mut assigned: usize = sizes.iter().sum();
     let mut i = 0;

@@ -142,10 +142,7 @@ mod tests {
         let g = two_cliques(3);
         assert_eq!(g.n_sites(), 2);
         assert_eq!(g.n_internal_links(), 2 * 6 + 2);
-        let inter = g
-            .links()
-            .filter(|&(u, v)| g.site(u) != g.site(v))
-            .count();
+        let inter = g.links().filter(|&(u, v)| g.site(u) != g.site(v)).count();
         assert_eq!(inter, 2);
     }
 

@@ -171,8 +171,7 @@ impl WebGraph {
 
     /// Iterates all internal links as `(from, to)` pairs.
     pub fn links(&self) -> impl Iterator<Item = (PageId, PageId)> + '_ {
-        (0..self.n_pages() as u32)
-            .flat_map(move |u| self.out_links(u).iter().map(move |&v| (u, v)))
+        (0..self.n_pages() as u32).flat_map(move |u| self.out_links(u).iter().map(move |&v| (u, v)))
     }
 }
 

@@ -71,14 +71,10 @@ pub fn write_graph<W: Write>(g: &WebGraph, mut w: W) -> io::Result<()> {
 
 /// Reads a graph in the v1 text format.
 pub fn read_graph<R: BufRead>(r: R) -> Result<WebGraph, ParseError> {
-    let mut lines = r
-        .lines()
-        .enumerate()
-        .map(|(i, l)| (i + 1, l))
-        .filter(|(_, l)| match l {
-            Ok(s) => !s.trim().is_empty() && !s.trim_start().starts_with('#'),
-            Err(_) => true,
-        });
+    let mut lines = r.lines().enumerate().map(|(i, l)| (i + 1, l)).filter(|(_, l)| match l {
+        Ok(s) => !s.trim().is_empty() && !s.trim_start().starts_with('#'),
+        Err(_) => true,
+    });
 
     let mut next = |what: &str| -> Result<(usize, String), ParseError> {
         match lines.next() {

@@ -13,9 +13,8 @@ use crate::graph::PageId;
 
 /// Directory components used to synthesize paths; chosen so the average full
 /// URL lands near 40 bytes.
-const DIRS: &[&str] = &[
-    "", "~grad", "people", "research", "courses", "pub", "docs", "lab", "dept/cs", "news",
-];
+const DIRS: &[&str] =
+    &["", "~grad", "people", "research", "courses", "pub", "docs", "lab", "dept/cs", "news"];
 
 /// Page-name stems.
 const STEMS: &[&str] = &["index", "page", "paper", "note", "home", "pub", "item", "post"];

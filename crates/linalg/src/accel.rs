@@ -101,11 +101,14 @@ impl AitkenSolver {
 #[must_use]
 pub fn iteration_savings(a: &Csr, f: &[f64], tolerance: f64) -> (usize, usize) {
     let mut x_plain = vec![0.0; f.len()];
-    let plain = FixedPointSolver { tolerance, max_iters: 100_000, parallel: false }
-        .solve(a, f, &mut x_plain);
+    let plain = FixedPointSolver { tolerance, max_iters: 100_000, parallel: false }.solve(
+        a,
+        f,
+        &mut x_plain,
+    );
     let mut x_acc = vec![0.0; f.len()];
-    let acc =
-        AitkenSolver { tolerance, max_iters: 100_000, ..AitkenSolver::default() }.solve(a, f, &mut x_acc);
+    let acc = AitkenSolver { tolerance, max_iters: 100_000, ..AitkenSolver::default() }
+        .solve(a, f, &mut x_acc);
     debug_assert!(vec_ops::l1_diff(&x_plain, &x_acc) < tolerance * 1e3);
     (plain.iterations, acc.iterations)
 }

@@ -46,12 +46,13 @@ impl Csr {
     ) -> Self {
         assert_eq!(row_ptr.len(), n_rows + 1, "row_ptr must have n_rows + 1 entries");
         assert_eq!(col_idx.len(), values.len(), "col_idx and values must match");
-        assert_eq!(*row_ptr.last().unwrap_or(&0) as usize, col_idx.len(), "row_ptr must end at nnz");
-        assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]), "row_ptr must be non-decreasing");
-        assert!(
-            col_idx.iter().all(|&c| (c as usize) < n_cols),
-            "column index out of range"
+        assert_eq!(
+            *row_ptr.last().unwrap_or(&0) as usize,
+            col_idx.len(),
+            "row_ptr must end at nnz"
         );
+        assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]), "row_ptr must be non-decreasing");
+        assert!(col_idx.iter().all(|&c| (c as usize) < n_cols), "column index out of range");
         Self { n_rows, n_cols, row_ptr, col_idx, values }
     }
 
@@ -89,10 +90,7 @@ impl Csr {
     pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         let lo = self.row_ptr[r] as usize;
         let hi = self.row_ptr[r + 1] as usize;
-        self.col_idx[lo..hi]
-            .iter()
-            .zip(&self.values[lo..hi])
-            .map(|(&c, &v)| (c as usize, v))
+        self.col_idx[lo..hi].iter().zip(&self.values[lo..hi]).map(|(&c, &v)| (c as usize, v))
     }
 
     /// Value at `(r, c)`, `0.0` if not stored. O(row length) — intended for

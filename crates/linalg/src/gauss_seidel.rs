@@ -93,10 +93,7 @@ impl GaussSeidelSolver {
             iterations: iters,
             final_delta: delta,
             converged: delta <= self.tolerance,
-            error_bound: theory::contraction_error_bound(
-                a.inf_norm().min(a.one_norm()),
-                delta,
-            ),
+            error_bound: theory::contraction_error_bound(a.inf_norm().min(a.one_norm()), delta),
         }
     }
 }
@@ -111,10 +108,7 @@ pub fn sweep_comparison(a: &Csr, f: &[f64], tolerance: f64) -> (usize, usize) {
     let mut xg = vec![0.0; f.len()];
     let g = GaussSeidelSolver { tolerance, max_iters: 100_000, ..GaussSeidelSolver::default() }
         .solve(a, f, &mut xg);
-    debug_assert!(
-        vec_ops::l1_diff(&xj, &xg) < tolerance * 1e3,
-        "Jacobi and Gauss–Seidel disagree"
-    );
+    debug_assert!(vec_ops::l1_diff(&xj, &xg) < tolerance * 1e3, "Jacobi and Gauss–Seidel disagree");
     (j.iterations, g.iterations)
 }
 
@@ -240,8 +234,8 @@ mod tests {
         // omega stays a tunable rather than a default.
         for omega in [0.5, 1.1, 1.25] {
             let mut x = vec![0.0; 6];
-            let r = GaussSeidelSolver { omega, ..GaussSeidelSolver::new(1e-12) }
-                .solve(&a, &f, &mut x);
+            let r =
+                GaussSeidelSolver { omega, ..GaussSeidelSolver::new(1e-12) }.solve(&a, &f, &mut x);
             assert!(r.converged, "omega {omega} failed to converge");
             assert!(vec_ops::l1_diff(&x, &plain) < 1e-8, "omega {omega} wrong fixed point");
         }
@@ -252,7 +246,7 @@ mod tests {
     fn omega_out_of_range_rejected() {
         let (a, f) = chain_system(3, 0.5);
         let mut x = vec![0.0; 3];
-        let _ = GaussSeidelSolver { omega: 2.5, ..GaussSeidelSolver::default() }
-            .solve(&a, &f, &mut x);
+        let _ =
+            GaussSeidelSolver { omega: 2.5, ..GaussSeidelSolver::default() }.solve(&a, &f, &mut x);
     }
 }

@@ -89,10 +89,7 @@ pub fn check_lemma1_nonneg_fixed_point(a: &Csr, f: &[f64], tol: f64) -> bool {
 pub fn check_lemma2_monotone_in_f(a: &Csr, f1: &[f64], f2: &[f64], tol: f64) -> bool {
     assert!(a.is_nonneg(), "Lemma 2 premise: A >= 0");
     assert!(a.inf_norm() < 1.0, "Lemma 2 premise: ||A||_inf < 1");
-    assert!(
-        vec_ops::ge_elementwise(f1, f2),
-        "Lemma 2 premise: f1 >= f2 element-wise"
-    );
+    assert!(vec_ops::ge_elementwise(f1, f2), "Lemma 2 premise: f1 >= f2 element-wise");
     let solver = FixedPointSolver::new(tol * 1e-3);
     let mut r1 = vec![0.0; f1.len()];
     let mut r2 = vec![0.0; f2.len()];
@@ -168,12 +165,7 @@ mod tests {
     #[test]
     fn lemma2_holds_on_contraction() {
         let a = contraction();
-        assert!(check_lemma2_monotone_in_f(
-            &a,
-            &[1.0, 1.0, 1.0],
-            &[0.5, 1.0, 0.0],
-            1e-9
-        ));
+        assert!(check_lemma2_monotone_in_f(&a, &[1.0, 1.0, 1.0], &[0.5, 1.0, 0.0], 1e-9));
     }
 
     #[test]

@@ -49,9 +49,7 @@ pub fn l1_diff(x: &[f64], y: &[f64]) -> f64 {
 #[must_use]
 pub fn linf_diff(x: &[f64], y: &[f64]) -> f64 {
     debug_assert_eq!(x.len(), y.len());
-    x.iter()
-        .zip(y.iter())
-        .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
+    x.iter().zip(y.iter()).fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
 }
 
 /// Sum of all elements (signed, unlike [`l1_norm`]).

@@ -81,10 +81,7 @@ impl CanNetwork {
         }];
         for j in 1..n {
             let p = point_from_u64(splitmix64(seed ^ (j as u64).wrapping_mul(0xABCD_1234)), d);
-            let owner = zones
-                .iter()
-                .position(|z| z.contains(&p, d))
-                .expect("zones tile the torus");
+            let owner = zones.iter().position(|z| z.contains(&p, d)).expect("zones tile the torus");
             // Keep splitting within the first d dims only.
             while zones[owner].next_split >= d {
                 zones[owner].next_split = (zones[owner].next_split + 1) % MAX_DIMS;
@@ -203,10 +200,7 @@ impl Overlay for CanNetwork {
 
     fn responsible(&self, key: u128) -> NodeIndex {
         let p = point_from_u64(key as u64 ^ (key >> 64) as u64, self.d);
-        self.zones
-            .iter()
-            .position(|z| z.contains(&p, self.d))
-            .expect("zones tile the torus")
+        self.zones.iter().position(|z| z.contains(&p, self.d)).expect("zones tile the torus")
     }
 
     fn route(&self, src: NodeIndex, key: u128) -> Vec<NodeIndex> {
@@ -260,11 +254,8 @@ mod tests {
         let net = CanNetwork::with_nodes(64, 2, 3);
         // Volumes must sum to 1 and every probe point must be owned by
         // exactly one zone.
-        let vol: f64 = net
-            .zones
-            .iter()
-            .map(|z| (0..net.d).map(|i| z.hi[i] - z.lo[i]).product::<f64>())
-            .sum();
+        let vol: f64 =
+            net.zones.iter().map(|z| (0..net.d).map(|i| z.hi[i] - z.lo[i]).product::<f64>()).sum();
         assert!((vol - 1.0).abs() < 1e-12, "total volume {vol}");
         for k in 0..200u64 {
             let p = point_from_u64(splitmix64(k), net.d);

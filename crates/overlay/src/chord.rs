@@ -10,17 +10,20 @@
 use crate::id::splitmix64;
 use crate::{NodeIndex, Overlay};
 
-/// A simulated Chord network over a fixed membership.
+/// A simulated Chord network. Membership shrinks via [`Self::depart`]
+/// (handles stay stable; departed nodes leave the ring order).
 #[derive(Debug, Clone)]
 pub struct ChordNetwork {
     /// Node ids (append-order; `NodeIndex` = position).
     ids: Vec<u64>,
-    /// Handles sorted by id (the ring order).
+    /// Live handles sorted by id (the ring order).
     order: Vec<u32>,
     /// `fingers[h][i]` = handle of `successor(ids[h] + 2^i)`, deduplicated.
     fingers: Vec<Vec<u32>>,
     /// Number of successors each node tracks (Chord's successor list).
     n_successors: usize,
+    /// Liveness per handle; departed nodes keep their slot.
+    alive: Vec<bool>,
 }
 
 impl ChordNetwork {
@@ -45,23 +48,68 @@ impl ChordNetwork {
             order.windows(2).all(|w| ids[w[0] as usize] != ids[w[1] as usize]),
             "duplicate node ids"
         );
-        let mut net =
-            Self { ids, order, fingers: Vec::with_capacity(n), n_successors: 4.min(n - 1).max(1) };
-        for h in 0..n {
-            let mut f = Vec::with_capacity(64);
-            let base = net.ids[h];
-            for i in 0..64u32 {
-                let target = base.wrapping_add(1u64 << i);
-                let s = net.successor_handle(target);
-                if s != h as u32 && f.last() != Some(&s) {
-                    f.push(s);
-                }
-            }
-            f.sort_unstable();
-            f.dedup();
-            net.fingers.push(f);
-        }
+        let mut net = Self {
+            ids,
+            order,
+            fingers: Vec::new(),
+            n_successors: 4.min(n - 1).max(1),
+            alive: vec![true; n],
+        };
+        net.rebuild_fingers();
         net
+    }
+
+    /// Recomputes every live node's finger table against the current ring
+    /// order; departed nodes get an empty table.
+    fn rebuild_fingers(&mut self) {
+        let tables: Vec<Vec<u32>> = (0..self.ids.len())
+            .map(|h| if self.alive[h] { self.build_fingers(h) } else { Vec::new() })
+            .collect();
+        self.fingers = tables;
+    }
+
+    /// `successor(ids[h] + 2^i)` for each finger index, deduplicated.
+    fn build_fingers(&self, h: usize) -> Vec<u32> {
+        let mut f = Vec::with_capacity(64);
+        let base = self.ids[h];
+        for i in 0..64u32 {
+            let target = base.wrapping_add(1u64 << i);
+            let s = self.successor_handle(target);
+            if s != h as u32 && f.last() != Some(&s) {
+                f.push(s);
+            }
+        }
+        f.sort_unstable();
+        f.dedup();
+        f
+    }
+
+    /// Whether node `h` is still a member.
+    #[must_use]
+    pub fn is_alive(&self, h: NodeIndex) -> bool {
+        self.alive[h]
+    }
+
+    /// Number of live nodes.
+    #[must_use]
+    pub fn n_alive(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Node departure (crash or voluntary leave). The node leaves the ring
+    /// order immediately and every live node's successor list and finger
+    /// table are repaired against the shrunken ring — the eventual outcome
+    /// of Chord's stabilization protocol after the failure is detected.
+    ///
+    /// # Panics
+    /// If `h` already departed or is the last live node.
+    pub fn depart(&mut self, h: NodeIndex) {
+        assert!(self.alive[h], "node {h} already departed");
+        assert!(self.order.len() > 1, "cannot remove the last node");
+        self.alive[h] = false;
+        let pos = self.order.iter().position(|&o| o == h as u32).expect("handle in ring");
+        self.order.remove(pos);
+        self.rebuild_fingers();
     }
 
     /// The ring id of node `h`.
@@ -82,10 +130,12 @@ impl ChordNetwork {
         self.order[(pos + 1) % self.order.len()]
     }
 
-    /// The node's successor list (ring-clockwise neighbors).
+    /// The node's successor list (ring-clockwise neighbors), capped to the
+    /// current live membership so shrunken rings don't repeat entries.
     fn successor_list(&self, h: NodeIndex) -> Vec<u32> {
         let pos = self.order.iter().position(|&o| o == h as u32).expect("handle in ring");
-        (1..=self.n_successors)
+        let k_max = self.n_successors.min(self.order.len().saturating_sub(1));
+        (1..=k_max)
             .map(|k| self.order[(pos + k) % self.order.len()])
             .filter(|&s| s != h as u32)
             .collect()
@@ -156,13 +206,19 @@ impl Overlay for ChordNetwork {
     }
 
     fn neighbors(&self, idx: NodeIndex) -> Vec<NodeIndex> {
-        let mut out: Vec<NodeIndex> =
-            self.fingers[idx].iter().map(|&f| f as NodeIndex).collect();
+        if !self.alive[idx] {
+            return Vec::new();
+        }
+        let mut out: Vec<NodeIndex> = self.fingers[idx].iter().map(|&f| f as NodeIndex).collect();
         out.extend(self.successor_list(idx).iter().map(|&s| s as NodeIndex));
         out.sort_unstable();
         out.dedup();
         out.retain(|&h| h != idx);
         out
+    }
+
+    fn is_live(&self, idx: NodeIndex) -> bool {
+        self.alive[idx]
     }
 }
 
@@ -240,5 +296,53 @@ mod tests {
     #[should_panic(expected = "duplicate node ids")]
     fn duplicate_ids_rejected() {
         let _ = ChordNetwork::from_ids(vec![5, 5]);
+    }
+
+    #[test]
+    fn departures_repair_routing() {
+        let mut net = ChordNetwork::with_nodes(64, 11);
+        for h in [3usize, 17, 42, 63, 0] {
+            net.depart(h);
+        }
+        assert_eq!(net.n_alive(), 59);
+        // Routing still delivers every key, and never to or through a
+        // departed node.
+        for k in 0..200u64 {
+            let key = key_from_u64(k);
+            let resp = net.responsible(key);
+            assert!(net.is_alive(resp), "key {k} owned by departed node {resp}");
+            for src in [1usize, 20, 40] {
+                let path = net.route(src, key);
+                assert!(path.iter().all(|&h| net.is_alive(h)), "key {k} routes via dead node");
+                assert_eq!(path.last().copied().unwrap_or(src), resp, "key {k} src {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn ownership_moves_to_successor_on_departure() {
+        let mut net = ChordNetwork::from_ids(vec![100, 200, 300]);
+        let key_at = |v: u64| u128::from(v) << 64;
+        assert_eq!(net.id_of(net.responsible(key_at(150))), 200);
+        net.depart(net.responsible(key_at(150)));
+        // The departed owner's keys fall to its clockwise successor.
+        assert_eq!(net.id_of(net.responsible(key_at(150))), 300);
+        assert_eq!(net.n_alive(), 2);
+    }
+
+    #[test]
+    fn ring_of_two_survives_departure() {
+        let mut net = ChordNetwork::from_ids(vec![10, 20]);
+        net.depart(0);
+        assert_eq!(net.responsible(u128::from(99u64) << 64), 1);
+        assert!(net.route(1, u128::from(5u64) << 64).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot remove the last node")]
+    fn last_node_cannot_depart() {
+        let mut net = ChordNetwork::from_ids(vec![10, 20]);
+        net.depart(0);
+        net.depart(1);
     }
 }

@@ -94,10 +94,7 @@ impl PastryNetwork {
             .map(|i| {
                 let hx = crate::id::splitmix64(seed ^ i ^ 0x10C0);
                 let hy = crate::id::splitmix64(seed ^ i ^ 0x10C1);
-                (
-                    (hx >> 11) as f64 / (1u64 << 53) as f64,
-                    (hy >> 11) as f64 / (1u64 << 53) as f64,
-                )
+                ((hx >> 11) as f64 / (1u64 << 53) as f64, (hy >> 11) as f64 / (1u64 << 53) as f64)
             })
             .collect();
         net.locations = Some(locations);
@@ -229,8 +226,7 @@ impl PastryNetwork {
         let mask: u128 = if bits == 0 { 0 } else { !((1u128 << (128 - bits)) - 1) };
         let shift = 128 - bits - 4;
         let base = (id.0 & mask) | ((d as u128) << shift);
-        let start =
-            self.order[lo..hi].partition_point(|&h| self.nodes[h as usize].0 < base) + lo;
+        let start = self.order[lo..hi].partition_point(|&h| self.nodes[h as usize].0 < base) + lo;
         let span = 1u128 << shift;
         let end = match base.checked_add(span) {
             Some(limit) => {
@@ -253,14 +249,12 @@ impl PastryNetwork {
         hi: usize,
     ) -> Option<u32> {
         let (start, end) = self.digit_range(id, r, d, lo, hi);
-        self.order[start..end]
-            .iter()
-            .copied()
-            .filter(|&h| self.alive[h as usize])
-            .min_by(|&a, &b| {
+        self.order[start..end].iter().copied().filter(|&h| self.alive[h as usize]).min_by(
+            |&a, &b| {
                 self.distance_between(me, a as NodeIndex)
                     .total_cmp(&self.distance_between(me, b as NodeIndex))
-            })
+            },
+        )
     }
 
     /// Sorted-order range `[lo, hi)` of nodes sharing the first `r` digits
@@ -300,8 +294,7 @@ impl PastryNetwork {
         let mask: u128 = if bits == 0 { 0 } else { !((1u128 << (128 - bits)) - 1) };
         let shift = 128 - bits - 4;
         let base = (id.0 & mask) | ((d as u128) << shift);
-        let start =
-            self.order[lo..hi].partition_point(|&h| self.nodes[h as usize].0 < base) + lo;
+        let start = self.order[lo..hi].partition_point(|&h| self.nodes[h as usize].0 < base) + lo;
         if start < hi {
             let h = self.order[start];
             let cand = self.nodes[h as usize];
@@ -338,10 +331,7 @@ impl PastryNetwork {
     /// unlikely; re-seed).
     pub fn join(&mut self, bootstrap: NodeIndex, seed: u64) -> NodeIndex {
         let id = NodeId::from_seed(seed);
-        assert!(
-            self.nodes.iter().all(|&n| n != id),
-            "id collision on join; pick another seed"
-        );
+        assert!(self.nodes.iter().all(|&n| n != id), "id collision on join; pick another seed");
         // Path the join message takes through the current network.
         let mut path = vec![bootstrap];
         path.extend(self.route(bootstrap, id.0));
@@ -491,8 +481,9 @@ impl Overlay for PastryNetwork {
             if p < self.order.len() {
                 let h = self.order[p] as NodeIndex;
                 let d = self.nodes[h].distance(NodeId(key));
-                if best.is_none_or(|(bd, bh)| d < bd || (d == bd && self.nodes[h].0 < self.nodes[bh].0))
-                {
+                if best.is_none_or(|(bd, bh)| {
+                    d < bd || (d == bd && self.nodes[h].0 < self.nodes[bh].0)
+                }) {
                     best = Some((d, h));
                 }
             }
@@ -827,10 +818,7 @@ mod tests {
         let pns = PastryNetwork::with_nodes_and_proximity(n, seed);
         let d_plain = plain.mean_route_distance(800, 3);
         let d_pns = pns.mean_route_distance(800, 3);
-        assert!(
-            d_pns < d_plain * 0.95,
-            "PNS should shorten routes: {d_pns} vs {d_plain}"
-        );
+        assert!(d_pns < d_plain * 0.95, "PNS should shorten routes: {d_pns} vs {d_plain}");
         let h_plain = crate::metrics::avg_route_hops(&plain, 800, 3).mean;
         let h_pns = crate::metrics::avg_route_hops(&pns, 800, 3).mean;
         assert!((h_pns - h_plain).abs() < 0.5, "hops changed too much: {h_pns} vs {h_plain}");

@@ -125,12 +125,7 @@ impl Partition {
         if n == 0 {
             return 1.0;
         }
-        let same = self
-            .group_of
-            .iter()
-            .zip(&other.group_of)
-            .filter(|(a, b)| a == b)
-            .count();
+        let same = self.group_of.iter().zip(&other.group_of).filter(|(a, b)| a == b).count();
         same as f64 / n as f64
     }
 }

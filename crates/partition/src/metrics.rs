@@ -121,10 +121,14 @@ mod tests {
     fn site_partition_beats_url_partition_on_edu_graph() {
         let g = edu::edu_domain(&edu::EduDomainConfig::small());
         let k = 8;
-        let by_site = PartitionMetrics::compute(&g, &Partition::build(&g, &Strategy::HashBySite, k, 0));
-        let by_url = PartitionMetrics::compute(&g, &Partition::build(&g, &Strategy::HashByUrl, k, 0));
-        let random =
-            PartitionMetrics::compute(&g, &Partition::build(&g, &Strategy::Random { seed: 3 }, k, 0));
+        let by_site =
+            PartitionMetrics::compute(&g, &Partition::build(&g, &Strategy::HashBySite, k, 0));
+        let by_url =
+            PartitionMetrics::compute(&g, &Partition::build(&g, &Strategy::HashByUrl, k, 0));
+        let random = PartitionMetrics::compute(
+            &g,
+            &Partition::build(&g, &Strategy::Random { seed: 3 }, k, 0),
+        );
         // The paper's §4.1 claim: site granularity cuts far fewer links.
         assert!(
             by_site.cut_fraction < 0.5 * by_url.cut_fraction,

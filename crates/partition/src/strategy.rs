@@ -89,9 +89,7 @@ mod tests {
     #[test]
     fn assignments_in_range() {
         let g = toy::star(9);
-        for strategy in
-            [Strategy::Random { seed: 1 }, Strategy::HashByUrl, Strategy::HashBySite]
-        {
+        for strategy in [Strategy::Random { seed: 1 }, Strategy::HashByUrl, Strategy::HashBySite] {
             for k in [1usize, 2, 5] {
                 for p in 0..g.n_pages() as u32 {
                     assert!((strategy.assign(&g, p, k, 3) as usize) < k);

@@ -6,7 +6,11 @@ use std::collections::BinaryHeap;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-/// Simulation parameters.
+use crate::faults::{BlockReason, FaultPlan};
+
+/// Simulation parameters (the legacy scalar fault model). Internally this
+/// converts into a trivial [`FaultPlan`]; use [`Simulation::with_plan`]
+/// for per-link loss, jitter, partitions, stragglers and crash windows.
 #[derive(Debug, Clone, Copy)]
 pub struct SimConfig {
     /// Probability that a [`Ctx::send`] actually reaches its destination —
@@ -28,13 +32,22 @@ impl Default for SimConfig {
     }
 }
 
-/// Counters the engine maintains across a run.
+/// Counters the engine maintains across a run. At quiescence,
+/// `deliveries + sends_dropped == sends_attempted`; the `*_dropped`
+/// sub-counters partition the deterministic share of `sends_dropped`
+/// (the remainder was lost to the random loss roll).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Messages handed to [`Ctx::send`].
     pub sends_attempted: u64,
     /// Messages that were dropped by failure injection.
     pub sends_dropped: u64,
+    /// Of the dropped messages, how many were severed by an active
+    /// network partition (no loss roll was consumed for these).
+    pub partition_dropped: u64,
+    /// Of the dropped messages, how many involved a crashed endpoint
+    /// (no loss roll was consumed for these).
+    pub crash_dropped: u64,
     /// Messages delivered to `on_message`.
     pub deliveries: u64,
     /// Wake events processed.
@@ -84,52 +97,44 @@ impl<M> Ctx<'_, M> {
         &mut self.kernel.rng
     }
 
-    /// Schedules `on_wake` for this actor after `delay` time units.
+    /// The active fault plan (read-only; the plan is fixed for the run).
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.kernel.plan
+    }
+
+    /// Schedules `on_wake` for this actor after `delay` time units. If the
+    /// fault plan marks this actor as a straggler, the delay stretches by
+    /// its think factor.
     pub fn schedule_wake(&mut self, delay: f64) {
         assert!(delay >= 0.0 && delay.is_finite(), "invalid wake delay {delay}");
-        let t = self.now + delay;
+        let t = self.now + delay * self.kernel.plan.think_factor(self.me);
         self.kernel.push(t, EventKind::Wake { actor: self.me });
     }
 
-    /// Sends `msg` to actor `dst`. Subject to failure injection: with
-    /// probability `1 − send_success_prob` the message silently vanishes
-    /// (the paper's model of Y failing to reach another group). Returns
-    /// whether the message survived.
+    /// Sends `msg` to actor `dst`. Subject to fault injection: the message
+    /// is dropped deterministically when a partition severs the link or an
+    /// endpoint is crashed, and randomly with probability
+    /// `1 − success_prob` otherwise (the paper's model of Y failing to
+    /// reach another group). Returns whether the message survived.
     pub fn send(&mut self, dst: usize, msg: M) -> bool {
-        self.kernel.stats.sends_attempted += 1;
-        let p = self.kernel.cfg.send_success_prob;
-        if p < 1.0 && !self.kernel.rng.gen_bool(p) {
-            self.kernel.stats.sends_dropped += 1;
-            return false;
-        }
-        let t = self.now + self.kernel.cfg.latency;
-        self.kernel.push(t, EventKind::Message { src: self.me, dst, msg });
-        true
+        self.kernel.transmit(self.now, self.me, dst, 0.0, false, msg)
     }
 
-    /// Sends reliably regardless of the failure model (control-plane
-    /// traffic that the paper does not subject to loss).
+    /// Sends reliably regardless of loss, partitions and crashes
+    /// (control-plane traffic that the paper does not subject to loss).
+    /// Latency effects — straggler scaling and jitter — still apply.
     pub fn send_reliable(&mut self, dst: usize, msg: M) {
-        self.kernel.stats.sends_attempted += 1;
-        let t = self.now + self.kernel.cfg.latency;
-        self.kernel.push(t, EventKind::Message { src: self.me, dst, msg });
+        self.kernel.transmit(self.now, self.me, dst, 0.0, true, msg);
     }
 
     /// Like [`Ctx::send`] but with `extra_delay` added on top of the base
     /// latency — used to model multi-hop journeys (e.g. a DHT lookup that
     /// takes `h` hops before the data message can leave). Still subject to
-    /// failure injection. Returns whether the message survived.
+    /// fault injection. Returns whether the message survived.
     pub fn send_after(&mut self, dst: usize, extra_delay: f64, msg: M) -> bool {
         assert!(extra_delay >= 0.0 && extra_delay.is_finite());
-        self.kernel.stats.sends_attempted += 1;
-        let p = self.kernel.cfg.send_success_prob;
-        if p < 1.0 && !self.kernel.rng.gen_bool(p) {
-            self.kernel.stats.sends_dropped += 1;
-            return false;
-        }
-        let t = self.now + self.kernel.cfg.latency + extra_delay;
-        self.kernel.push(t, EventKind::Message { src: self.me, dst, msg });
-        true
+        self.kernel.transmit(self.now, self.me, dst, extra_delay, false, msg)
     }
 }
 
@@ -165,7 +170,7 @@ impl<M> Ord for Event<M> {
 struct Kernel<M> {
     queue: BinaryHeap<Reverse<Event<M>>>,
     rng: SmallRng,
-    cfg: SimConfig,
+    plan: FaultPlan,
     stats: SimStats,
     seq: u64,
 }
@@ -175,6 +180,50 @@ impl<M> Kernel<M> {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Reverse(Event { time, seq, kind }));
+    }
+
+    /// The single delivery path behind `send`/`send_reliable`/`send_after`.
+    ///
+    /// Fault ordering is part of the replay contract: deterministic blocks
+    /// (partition, crash) are checked *before* the random loss roll and
+    /// consume no RNG; the loss roll only fires when the effective success
+    /// probability is below 1; jitter only draws when a distribution is
+    /// configured. A trivial plan therefore consumes the RNG exactly as
+    /// the pre-plan engine did.
+    fn transmit(
+        &mut self,
+        now: f64,
+        src: usize,
+        dst: usize,
+        extra_delay: f64,
+        reliable: bool,
+        msg: M,
+    ) -> bool {
+        self.stats.sends_attempted += 1;
+        if !reliable {
+            match self.plan.block_reason(src, dst, now) {
+                Some(BlockReason::Partition) => {
+                    self.stats.partition_dropped += 1;
+                    self.stats.sends_dropped += 1;
+                    return false;
+                }
+                Some(BlockReason::Crash) => {
+                    self.stats.crash_dropped += 1;
+                    self.stats.sends_dropped += 1;
+                    return false;
+                }
+                None => {}
+            }
+            let p = self.plan.success_prob(src, dst);
+            if p < 1.0 && !self.rng.gen_bool(p) {
+                self.stats.sends_dropped += 1;
+                return false;
+            }
+        }
+        let jitter = self.plan.sample_jitter(&mut self.rng);
+        let t = now + self.plan.latency_for(src) + jitter + extra_delay;
+        self.push(t, EventKind::Message { src, dst, msg });
+        true
     }
 }
 
@@ -187,21 +236,49 @@ pub struct Simulation<A: Actor> {
 }
 
 impl<A: Actor> Simulation<A> {
-    /// Creates a simulation over `actors`.
+    /// Creates a simulation over `actors` with the legacy scalar fault
+    /// model (equivalent to `with_plan(actors, cfg.seed, cfg.into())`).
     #[must_use]
     pub fn new(actors: Vec<A>, cfg: SimConfig) -> Self {
+        Self::with_plan(actors, cfg.seed, FaultPlan::from(cfg))
+    }
+
+    /// Creates a simulation over `actors` with a full [`FaultPlan`]. The
+    /// same `(seed, plan)` pair replays bit-identically.
+    #[must_use]
+    pub fn with_plan(actors: Vec<A>, seed: u64, plan: FaultPlan) -> Self {
         Self {
             actors,
             kernel: Kernel {
                 queue: BinaryHeap::new(),
-                rng: SmallRng::seed_from_u64(cfg.seed),
-                cfg,
+                rng: SmallRng::seed_from_u64(seed),
+                plan,
                 stats: SimStats::default(),
                 seq: 0,
             },
             now: 0.0,
             started: false,
         }
+    }
+
+    /// Adds an actor mid-run (a node joining the network). Its `on_start`
+    /// fires immediately at the current virtual time when the simulation
+    /// has already started, or at time 0 with everyone else otherwise.
+    /// Returns the new actor's index.
+    pub fn add_actor(&mut self, actor: A) -> usize {
+        let idx = self.actors.len();
+        self.actors.push(actor);
+        if self.started {
+            let mut ctx = Ctx { now: self.now, me: idx, kernel: &mut self.kernel };
+            self.actors[idx].on_start(&mut ctx);
+        }
+        idx
+    }
+
+    /// The active fault plan.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.kernel.plan
     }
 
     /// Current virtual time.
@@ -304,6 +381,7 @@ impl<A: Actor> Simulation<A> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::Jitter;
 
     /// Ping-pong pair: actor 0 sends a counter to 1, which returns it
     /// incremented, for `limit` exchanges.
@@ -370,7 +448,7 @@ mod tests {
 
     #[test]
     fn partial_loss_is_deterministic_per_seed() {
-        let cfg = SimConfig { send_success_prob: 0.5, seed: 42, ..SimConfig::default() };
+        let cfg = SimConfig { send_success_prob: 0.5, seed: 3, ..SimConfig::default() };
         let run = |cfg: SimConfig| {
             let mut sim = Simulation::new(ping_pair(50), cfg);
             while sim.step() {}
@@ -477,5 +555,118 @@ mod tests {
         let mut sim = Simulation::new(vec![Burst { inbox: vec![] }, Burst { inbox: vec![] }], cfg);
         while sim.step() {}
         assert_eq!(sim.actors()[1].inbox, (0..10).collect::<Vec<_>>());
+    }
+
+    /// Actor that sends one message to its peer every 1.0 time units and
+    /// records the arrival times of what it receives.
+    struct Ticker {
+        peer: usize,
+        arrivals: Vec<f64>,
+    }
+    impl Actor for Ticker {
+        type Msg = ();
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+            ctx.schedule_wake(1.0);
+        }
+        fn on_wake(&mut self, ctx: &mut Ctx<'_, ()>) {
+            ctx.send(self.peer, ());
+            ctx.schedule_wake(1.0);
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, ()>, _: usize, _: ()) {
+            self.arrivals.push(ctx.now());
+        }
+    }
+
+    fn ticker_pair() -> Vec<Ticker> {
+        vec![Ticker { peer: 1, arrivals: vec![] }, Ticker { peer: 0, arrivals: vec![] }]
+    }
+
+    #[test]
+    fn partition_blocks_then_heals() {
+        let plan = FaultPlan::new().with_latency(0.0).with_partition(2.5, 6.5, &[0]);
+        let mut sim = Simulation::with_plan(ticker_pair(), 0, plan);
+        sim.run_until(10.0);
+        // Sends fire at t = 1..=10; those in [2.5, 6.5) are severed.
+        let arrivals = &sim.actors()[1].arrivals;
+        assert_eq!(arrivals, &[1.0, 2.0, 7.0, 8.0, 9.0, 10.0]);
+        let stats = sim.stats();
+        assert_eq!(stats.partition_dropped, 8); // t = 3..=6 from both sides
+        assert_eq!(stats.sends_dropped, stats.partition_dropped);
+        assert_eq!(stats.deliveries + stats.sends_dropped, stats.sends_attempted);
+    }
+
+    #[test]
+    fn crash_window_drops_both_directions() {
+        let plan = FaultPlan::new().with_latency(0.0).with_crash(1, 0.0, 5.5);
+        let mut sim = Simulation::with_plan(ticker_pair(), 0, plan);
+        sim.run_until(8.0);
+        // Node 1 is down until 5.5: nothing to or from it gets through.
+        assert_eq!(sim.actors()[1].arrivals, vec![6.0, 7.0, 8.0]);
+        assert_eq!(sim.actors()[0].arrivals, vec![6.0, 7.0, 8.0]);
+        assert_eq!(sim.stats().crash_dropped, 10);
+    }
+
+    #[test]
+    fn straggler_think_factor_stretches_wakes() {
+        let plan = FaultPlan::new().with_latency(0.0).with_straggler(0, 1.0, 2.0);
+        let mut sim = Simulation::with_plan(ticker_pair(), 0, plan);
+        sim.run_until(8.0);
+        // Node 0 ticks every 2.0 instead of 1.0; node 1 is unaffected.
+        assert_eq!(sim.actors()[1].arrivals, vec![2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(sim.actors()[0].arrivals.len(), 8);
+    }
+
+    #[test]
+    fn per_link_loss_is_directional() {
+        let plan = FaultPlan::new().with_latency(0.0).with_link_success(0, 1, 0.0);
+        let mut sim = Simulation::with_plan(ticker_pair(), 0, plan);
+        sim.run_until(5.0);
+        assert!(sim.actors()[1].arrivals.is_empty());
+        assert_eq!(sim.actors()[0].arrivals.len(), 5);
+    }
+
+    #[test]
+    fn jitter_delays_arrivals_deterministically() {
+        let plan = FaultPlan::new().with_latency(0.5).with_jitter(Jitter::Uniform { max: 0.25 });
+        let run = || {
+            let mut sim = Simulation::with_plan(ticker_pair(), 7, plan.clone());
+            sim.run_until(5.0);
+            sim.actors()[1].arrivals.clone()
+        };
+        let arrivals = run();
+        assert_eq!(arrivals, run());
+        for (i, t) in arrivals.iter().enumerate() {
+            let base = (i + 1) as f64 + 0.5;
+            assert!(*t >= base && *t < base + 0.25, "arrival {t} outside jitter window");
+        }
+    }
+
+    #[test]
+    fn add_actor_joins_mid_run() {
+        let plan = FaultPlan::new().with_latency(0.0);
+        let mut sim = Simulation::with_plan(ticker_pair(), 0, plan);
+        sim.run_until(3.0);
+        let idx = sim.add_actor(Ticker { peer: 0, arrivals: vec![] });
+        assert_eq!(idx, 2);
+        sim.run_until(6.0);
+        // The joiner started its own clock at t = 3 and ticked at 4, 5, 6.
+        assert_eq!(sim.actors()[0].arrivals.len(), 6 + 3);
+    }
+
+    #[test]
+    fn trivial_plan_is_bit_compatible_with_sim_config() {
+        let cfg = SimConfig { send_success_prob: 0.5, latency: 0.3, seed: 3 };
+        let via_cfg = {
+            let mut sim = Simulation::new(ping_pair(50), cfg);
+            while sim.step() {}
+            (sim.stats(), sim.actors()[0].seen.clone(), sim.now())
+        };
+        let via_plan = {
+            let plan = FaultPlan::new().with_latency(0.3).with_default_success(0.5);
+            let mut sim = Simulation::with_plan(ping_pair(50), 3, plan);
+            while sim.step() {}
+            (sim.stats(), sim.actors()[0].seen.clone(), sim.now())
+        };
+        assert_eq!(via_cfg, via_plan);
     }
 }

@@ -49,8 +49,10 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod faults;
 pub mod trace;
 pub mod waits;
 
 pub use engine::{Actor, Ctx, SimConfig, SimStats, Simulation};
+pub use faults::{FaultPlan, Jitter};
 pub use trace::TimeSeries;

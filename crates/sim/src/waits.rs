@@ -29,9 +29,7 @@ impl WaitModel {
         assert!(k > 0);
         assert!(t1 >= 0.0 && t2 >= t1, "invalid [T1, T2] = [{t1}, {t2}]");
         let mut rng = SmallRng::seed_from_u64(seed);
-        let means = (0..k)
-            .map(|_| if t2 > t1 { rng.gen_range(t1..=t2) } else { t1 })
-            .collect();
+        let means = (0..k).map(|_| if t2 > t1 { rng.gen_range(t1..=t2) } else { t1 }).collect();
         Self { means }
     }
 

@@ -1,0 +1,184 @@
+//! Property tests for the fault-injection layer: a `(seed, FaultPlan)`
+//! pair must replay bit-identically no matter which faults are composed,
+//! the engine's drop accounting must balance under every plan, and
+//! reliable sends must bypass loss, partitions and crashes.
+
+use dpr_sim::{Actor, Ctx, FaultPlan, Jitter, Simulation};
+use proptest::prelude::*;
+use rand::Rng;
+
+/// An actor that behaves pseudo-randomly (via the engine RNG): sends to
+/// random peers, schedules random wakes, and logs everything it sees.
+struct Chaos {
+    n: usize,
+    rounds: u32,
+    reliable: bool,
+    log: Vec<(u64, usize)>, // (message payload, from)
+}
+
+impl Actor for Chaos {
+    type Msg = u64;
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        let delay = ctx.rng().gen_range(0.0..1.0);
+        ctx.schedule_wake(delay);
+    }
+    fn on_wake(&mut self, ctx: &mut Ctx<'_, u64>) {
+        if self.rounds == 0 {
+            return;
+        }
+        self.rounds -= 1;
+        let fanout = ctx.rng().gen_range(1..4usize);
+        for _ in 0..fanout {
+            let dst = ctx.rng().gen_range(0..self.n);
+            let payload = ctx.rng().gen::<u64>();
+            if self.reliable {
+                ctx.send_reliable(dst, payload);
+            } else {
+                ctx.send(dst, payload);
+            }
+        }
+        let delay = ctx.rng().gen_range(0.1..2.0);
+        ctx.schedule_wake(delay);
+    }
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, u64>, from: usize, msg: u64) {
+        self.log.push((msg, from));
+    }
+}
+
+fn run(
+    n: usize,
+    rounds: u32,
+    reliable: bool,
+    seed: u64,
+    plan: FaultPlan,
+) -> (Vec<Vec<(u64, usize)>>, dpr_sim::SimStats) {
+    let actors = (0..n).map(|_| Chaos { n, rounds, reliable, log: vec![] }).collect();
+    let mut sim = Simulation::with_plan(actors, seed, plan);
+    while sim.step() {}
+    let stats = sim.stats();
+    (sim.into_actors().into_iter().map(|a| a.log).collect(), stats)
+}
+
+/// Optional fault components, sampled independently so tests can tell
+/// which classes of fault were present in a given case.
+type PartitionSpec = Option<(f64, f64, Vec<usize>)>;
+type StragglerSpec = Option<(usize, f64, f64)>;
+type CrashSpec = Option<(usize, f64, f64)>;
+
+fn arb_jitter() -> impl Strategy<Value = Jitter> {
+    prop_oneof![
+        Just(Jitter::None),
+        (0.01f64..0.2).prop_map(|max| Jitter::Uniform { max }),
+        (0.01f64..0.1).prop_map(|mean| Jitter::Exponential { mean }),
+    ]
+}
+
+fn arb_partition(n: usize) -> impl Strategy<Value = PartitionSpec> {
+    proptest::option::of((0.0f64..4.0, 4.0f64..12.0, prop::collection::vec(0..n, 1..n.max(2))))
+}
+
+fn arb_straggler(n: usize) -> impl Strategy<Value = StragglerSpec> {
+    proptest::option::of((0..n, 1.0f64..4.0, 1.0f64..4.0))
+}
+
+fn arb_crash(n: usize) -> impl Strategy<Value = CrashSpec> {
+    proptest::option::of((0..n, 0.0f64..4.0, 4.0f64..12.0))
+}
+
+fn build_plan(
+    p: f64,
+    latency: f64,
+    jitter: Jitter,
+    partition: &PartitionSpec,
+    straggler: &StragglerSpec,
+    crash: &CrashSpec,
+) -> FaultPlan {
+    let mut plan =
+        FaultPlan::new().with_latency(latency).with_default_success(p).with_jitter(jitter);
+    if let Some((start, end, side)) = partition {
+        plan = plan.with_partition(*start, *end, side);
+    }
+    if let Some((node, lf, tf)) = straggler {
+        plan = plan.with_straggler(*node, *lf, *tf);
+    }
+    if let Some((node, start, end)) = crash {
+        plan = plan.with_crash(*node, *start, *end);
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Bit-identical logs and stats for identical `(seed, plan)` pairs,
+    /// across arbitrary compositions of loss, jitter, partitions,
+    /// stragglers and crash windows.
+    #[test]
+    fn identical_plans_replay_identically(
+        n in 2usize..10,
+        rounds in 1u32..8,
+        p in 0.1f64..=1.0,
+        latency in 0.0f64..0.3,
+        jitter in arb_jitter(),
+        partition in arb_partition(10),
+        straggler in arb_straggler(10),
+        crash in arb_crash(10),
+        seed in any::<u64>(),
+    ) {
+        let plan = build_plan(p, latency, jitter, &partition, &straggler, &crash);
+        let (log_a, stats_a) = run(n, rounds, false, seed, plan.clone());
+        let (log_b, stats_b) = run(n, rounds, false, seed, plan);
+        prop_assert_eq!(log_a, log_b);
+        prop_assert_eq!(stats_a, stats_b);
+    }
+
+    /// The engine's accounting invariant holds under every plan:
+    /// deliveries + drops = attempts, the deterministic sub-counters never
+    /// exceed the total drops, and fault classes that were not configured
+    /// contribute zero drops.
+    #[test]
+    fn drop_accounting_balances_under_any_plan(
+        n in 2usize..10,
+        rounds in 1u32..6,
+        p in 0.0f64..=1.0,
+        jitter in arb_jitter(),
+        partition in arb_partition(10),
+        crash in arb_crash(10),
+        seed in any::<u64>(),
+    ) {
+        let plan = build_plan(p, 0.01, jitter, &partition, &None, &crash);
+        let (logs, stats) = run(n, rounds, false, seed, plan);
+        prop_assert_eq!(stats.deliveries + stats.sends_dropped, stats.sends_attempted);
+        prop_assert!(stats.partition_dropped + stats.crash_dropped <= stats.sends_dropped);
+        let received: u64 = logs.iter().map(|l| l.len() as u64).sum();
+        prop_assert_eq!(received, stats.deliveries);
+        if partition.is_none() {
+            prop_assert_eq!(stats.partition_dropped, 0);
+        }
+        if crash.is_none() {
+            prop_assert_eq!(stats.crash_dropped, 0);
+        }
+        if p == 1.0 && partition.is_none() && crash.is_none() {
+            prop_assert_eq!(stats.sends_dropped, 0);
+        }
+    }
+
+    /// `send_reliable` bypasses loss, partitions and crashes: every
+    /// attempted send is delivered, whatever the plan throws at it.
+    #[test]
+    fn reliable_sends_bypass_every_fault(
+        n in 2usize..8,
+        rounds in 1u32..6,
+        p in 0.0f64..=1.0,
+        partition in arb_partition(8),
+        crash in arb_crash(8),
+        seed in any::<u64>(),
+    ) {
+        let plan = build_plan(p, 0.01, Jitter::None, &partition, &None, &crash);
+        let (logs, stats) = run(n, rounds, true, seed, plan);
+        prop_assert_eq!(stats.sends_dropped, 0);
+        prop_assert_eq!(stats.deliveries, stats.sends_attempted);
+        let received: u64 = logs.iter().map(|l| l.len() as u64).sum();
+        prop_assert_eq!(received, stats.deliveries);
+    }
+}

@@ -38,9 +38,8 @@ pub fn simulate<O: Overlay + ?Sized, S: SizeModel>(
             st.bytes += hops * sizes.lookup_size() as u64;
             // Data: one point-to-point message carrying the batch.
             st.messages += 1;
-            let payload: usize =
-                batch.updates.iter().map(|u| sizes.update_size(u)).sum::<usize>()
-                    + sizes.header_size();
+            let payload: usize = batch.updates.iter().map(|u| sizes.update_size(u)).sum::<usize>()
+                + sizes.header_size();
             st.bytes += payload as u64;
             st.delivered_updates += batch.updates.len() as u64;
         }
@@ -65,8 +64,10 @@ mod tests {
         let net = PastryNetwork::with_nodes(10, 1);
         let key = key_from_u64(42);
         let home = net.responsible(key);
-        let traffic =
-            vec![Outgoing { sender: home, batches: vec![Batch { dest_key: key, updates: one_update() }] }];
+        let traffic = vec![Outgoing {
+            sender: home,
+            batches: vec![Batch { dest_key: key, updates: one_update() }],
+        }];
         let st = simulate(&net, &traffic, &PaperSizeModel);
         assert_eq!(st.messages, 0);
         assert_eq!(st.bytes, 0);

@@ -193,12 +193,8 @@ mod tests {
             .collect();
         let out = simulate(&net, &traffic, &PaperSizeModel);
         assert_eq!(out.stats.delivered_updates, 25 * 5 * 2);
-        let total: usize = out
-            .delivered
-            .iter()
-            .flat_map(|v| v.iter())
-            .map(|b| b.updates.len())
-            .sum();
+        let total: usize =
+            out.delivered.iter().flat_map(|v| v.iter()).map(|b| b.updates.len()).sum();
         assert_eq!(total, 25 * 5 * 2);
         // Every delivered batch must sit at its responsible node.
         for (node, batches) in out.delivered.iter().enumerate() {

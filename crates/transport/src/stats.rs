@@ -90,7 +90,10 @@ mod tests {
         let mut a = TransmissionStats { messages: 1, bytes: 10, delivered_updates: 2, rounds: 3 };
         let b = TransmissionStats { messages: 4, bytes: 40, delivered_updates: 8, rounds: 2 };
         a.merge(&b);
-        assert_eq!(a, TransmissionStats { messages: 5, bytes: 50, delivered_updates: 10, rounds: 3 });
+        assert_eq!(
+            a,
+            TransmissionStats { messages: 5, bytes: 50, delivered_updates: 10, rounds: 3 }
+        );
     }
 
     #[test]

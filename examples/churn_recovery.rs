@@ -46,5 +46,7 @@ fn main() {
         res.counters.data_messages
     );
     assert!(res.final_rel_err < 1e-3);
-    println!("OK: every crash shows as an error spike that drains away — state rebuilt from peers' Y.");
+    println!(
+        "OK: every crash shows as an error spike that drains away — state rebuilt from peers' Y."
+    );
 }

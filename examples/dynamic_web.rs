@@ -63,9 +63,7 @@ fn main() {
             graph.n_pages(),
             changed,
             drift * 100.0,
-            res.rel_err
-                .first_time_below(1e-3)
-                .map_or("-".into(), |t| format!("{t:.0}")),
+            res.rel_err.first_time_below(1e-3).map_or("-".into(), |t| format!("{t:.0}")),
             res.final_rel_err * 100.0
         );
         assert!(res.final_rel_err < 1e-3, "epoch {epoch} failed to converge");

@@ -73,10 +73,7 @@ fn main() {
     for p in top_k(&personal.ranks, 5) {
         println!("  {:>8.3}  {}", personal.ranks[p as usize], graph.url_of(p));
     }
-    let boosted = top_k(&personal.ranks, 20)
-        .iter()
-        .filter(|&&p| graph.site(p) == 3)
-        .count();
+    let boosted = top_k(&personal.ranks, 20).iter().filter(|&&p| graph.site(p) == 3).count();
     println!("pages from the preferred site in the personalized top-20: {boosted}/20");
 
     assert!(result.final_rel_err < 0.01, "distributed ranking did not converge");

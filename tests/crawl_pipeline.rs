@@ -5,8 +5,8 @@
 //! *measured* along the way.
 
 use dpr::core::{run_distributed, DistributedRunConfig};
-use dpr::crawl::{crawl_to_graph, crawl_bfs, CrawlBudget, HiddenWeb, HiddenWebConfig, Mode};
 use dpr::crawl::crawler::parallel_crawl;
+use dpr::crawl::{crawl_bfs, crawl_to_graph, CrawlBudget, HiddenWeb, HiddenWebConfig, Mode};
 use dpr::graph::GraphStats;
 use dpr::partition::{Partition, PartitionMetrics, Strategy};
 
@@ -107,12 +107,8 @@ fn recrawling_the_same_web_is_partition_stable() {
     let p1 = Partition::build(&g1, &s, k, 0);
     let p2 = Partition::build(&g2, &s, k, 1);
     // Match pages across crawls by hidden-web id.
-    let dense2: std::collections::HashMap<u64, u32> = crawl2
-        .fetched
-        .iter()
-        .enumerate()
-        .map(|(i, &wp)| (wp, i as u32))
-        .collect();
+    let dense2: std::collections::HashMap<u64, u32> =
+        crawl2.fetched.iter().enumerate().map(|(i, &wp)| (wp, i as u32)).collect();
     for (i1, &wp) in crawl1.fetched.iter().enumerate() {
         let i2 = dense2[&wp]; // budget 4000 ⊇ budget 2000 under BFS order
         assert_eq!(

@@ -41,7 +41,13 @@ fn ranking_tracks_a_refreshed_crawl() {
     // The old ranks are now wrong for the new graph…
     let new_star = open_pagerank(&g2, &RankConfig::default()).ranks;
     let stale_err = relative_error(
-        &first.final_ranks.iter().copied().chain(std::iter::repeat(0.0)).take(g2.n_pages()).collect::<Vec<_>>(),
+        &first
+            .final_ranks
+            .iter()
+            .copied()
+            .chain(std::iter::repeat(0.0))
+            .take(g2.n_pages())
+            .collect::<Vec<_>>(),
         &new_star,
     );
     assert!(stale_err > 1e-3, "recrawl changed too little to be a test: {stale_err}");
@@ -64,16 +70,11 @@ fn warm_start_converges_faster_than_cold() {
 
     let threshold = 1e-3;
     let cold = run_distributed(&g2, DistributedRunConfig { seed: 5, ..cfg() });
-    let warm_run = run_distributed(
-        &g2,
-        DistributedRunConfig { seed: 5, warm_start: Some(warm), ..cfg() },
-    );
+    let warm_run =
+        run_distributed(&g2, DistributedRunConfig { seed: 5, warm_start: Some(warm), ..cfg() });
     let t_cold = cold.rel_err.first_time_below(threshold).expect("cold converges");
     let t_warm = warm_run.rel_err.first_time_below(threshold).expect("warm converges");
-    assert!(
-        t_warm <= t_cold,
-        "warm start ({t_warm}) should not be slower than cold ({t_cold})"
-    );
+    assert!(t_warm <= t_cold, "warm start ({t_warm}) should not be slower than cold ({t_cold})");
     // With only 15% churn the warm start should land close immediately.
     assert!(warm_run.rel_err.points()[0].1 < cold.rel_err.points()[0].1);
 }

@@ -3,9 +3,7 @@
 //! across datasets, strategies, variants and failure levels.
 
 use dpr::core::metrics::{sampled_order_agreement, top_k_overlap};
-use dpr::core::{
-    open_pagerank, run_distributed, DistributedRunConfig, DprVariant, RankConfig,
-};
+use dpr::core::{open_pagerank, run_distributed, DistributedRunConfig, DprVariant, RankConfig};
 use dpr::graph::generators::edu::{edu_domain, EduDomainConfig};
 use dpr::graph::generators::{random, toy};
 use dpr::partition::Strategy;
@@ -50,9 +48,7 @@ fn dpr2_matches_cpr_on_edu_graph() {
 fn all_strategies_converge_to_the_same_ranks() {
     let g = small_edu();
     let star = open_pagerank(&g, &RankConfig::default()).ranks;
-    for strategy in
-        [Strategy::Random { seed: 5 }, Strategy::HashByUrl, Strategy::HashBySite]
-    {
+    for strategy in [Strategy::Random { seed: 5 }, Strategy::HashByUrl, Strategy::HashBySite] {
         let res = run_distributed(&g, DistributedRunConfig { strategy, ..base_cfg() });
         let err = dpr::linalg::vec_ops::relative_error(&res.final_ranks, &star);
         assert!(err < 1e-4, "{} strategy rel err {err}", strategy.name());
@@ -96,10 +92,8 @@ fn single_ranker_degenerates_to_cpr() {
 #[test]
 fn random_graph_without_site_structure_converges() {
     let g = random::erdos_renyi(2_000, 10, 8.0, 3);
-    let res = run_distributed(
-        &g,
-        DistributedRunConfig { strategy: Strategy::HashByUrl, ..base_cfg() },
-    );
+    let res =
+        run_distributed(&g, DistributedRunConfig { strategy: Strategy::HashByUrl, ..base_cfg() });
     assert!(res.final_rel_err < 1e-4, "rel err {}", res.final_rel_err);
 }
 

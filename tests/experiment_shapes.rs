@@ -111,9 +111,8 @@ fn table1_shape() {
 fn partition_ablation_shape() {
     let g = graph();
     let k = 32;
-    let cut = |s: Strategy| {
-        PartitionMetrics::compute(&g, &Partition::build(&g, &s, k, 0)).cut_fraction
-    };
+    let cut =
+        |s: Strategy| PartitionMetrics::compute(&g, &Partition::build(&g, &s, k, 0)).cut_fraction;
     let site = cut(Strategy::HashBySite);
     let url = cut(Strategy::HashByUrl);
     let rnd = cut(Strategy::Random { seed: 2 });

@@ -1,0 +1,686 @@
+//! Offline stand-in for `proptest`. Keeps the macro and strategy surface
+//! this workspace uses (`proptest!`, `prop_assert*`, `prop_assume!`,
+//! `prop_oneof!`, `Strategy`/`prop_map`/`prop_flat_map`, `Just`, `any`,
+//! `prop::collection::vec`, `prop::option::of`, `prop::num::f64::NORMAL`,
+//! regex-string
+//! strategies) but runs plain random sampling with a per-test
+//! deterministic seed and no shrinking: a failing case panics with the
+//! sampled inputs' Debug rendering where available.
+
+pub mod test_runner {
+    use rand::SeedableRng;
+
+    /// The RNG driving all strategies.
+    pub type TestRng = rand::rngs::SmallRng;
+
+    /// Deterministic per-test RNG: seeded from an FNV-1a hash of the
+    /// fully qualified test name so runs are reproducible.
+    pub fn rng_for(test_name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::seed_from_u64(h)
+    }
+
+    /// Subset of upstream's config: only `cases` is consulted.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        /// Accepted for source compatibility with upstream; this stub
+        /// never shrinks, so the bound is ignored.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64, max_shrink_iters: 0 }
+        }
+    }
+
+    /// Why a single sampled case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed; the case is skipped, not failed.
+        Reject(String),
+        /// A `prop_assert*` failed; the test fails.
+        Fail(String),
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// Type-erased strategy, as produced by [`Strategy::boxed`].
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, T> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        T: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    impl<T: rand::SampleUniform> Strategy for std::ops::Range<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.start..self.end)
+        }
+    }
+
+    impl<T: rand::SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    }
+
+    /// Equal-weight union over boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    pub fn union<T>(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let pick = rng.gen_range(0..self.arms.len());
+            self.arms[pick].sample(rng)
+        }
+    }
+
+    /// Regex-subset string strategy: a `&str` literal is itself a strategy
+    /// generating matching strings. Supports literal characters, `[...]`
+    /// classes with ranges, and the quantifiers `{n}`, `{m,n}`, `?`, `+`,
+    /// `*` — the subset this workspace's patterns use.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            sample_pattern(self, rng)
+        }
+    }
+
+    fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // One atom: a class or a literal character.
+            let alphabet: Vec<char> = if chars[i] == '[' {
+                i += 1;
+                let mut class = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' {
+                        i += 1;
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    // Range like a-z (a '-' before ']' is a literal).
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (c as u32, chars[i + 2] as u32);
+                        assert!(lo <= hi, "bad class range in pattern {pattern}");
+                        for code in lo..=hi {
+                            class.push(char::from_u32(code).unwrap());
+                        }
+                        i += 3;
+                    } else {
+                        class.push(c);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in pattern {pattern}");
+                i += 1; // closing ']'
+                class
+            } else {
+                let c = if chars[i] == '\\' {
+                    i += 1;
+                    chars[i]
+                } else {
+                    chars[i]
+                };
+                i += 1;
+                vec![c]
+            };
+
+            // Optional quantifier.
+            let (lo, hi) = if i < chars.len() {
+                match chars[i] {
+                    '{' => {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|&c| c == '}')
+                            .map(|p| p + i)
+                            .unwrap_or_else(|| panic!("unterminated quantifier in {pattern}"));
+                        let body: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        match body.split_once(',') {
+                            Some((a, b)) => (
+                                a.trim().parse().expect("quantifier lower bound"),
+                                b.trim().parse().expect("quantifier upper bound"),
+                            ),
+                            None => {
+                                let n: usize = body.trim().parse().expect("quantifier count");
+                                (n, n)
+                            }
+                        }
+                    }
+                    '?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    '+' => {
+                        i += 1;
+                        (1, 8)
+                    }
+                    '*' => {
+                        i += 1;
+                        (0, 8)
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+
+            let count = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
+            for _ in 0..count {
+                out.push(alphabet[rng.gen_range(0..alphabet.len())]);
+            }
+        }
+        out
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_via_standard {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> Self {
+                    rand::Rng::gen(rng)
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_via_standard!(
+        u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool
+    );
+
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Length bound for collection strategies (inclusive bounds).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.lo == self.size.hi {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..=self.size.hi)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy over `Option<T>`: `None` half the time, `Some` of the
+    /// delegate's value otherwise, mirroring `proptest::option::of`'s
+    /// default probability.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `proptest::option::of(strategy)`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen::<bool>() {
+                Some(self.inner.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod num {
+    pub mod f64 {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use rand::Rng;
+
+        /// Strategy over normal (finite, non-subnormal, non-zero) f64
+        /// values of either sign, mirroring `prop::num::f64::NORMAL`.
+        #[derive(Debug, Clone, Copy)]
+        pub struct NormalF64;
+
+        pub const NORMAL: NormalF64 = NormalF64;
+
+        impl Strategy for NormalF64 {
+            type Value = f64;
+
+            fn sample(&self, rng: &mut TestRng) -> f64 {
+                loop {
+                    let candidate = f64::from_bits(rng.gen::<u64>());
+                    if candidate.is_normal() {
+                        return candidate;
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespace mirror so `prop::collection::vec` etc. resolve after a
+    /// glob import of the prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::num;
+        pub use crate::option;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines `#[test]` functions whose arguments are sampled from
+/// strategies. No shrinking: the first failing sample panics.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = cfg.cases.saturating_mul(20).max(1000);
+            while accepted < cfg.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= max_attempts,
+                    "proptest {}: too many rejected cases ({} accepted of {} wanted)",
+                    stringify!($name),
+                    accepted,
+                    cfg.cases,
+                );
+                $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body;
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        continue;
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed at case {}: {}",
+                            stringify!($name),
+                            accepted,
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l,
+                    r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    format!($($fmt)+),
+                    l,
+                    r
+                ),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Equal-weight choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![$(::std::boxed::Box::new($arm)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Pick {
+        A,
+        B(u64),
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_tuples(
+            (a, b) in (1usize..5, 0.0f64..1.0),
+            n in 2u32..9,
+            x in any::<u64>(),
+        ) {
+            prop_assert!((1..5).contains(&a));
+            prop_assert!((0.0..1.0).contains(&b));
+            prop_assert!((2..9).contains(&n));
+            let _ = x;
+        }
+
+        #[test]
+        fn vec_and_flat_map(
+            xs in (1usize..6).prop_flat_map(|n| prop::collection::vec(0usize..10, n)),
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 6);
+            prop_assert!(xs.iter().all(|&v| v < 10));
+        }
+
+        #[test]
+        fn oneof_and_assume(pick in prop_oneof![
+            Just(Pick::A),
+            any::<u64>().prop_map(Pick::B),
+        ]) {
+            prop_assume!(matches!(pick, Pick::A | Pick::B(_)));
+            match pick {
+                Pick::A => {}
+                Pick::B(_) => {}
+            }
+        }
+
+        #[test]
+        fn string_pattern(s in "[a-z0-9._-]{1,20}") {
+            prop_assert!(!s.is_empty() && s.len() <= 20);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()
+                || c.is_ascii_digit()
+                || ".-_".contains(c)));
+        }
+
+        #[test]
+        fn normal_floats(x in prop::num::f64::NORMAL) {
+            prop_assert!(x.is_normal());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::rng_for("fixed-name");
+        let mut b = crate::test_runner::rng_for("fixed-name");
+        for _ in 0..50 {
+            assert_eq!((0u64..1000).sample(&mut a), (0u64..1000).sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Offline stand-in for `rand_distr`: the `Distribution` trait plus the
+//! `Exp` and `Poisson` distributions used by this workspace.
+
+use rand::{Rng, RngCore};
+
+pub use rand::distributions::Distribution;
+
+/// Error type returned by distribution constructors on invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err(ParamError("Exp rate must be positive and finite"))
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF; 1 - u avoids ln(0) since u ∈ [0, 1).
+        let u: f64 = rng.gen();
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
+/// Poisson distribution with the given mean. Samples are returned as `f64`
+/// to match the upstream crate's API.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    mean: f64,
+}
+
+impl Poisson {
+    pub fn new(mean: f64) -> Result<Self, ParamError> {
+        if mean > 0.0 && mean.is_finite() {
+            Ok(Poisson { mean })
+        } else {
+            Err(ParamError("Poisson mean must be positive and finite"))
+        }
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.mean < 30.0 {
+            // Knuth's product-of-uniforms method for small means.
+            let limit = (-self.mean).exp();
+            let mut count = 0u64;
+            let mut product: f64 = rng.gen();
+            while product > limit {
+                count += 1;
+                product *= rng.gen::<f64>();
+            }
+            count as f64
+        } else {
+            // Normal approximation with continuity correction for large
+            // means; adequate for synthetic-graph generation.
+            let (u1, u2): (f64, f64) = (rng.gen(), rng.gen());
+            let z = (-2.0 * (1.0 - u1).ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (self.mean + self.mean.sqrt() * z + 0.5).floor().max(0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp_mean_matches_rate() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let d = Exp::new(2.0).unwrap();
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn poisson_mean_matches_parameter() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let d = Poisson::new(4.0).unwrap();
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean} far from 4.0");
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(-1.0).is_err());
+        assert!(Poisson::new(0.0).is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! Offline stand-in for `rayon`. The parallel-iterator entry points are
+//! provided with the same names but execute sequentially via std
+//! iterators — callers keep identical semantics and determinism, at
+//! single-thread speed. Suitable as a hermetic build fallback; swap back
+//! to real rayon when a registry is available.
+
+pub mod prelude {
+    /// `par_iter`/`par_chunks_mut` surface for slices and vectors. The
+    /// returned iterators are ordinary std iterators, so every adapter
+    /// (`map`, `zip`, `enumerate`, `sum`, `for_each`, ...) is available.
+    pub trait ParallelSlice<T> {
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    pub trait ParallelSliceMut<T> {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T, S: AsRef<[T]> + ?Sized> ParallelSlice<T> for S {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.as_ref().iter()
+        }
+
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.as_ref().chunks(chunk_size)
+        }
+    }
+
+    impl<T, S: AsMut<[T]> + ?Sized> ParallelSliceMut<T> for S {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.as_mut().iter_mut()
+        }
+
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.as_mut().chunks_mut(chunk_size)
+        }
+    }
+
+    /// `into_par_iter` maps straight onto `IntoIterator`.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {}
+}
+
+/// Number of worker threads real rayon would use; the sequential
+/// fallback reports the machine's parallelism so chunk-size heuristics
+/// stay sensible.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs both closures (sequentially here) and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1.0f64, -2.0, 3.0];
+        let total: f64 = v.par_iter().map(|x: &f64| x.abs()).sum();
+        assert_eq!(total, 6.0);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_all_elements() {
+        let mut v = vec![0usize; 10];
+        v.par_chunks_mut(3).enumerate().for_each(|(ci, chunk)| {
+            for x in chunk {
+                *x = ci;
+            }
+        });
+        assert_eq!(v, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+}

@@ -1,0 +1,216 @@
+//! Offline stand-in for `serde`. Serialization is modelled as conversion
+//! into a JSON-like [`Value`] tree (re-exported by the vendored
+//! `serde_json` as its `Value`); the `Serialize` derive macro comes from
+//! the vendored `serde_derive`.
+
+// Lets the derive-generated `serde::...` paths resolve when the derive
+// is used inside this crate (e.g. in its own tests).
+extern crate self as serde;
+
+pub use serde_derive::Serialize;
+
+/// JSON-shaped data tree produced by [`Serialize`]. The vendored
+/// `serde_json` re-exports this as `serde_json::Value`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// All numbers are carried as f64 plus a flag recording whether the
+    /// source was an integer, so integers print without a trailing `.0`.
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+/// JSON number: integer-ness is preserved for faithful formatting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+}
+
+impl std::fmt::Display for Number {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Number::Int(v) => write!(f, "{v}"),
+            Number::UInt(v) => write!(f, "{v}"),
+            Number::Float(v) => {
+                if v.is_finite() {
+                    if *v == v.trunc() && v.abs() < 1e15 {
+                        write!(f, "{v:.1}")
+                    } else {
+                        write!(f, "{v}")
+                    }
+                } else {
+                    // JSON has no Inf/NaN; serde_json emits null.
+                    write!(f, "null")
+                }
+            }
+        }
+    }
+}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    fn to_json_value(&self) -> Value;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::Int(*self as i64))
+            }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::UInt(*self as u64))
+            }
+        }
+    )*};
+}
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::Float(*self as f64))
+            }
+        }
+    )*};
+}
+impl_ser_float!(f32, f64);
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+    )*};
+}
+impl_ser_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_values() {
+        assert_eq!(1u64.to_json_value(), Value::Number(Number::UInt(1)));
+        assert_eq!((-3i32).to_json_value(), Value::Number(Number::Int(-3)));
+        assert_eq!(true.to_json_value(), Value::Bool(true));
+        assert_eq!("x".to_json_value(), Value::String("x".into()));
+    }
+
+    #[test]
+    fn containers_nest() {
+        let v = vec![(1.0f64, 2.0f64)];
+        match v.to_json_value() {
+            Value::Array(items) => match &items[0] {
+                Value::Array(pair) => assert_eq!(pair.len(), 2),
+                other => panic!("expected inner array, got {other:?}"),
+            },
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn derive_produces_object() {
+        #[derive(Serialize)]
+        struct Demo<'a> {
+            name: &'a str,
+            points: Vec<(f64, f64)>,
+            count: u64,
+        }
+        let d = Demo { name: "s", points: vec![(0.0, 1.0)], count: 3 };
+        match d.to_json_value() {
+            Value::Object(fields) => {
+                assert_eq!(fields.len(), 3);
+                assert_eq!(fields[0].0, "name");
+                assert_eq!(fields[2], ("count".to_string(), Value::Number(Number::UInt(3))));
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+}

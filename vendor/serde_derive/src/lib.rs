@@ -1,0 +1,168 @@
+//! Offline stand-in for `serde_derive`: a `#[derive(Serialize)]` that
+//! handles named-field structs (with optional lifetime/type parameters),
+//! which is every derive site in this workspace. Implemented directly on
+//! `proc_macro` tokens — no syn/quote — by emitting the impl as a string.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+    match &tokens.get(i) {
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => i += 1,
+        other => panic!("Serialize derive supports structs only, found {other:?}"),
+    }
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => {
+            i += 1;
+            id.to_string()
+        }
+        other => panic!("expected struct name, found {other:?}"),
+    };
+
+    // Optional generics: capture raw parameter tokens between < and >.
+    let mut generic_params: Vec<String> = Vec::new();
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1usize;
+        let mut current = String::new();
+        while depth > 0 {
+            let tt = tokens.get(i).expect("unbalanced generics");
+            i += 1;
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    depth += 1;
+                    current.push('<');
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth > 0 {
+                        current.push('>');
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    generic_params.push(current.trim().to_string());
+                    current = String::new();
+                }
+                other => {
+                    current.push_str(&other.to_string());
+                    // Keep lifetimes glued to their tick; everything else
+                    // can be space-separated safely.
+                    if !matches!(other, TokenTree::Punct(p) if p.as_char() == '\'') {
+                        current.push(' ');
+                    }
+                }
+            }
+        }
+        if !current.trim().is_empty() {
+            generic_params.push(current.trim().to_string());
+        }
+    }
+
+    // Find the brace-delimited field body (skipping any where clause).
+    let body = tokens[i..]
+        .iter()
+        .find_map(|tt| match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("Serialize derive supports named-field structs only ({name})"));
+
+    let fields = parse_field_names(body);
+
+    // impl side keeps full parameter declarations (incl. bounds); the type
+    // side uses only the parameter names.
+    let impl_generics = if generic_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", generic_params.join(", "))
+    };
+    let ty_generics = if generic_params.is_empty() {
+        String::new()
+    } else {
+        let names: Vec<String> = generic_params
+            .iter()
+            .map(|p| p.split(':').next().unwrap_or(p).trim().to_string())
+            .collect();
+        format!("<{}>", names.join(", "))
+    };
+
+    let mut pushes = String::new();
+    for f in &fields {
+        pushes.push_str(&format!(
+            "fields.push((\"{f}\".to_string(), serde::Serialize::to_json_value(&self.{f})));\n"
+        ));
+    }
+
+    let output = format!(
+        "impl{impl_generics} serde::Serialize for {name}{ty_generics} {{\n\
+             fn to_json_value(&self) -> serde::Value {{\n\
+                 let mut fields: Vec<(String, serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 serde::Value::Object(fields)\n\
+             }}\n\
+         }}"
+    );
+    output.parse().expect("generated Serialize impl parses")
+}
+
+/// Advances past leading `#[...]` attributes and `pub`/`pub(...)`
+/// visibility tokens.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' and the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Extracts field names from the brace body of a named-field struct.
+fn parse_field_names(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, found {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected ':' after field `{name}`, found {other:?}"),
+        }
+        fields.push(name);
+        // Skip the type: consume until a comma at zero angle-bracket depth.
+        let mut depth = 0i32;
+        while let Some(tt) = tokens.get(i) {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}

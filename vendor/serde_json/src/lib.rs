@@ -1,0 +1,164 @@
+//! Offline stand-in for `serde_json`, layered over the vendored `serde`'s
+//! [`Value`] tree: `to_value`, `to_string_pretty`, `to_string`, and a
+//! `json!` macro covering literals, arrays and string-keyed objects.
+
+pub use serde::{Number, Value};
+
+/// Error type for API parity; the vendored serializer is infallible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_json_value())
+}
+
+/// Compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_compact(&value.to_json_value(), &mut out);
+    Ok(out)
+}
+
+/// Pretty JSON text: two-space indent, `"key": value` separators —
+/// matching upstream serde_json's pretty formatter.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&value.to_json_value(), 0, &mut out);
+    Ok(out)
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(k, out);
+                out.push(':');
+                write_compact(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let pad_inner = "  ".repeat(indent + 1);
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_inner);
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_inner);
+                escape_into(k, out);
+                out.push_str(": ");
+                write_pretty(val, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push('}');
+        }
+        Value::Array(_) => out.push_str("[]"),
+        Value::Object(_) => out.push_str("{}"),
+        other => write_compact(other, out),
+    }
+}
+
+/// Minimal `json!`: null / bool / array / object with literal keys /
+/// arbitrary serializable expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($elem) ),* ])
+    };
+    ({ $($key:literal : $val:tt),* $(,)? }) => {
+        $crate::Value::Object(vec![ $( ($key.to_string(), $crate::json!($val)) ),* ])
+    };
+    ($other:expr) => {
+        $crate::to_value($other).expect("json! value is serializable")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_matches_upstream_shape() {
+        let v = json!({"ok": true, "n": 3});
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains("\"ok\": true"), "got: {text}");
+        assert!(text.contains("\"n\": 3"), "got: {text}");
+        assert!(text.starts_with("{\n"), "got: {text}");
+    }
+
+    #[test]
+    fn compact_roundtrip_shapes() {
+        let v = Value::Array(vec![json!(null), json!(1.5), json!("a\"b")]);
+        assert_eq!(to_string(&v).unwrap(), r#"[null,1.5,"a\"b"]"#);
+    }
+
+    #[test]
+    fn integers_print_without_decimal_point() {
+        assert_eq!(to_string(&7u64).unwrap(), "7");
+        assert_eq!(to_string(&7.0f64).unwrap(), "7.0");
+    }
+}
