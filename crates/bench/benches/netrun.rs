@@ -4,7 +4,7 @@
 //! simulation cost; the asserts keep the §4.4 message ordering honest.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dpr_core::{run_over_network, NetRunConfig, Transmission};
+use dpr_core::{try_run_over_network, NetRunConfig, Transmission};
 use dpr_graph::generators::edu::{edu_domain, EduDomainConfig};
 use dpr_partition::Strategy;
 
@@ -16,7 +16,7 @@ fn bench_full_system(c: &mut Criterion) {
     for (name, t) in [("direct", Transmission::Direct), ("indirect", Transmission::Indirect)] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &t, |b, &t| {
             b.iter(|| {
-                let res = run_over_network(
+                let res = try_run_over_network(
                     &g,
                     NetRunConfig {
                         k: 48,
@@ -26,7 +26,8 @@ fn bench_full_system(c: &mut Criterion) {
                         t_end: 80.0,
                         ..NetRunConfig::default()
                     },
-                );
+                )
+                .expect("bench config uses supported churn");
                 assert!(res.final_rel_err < 1e-2);
                 res.counters.data_messages
             });
@@ -36,7 +37,7 @@ fn bench_full_system(c: &mut Criterion) {
 
     // Ordering check at matched convergence.
     let run = |t| {
-        run_over_network(
+        try_run_over_network(
             &g,
             NetRunConfig {
                 k: 48,
@@ -46,6 +47,7 @@ fn bench_full_system(c: &mut Criterion) {
                 ..NetRunConfig::default()
             },
         )
+        .expect("bench config uses supported churn")
     };
     let d = run(Transmission::Direct);
     let i = run(Transmission::Indirect);

@@ -8,7 +8,7 @@
 //! Usage: `bottleneck [--pages N] [--k K] [--t-end T]`
 
 use dpr_bench::{arg, parse_args, write_json};
-use dpr_core::{run_over_network, NetRunConfig, OverlayKind, Transmission};
+use dpr_core::{try_run_over_network, NetRunConfig, OverlayKind, Transmission};
 use dpr_graph::generators::edu::{edu_domain, EduDomainConfig};
 use dpr_partition::Strategy;
 use serde::Serialize;
@@ -52,7 +52,8 @@ fn main() {
     let mut rows = Vec::new();
     for b in [None, Some(1e6), Some(2e5), Some(1e5), Some(5e4), Some(2e4)] {
         let res =
-            run_over_network(&g, NetRunConfig { bottleneck_bytes_per_time: b, ..base.clone() });
+            try_run_over_network(&g, NetRunConfig { bottleneck_bytes_per_time: b, ..base.clone() })
+                .expect("bench config uses supported churn");
         eprintln!(
             "[bottleneck] B = {b:?}: 1% at t = {:?}, final {:.4}%",
             res.rel_err.first_time_below(0.01),
@@ -85,10 +86,11 @@ fn main() {
         ("chord", OverlayKind::Chord),
         ("can-d2", OverlayKind::Can { d: 2 }),
     ] {
-        let res = run_over_network(
+        let res = try_run_over_network(
             &g,
             NetRunConfig { overlay, transmission: Transmission::Indirect, ..base.clone() },
-        );
+        )
+        .expect("bench config uses supported churn");
         orows.push(OverlayRow {
             overlay: name.to_string(),
             time_to_1pct: res.rel_err.first_time_below(0.01),

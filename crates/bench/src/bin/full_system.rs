@@ -8,7 +8,7 @@
 //! Usage: `full_system [--pages N] [--sites S] [--k K] [--nodes N] [--t-end T]`
 
 use dpr_bench::{arg, parse_args, write_json};
-use dpr_core::{run_over_network, NetRunConfig, Transmission};
+use dpr_core::{try_run_over_network, NetRunConfig, Transmission};
 use dpr_graph::generators::edu::{edu_domain, EduDomainConfig};
 use dpr_partition::Strategy;
 use serde::Serialize;
@@ -43,7 +43,7 @@ fn main() {
     let mut rows = Vec::new();
     for (name, t) in [("direct", Transmission::Direct), ("indirect", Transmission::Indirect)] {
         eprintln!("[full_system] running {name} transmission over {n_nodes}-node Pastry …");
-        let res = run_over_network(
+        let res = try_run_over_network(
             &g,
             NetRunConfig {
                 k,
@@ -54,7 +54,8 @@ fn main() {
                 seed,
                 ..NetRunConfig::default()
             },
-        );
+        )
+        .expect("bench config uses supported churn");
         rows.push(Row {
             transmission: name.to_string(),
             final_rel_err: res.final_rel_err,

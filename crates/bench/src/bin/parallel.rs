@@ -1,0 +1,145 @@
+//! **PARALLEL** — threads-vs-speedup sweep for the worker-pool compute
+//! runtime. Runs the open (centralized) PageRank solve on an edu-domain
+//! graph once per worker count, checks every pooled run is bit-identical
+//! to the sequential reference, and reports wall-clock speedups.
+//!
+//! The kernels' fixed chunk boundaries make the arithmetic independent of
+//! the worker count, so "same ranks" here means `f64::to_bits` equality on
+//! every page — the determinism contract the pool is built around.
+//!
+//! Usage: `parallel [--pages N] [--sites S] [--workers 1,2,4,8] [--reps R]
+//!         [--out PATH]`
+//!
+//! `--out` additionally writes the JSON payload to the given path (used to
+//! commit `BENCH_parallel.json` at the repo root).
+
+use std::time::Instant;
+
+use dpr_bench::{arg, parse_args, write_json};
+use dpr_core::{open_pagerank_with_pool, RankConfig};
+use dpr_graph::generators::edu::{edu_domain, EduDomainConfig};
+use dpr_linalg::Pool;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    workers: usize,
+    /// Best-of-`reps` wall-clock seconds for the full solve.
+    secs_best: f64,
+    /// Mean wall-clock seconds over the reps.
+    secs_mean: f64,
+    /// secs_best(sequential) / secs_best(this row).
+    speedup: f64,
+    /// Solver iterations (identical across rows by construction).
+    iterations: usize,
+    /// Whether every rank bit-matches the sequential reference.
+    bit_identical: bool,
+}
+
+#[derive(Serialize)]
+struct Payload {
+    pages: usize,
+    sites: usize,
+    reps: usize,
+    /// `std::thread::available_parallelism()` on the machine that produced
+    /// these numbers. Speedup > 1 is only physically possible when this
+    /// exceeds 1; on a single-core host every pool degrades to sequential
+    /// execution and the sweep documents exactly that.
+    host_threads: usize,
+    rows: Vec<Row>,
+}
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    let pages = arg(&args, "pages", 100_000usize);
+    let sites = arg(&args, "sites", 100usize);
+    let reps = arg(&args, "reps", 3usize);
+    let workers_csv = args.get("workers").cloned().unwrap_or_else(|| "1,2,4,8".to_string());
+    let worker_counts: Vec<usize> =
+        workers_csv.split(',').filter_map(|w| w.trim().parse().ok()).collect();
+    assert!(!worker_counts.is_empty(), "--workers must list at least one count");
+
+    let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    eprintln!(
+        "[parallel] edu-domain graph: {pages} pages, {sites} sites; host threads: {host_threads}"
+    );
+    let g = edu_domain(&EduDomainConfig {
+        n_pages: pages,
+        n_sites: sites,
+        ..EduDomainConfig::default()
+    });
+    let cfg = RankConfig::default();
+
+    // Sequential reference: ranks + timing baseline.
+    let (reference, seq_best, seq_mean) = {
+        let mut times = Vec::new();
+        let mut out = None;
+        for _ in 0..reps.max(1) {
+            let t0 = Instant::now();
+            let res = open_pagerank_with_pool(&g, &cfg, &Pool::sequential());
+            times.push(t0.elapsed().as_secs_f64());
+            out = Some(res);
+        }
+        let best = times.iter().copied().fold(f64::INFINITY, f64::min);
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        (out.expect("at least one rep"), best, mean)
+    };
+    eprintln!("[parallel] sequential: {seq_best:.3}s best, {} iterations", reference.iterations);
+
+    let mut rows = vec![Row {
+        workers: 0,
+        secs_best: seq_best,
+        secs_mean: seq_mean,
+        speedup: 1.0,
+        iterations: reference.iterations,
+        bit_identical: true,
+    }];
+
+    for &w in &worker_counts {
+        let pool = Pool::with_workers(w);
+        let mut times = Vec::new();
+        let mut last = None;
+        for _ in 0..reps.max(1) {
+            let t0 = Instant::now();
+            let res = open_pagerank_with_pool(&g, &cfg, &pool);
+            times.push(t0.elapsed().as_secs_f64());
+            last = Some(res);
+        }
+        let res = last.expect("at least one rep");
+        let bit_identical = res.ranks.len() == reference.ranks.len()
+            && res.ranks.iter().zip(&reference.ranks).all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(bit_identical, "pooled solve with {w} workers diverged from sequential bits");
+        let best = times.iter().copied().fold(f64::INFINITY, f64::min);
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        eprintln!(
+            "[parallel] {w:>2} workers: {best:.3}s best, speedup {:.2}x, bit-identical: {bit_identical}",
+            seq_best / best
+        );
+        rows.push(Row {
+            workers: w,
+            secs_best: best,
+            secs_mean: mean,
+            speedup: seq_best / best,
+            iterations: res.iterations,
+            bit_identical,
+        });
+    }
+
+    println!("workers  best(s)  mean(s)  speedup  bit-identical");
+    for r in &rows {
+        let label = if r.workers == 0 { "seq".to_string() } else { r.workers.to_string() };
+        println!(
+            "{label:>7}  {:>7.3}  {:>7.3}  {:>6.2}x  {}",
+            r.secs_best, r.secs_mean, r.speedup, r.bit_identical
+        );
+    }
+
+    let payload = Payload { pages, sites, reps, host_threads, rows };
+    let path = write_json("parallel", &payload).expect("write experiment json");
+    eprintln!("[parallel] wrote {}", path.display());
+    if let Some(out) = args.get("out") {
+        let text = serde_json::to_string_pretty(&payload).expect("serializable payload");
+        std::fs::write(out, text + "\n").expect("write --out path");
+        eprintln!("[parallel] wrote {out}");
+    }
+}

@@ -3,7 +3,7 @@
 
 use dpr_graph::WebGraph;
 use dpr_linalg::vec_ops;
-use dpr_linalg::{Csr, TripletMatrix};
+use dpr_linalg::{Csr, Pool, TripletMatrix};
 
 use crate::config::RankConfig;
 
@@ -48,8 +48,22 @@ pub fn open_system_matrix(g: &WebGraph, alpha: f64) -> Csr {
 /// answer is Yes").
 ///
 /// Iterations are counted from `R₀ = 0`, matching the distributed runs.
+///
+/// Large graphs route the solve through the process-wide worker pool
+/// ([`Pool::global`]); the kernels' fixed chunk boundaries make the result
+/// bit-identical to a sequential solve, so this is purely a wall-clock
+/// optimization.
 #[must_use]
 pub fn open_pagerank(g: &WebGraph, cfg: &RankConfig) -> PageRankOutcome {
+    let pool = if g.n_pages() > 1 << 15 { Pool::global().clone() } else { Pool::sequential() };
+    open_pagerank_with_pool(g, cfg, &pool)
+}
+
+/// [`open_pagerank`] on an explicit worker pool — the entry point the
+/// threads-vs-speedup bench sweeps. Results are bit-identical at every
+/// worker count.
+#[must_use]
+pub fn open_pagerank_with_pool(g: &WebGraph, cfg: &RankConfig, pool: &Pool) -> PageRankOutcome {
     cfg.validate(g.n_pages());
     let a = open_system_matrix(g, cfg.alpha);
     // In pull orientation the columns (not rows) are the per-source
@@ -62,7 +76,7 @@ pub fn open_pagerank(g: &WebGraph, cfg: &RankConfig) -> PageRankOutcome {
     let solver = dpr_linalg::FixedPointSolver {
         tolerance: cfg.epsilon,
         max_iters: cfg.max_iters,
-        parallel: g.n_pages() > 1 << 15,
+        pool: pool.clone(),
     };
     let report = solver.solve(&a, &f, &mut r);
     PageRankOutcome {
@@ -336,7 +350,7 @@ mod tests {
         // the feeder's rank decays toward zero.
         let a = open_system_matrix(&g, 0.999_999);
         let mut r = vec![1.0; 3];
-        dpr_linalg::FixedPointSolver { tolerance: 0.0, max_iters: 200, parallel: false }
+        dpr_linalg::FixedPointSolver { tolerance: 0.0, max_iters: 200, ..Default::default() }
             .step(&a, &[0.0; 3], &mut r, 200);
         assert!(r[p0 as usize] < 1e-6, "feeder should have drained: {}", r[p0 as usize]);
 

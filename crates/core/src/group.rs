@@ -18,7 +18,8 @@
 use std::collections::HashMap;
 
 use dpr_graph::{PageId, WebGraph};
-use dpr_linalg::{Csr, FixedPointSolver, SolveReport, TripletMatrix};
+use dpr_linalg::pool::SharedSlice;
+use dpr_linalg::{Csr, FixedPointSolver, Pool, SolveReport, TripletMatrix};
 use dpr_partition::{GroupId, Partition};
 
 use crate::config::RankConfig;
@@ -90,11 +91,29 @@ impl GroupContext {
             }
         }
 
-        group_pages
-            .into_iter()
-            .enumerate()
-            .map(|(gid, pages)| {
-                let mut efferent: Vec<EfferentBatch> = efferent_maps[gid]
+        // Per-group assembly (CSR conversion, efferent-batch sorting) is
+        // independent across groups, so it fans out over the shared worker
+        // pool — one chunk per group, each output slot written exactly once,
+        // so the result is identical to the sequential loop. Small builds
+        // stay inline: the broadcast handoff would dominate.
+        let pool = if g.n_pages() >= 1 << 14 && k > 1 {
+            Pool::global().clone()
+        } else {
+            Pool::sequential()
+        };
+        let mut pages_in = group_pages;
+        let mut out: Vec<Option<GroupContext>> = (0..k).map(|_| None).collect();
+        {
+            let pages_slots = SharedSlice::new(&mut pages_in);
+            let eff_slots = SharedSlice::new(&mut efferent_maps);
+            let out_slots = SharedSlice::new(&mut out);
+            let triplets = &triplets;
+            pool.for_each_chunk(k, |gid| {
+                // SAFETY (all three): each `gid` is claimed by exactly one
+                // chunk, so the slot accesses are disjoint.
+                let pages = std::mem::take(unsafe { &mut pages_slots.slice_mut(gid, 1)[0] });
+                let eff_map = unsafe { &mut eff_slots.slice_mut(gid, 1)[0] };
+                let mut efferent: Vec<EfferentBatch> = eff_map
                     .drain()
                     .map(|(dest, mut edges)| {
                         edges.sort_unstable_by_key(|&(_, _, v)| v);
@@ -102,15 +121,17 @@ impl GroupContext {
                     })
                     .collect();
                 efferent.sort_unstable_by_key(|b| b.dest);
-                GroupContext {
+                let ctx = GroupContext {
                     group_id: gid as GroupId,
                     beta_e: cfg.beta_e_for(&pages),
                     a: triplets[gid].to_csr(),
                     pages,
                     efferent,
-                }
-            })
-            .collect()
+                };
+                unsafe { out_slots.slice_mut(gid, 1)[0] = Some(ctx) };
+            });
+        }
+        out.into_iter().map(|c| c.expect("every group built")).collect()
     }
 
     /// This group's id.
@@ -154,19 +175,39 @@ impl GroupContext {
         epsilon: f64,
         max_iters: usize,
     ) -> SolveReport {
+        self.group_pagerank_pooled(r, x, epsilon, max_iters, &Pool::sequential())
+    }
+
+    /// [`GroupContext::group_pagerank`] with the solve's SpMV/reduction
+    /// kernels routed through `pool`. Bit-identical to the sequential
+    /// variant at every worker count (fixed chunk boundaries).
+    pub fn group_pagerank_pooled(
+        &self,
+        r: &mut Vec<f64>,
+        x: &[f64],
+        epsilon: f64,
+        max_iters: usize,
+        pool: &Pool,
+    ) -> SolveReport {
         assert_eq!(r.len(), self.n_local());
         assert_eq!(x.len(), self.n_local());
         let f: Vec<f64> = self.beta_e.iter().zip(x).map(|(b, xi)| b + xi).collect();
-        FixedPointSolver { tolerance: epsilon, max_iters, parallel: false }.solve(&self.a, &f, r)
+        FixedPointSolver { tolerance: epsilon, max_iters, pool: pool.clone() }.solve(&self.a, &f, r)
     }
 
     /// One iteration `R ← A·R + βE + X` (the DPR2 node body). Returns the
     /// successive L1 difference.
     pub fn step(&self, r: &mut Vec<f64>, x: &[f64]) -> f64 {
+        self.step_pooled(r, x, &Pool::sequential())
+    }
+
+    /// [`GroupContext::step`] on an explicit pool (same determinism
+    /// contract as [`GroupContext::group_pagerank_pooled`]).
+    pub fn step_pooled(&self, r: &mut Vec<f64>, x: &[f64], pool: &Pool) -> f64 {
         assert_eq!(r.len(), self.n_local());
         assert_eq!(x.len(), self.n_local());
         let f: Vec<f64> = self.beta_e.iter().zip(x).map(|(b, xi)| b + xi).collect();
-        FixedPointSolver::default().step(&self.a, &f, r, 1)
+        FixedPointSolver::default().with_pool(pool.clone()).step(&self.a, &f, r, 1)
     }
 
     /// Computes the outgoing rank `Y` for every destination group:

@@ -50,13 +50,13 @@ pub mod ranks_io;
 pub mod run;
 pub mod threaded;
 
-pub use centralized::{open_pagerank, pagerank, PageRankOutcome};
+pub use centralized::{open_pagerank, open_pagerank_with_pool, pagerank, PageRankOutcome};
 pub use config::RankConfig;
 pub use dpr::{DprVariant, RankerNode, YMessage};
 pub use group::{AfferentState, GroupContext};
 pub use netrun::{
-    run_over_network, try_run_over_network, ChurnUnsupported, NetCounters, NetRunConfig,
-    NetRunResult, OverlayKind, Reliability, Transmission,
+    try_run_over_network, ChurnUnsupported, NetCounters, NetRunConfig, NetRunResult, OverlayKind,
+    Reliability, Transmission,
 };
 pub use query::{distributed_top_k, Hit};
 pub use run::{run_distributed, DistributedRun, DistributedRunConfig, RunResult};

@@ -13,17 +13,30 @@ pub fn sampled_order_agreement(a: &[f64], b: &[f64], samples: usize, seed: u64) 
     if a.len() < 2 || samples == 0 {
         return 1.0;
     }
-    // Tiny deterministic LCG; no need to pull an RNG crate dependency here.
-    let mut state = seed | 1;
+    // splitmix64 in counter mode: every seed (including 0 and 1) yields a
+    // distinct stream, unlike the old `seed | 1` LCG which aliased seeds
+    // that differed only in the low bit.
+    let mut ctr = seed;
     let mut next = || {
-        state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
-        (state >> 33) as usize
+        ctr = ctr.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        dpr_graph::urls::splitmix64(ctr)
+    };
+    // Unbiased index in [0, len): Lemire's widening multiply with rejection
+    // of the biased low region, instead of `next() % len`.
+    let len = a.len() as u64;
+    let threshold = len.wrapping_neg() % len;
+    let mut next_index = || loop {
+        let r = next();
+        let wide = u128::from(r) * u128::from(len);
+        if (wide as u64) >= threshold {
+            return (wide >> 64) as usize;
+        }
     };
     let mut agree = 0usize;
     let mut counted = 0usize;
     for _ in 0..samples {
-        let i = next() % a.len();
-        let j = next() % a.len();
+        let i = next_index();
+        let j = next_index();
         if i == j {
             continue;
         }
@@ -45,12 +58,12 @@ pub fn sampled_order_agreement(a: &[f64], b: &[f64], samples: usize, seed: u64) 
 #[must_use]
 pub fn top_k(ranks: &[f64], k: usize) -> Vec<u32> {
     let mut idx: Vec<u32> = (0..ranks.len() as u32).collect();
-    idx.sort_unstable_by(|&i, &j| {
-        ranks[j as usize]
-            .partial_cmp(&ranks[i as usize])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(i.cmp(&j))
-    });
+    // `total_cmp` gives a total order even with NaNs (which `partial_cmp +
+    // unwrap_or(Equal)` silently turned into an inconsistent comparator —
+    // a violation of the sort's ordering contract). Positive NaN compares
+    // greater than every real in the IEEE total order, so NaN ranks land
+    // at the front of this descending order, deterministically.
+    idx.sort_unstable_by(|&i, &j| ranks[j as usize].total_cmp(&ranks[i as usize]).then(i.cmp(&j)));
     idx.truncate(k);
     idx
 }
@@ -141,7 +154,9 @@ impl RankSummary {
             0.0
         };
 
-        let pct = |q: f64| sorted[((n as f64 - 1.0) * q).round() as usize];
+        // Standard nearest-rank percentile: the smallest value with at least
+        // q·n observations at or below it, i.e. sorted[⌈q·n⌉ − 1].
+        let pct = |q: f64| sorted[((q * n as f64).ceil() as usize).saturating_sub(1).min(n - 1)];
         Self {
             n,
             mean,
@@ -237,6 +252,52 @@ mod tests {
         let s = RankSummary::compute(&[]);
         assert_eq!(s.n, 0);
         assert_eq!(s.gini, 0.0);
+    }
+
+    #[test]
+    fn top_k_tolerates_nan_ranks() {
+        // A NaN rank (e.g. from a corrupted update) must not violate the
+        // sort's ordering contract or scramble the order of the real ranks.
+        // Under `total_cmp`, positive NaN outranks every real value, so
+        // NaNs land first (ties still broken by page id) and the real
+        // ranks keep their correct relative order.
+        let r = vec![0.5, f64::NAN, 0.9, f64::NAN, 0.1];
+        assert_eq!(top_k(&r, 5), vec![1, 3, 2, 0, 4]);
+        assert_eq!(top_k(&r, 2), vec![1, 3]);
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_sample_streams() {
+        // The old LCG seeded with `seed | 1`, so seeds 0 and 1 (and any pair
+        // differing only in bit 0) produced identical pair samples. Build
+        // rankings that agree on roughly half of all pairs, so the sampled
+        // agreement is sensitive to which pairs get drawn, then check that
+        // different seeds actually draw different pairs. (Two seeds can
+        // still coincide on the final fraction by chance, so we assert over
+        // a spread of seeds rather than one pair.)
+        let a: Vec<f64> = (0..64).map(f64::from).collect();
+        let b: Vec<f64> =
+            (0..64).map(|i| if i % 2 == 0 { f64::from(i) } else { -f64::from(i) }).collect();
+        let results: std::collections::HashSet<u64> =
+            (0..16).map(|seed| sampled_order_agreement(&a, &b, 25, seed).to_bits()).collect();
+        assert!(results.len() > 1, "all 16 seeds sampled identical pair streams");
+        // And the estimator itself stays deterministic for a fixed seed.
+        assert_eq!(sampled_order_agreement(&a, &b, 25, 7), sampled_order_agreement(&a, &b, 25, 7));
+    }
+
+    #[test]
+    fn percentiles_follow_nearest_rank_definition() {
+        // 1..=10: nearest-rank p50 = sorted[⌈0.5·10⌉−1] = sorted[4] = 5,
+        // p90 = sorted[8] = 9, p99 = sorted[9] = 10.
+        let v: Vec<f64> = (1..=10).map(f64::from).collect();
+        let s = RankSummary::compute(&v);
+        assert_eq!(s.p50, 5.0);
+        assert_eq!(s.p90, 9.0);
+        assert_eq!(s.p99, 10.0);
+        // Single element: every percentile is that element.
+        let one = RankSummary::compute(&[42.0]);
+        assert_eq!(one.p50, 42.0);
+        assert_eq!(one.p99, 42.0);
     }
 
     #[test]

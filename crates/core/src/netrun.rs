@@ -635,16 +635,6 @@ enum ChurnEvent {
     Join { id_seed: u64 },
 }
 
-/// Builds and executes a whole-system run.
-///
-/// # Panics
-/// If the configured churn schedule is unsupported by the chosen overlay;
-/// use [`try_run_over_network`] to handle that case as an error.
-#[must_use]
-pub fn run_over_network(g: &WebGraph, cfg: NetRunConfig) -> NetRunResult {
-    try_run_over_network(g, cfg).unwrap_or_else(|e| panic!("{e}"))
-}
-
 /// Builds and executes a whole-system run, validating churn support.
 ///
 /// # Errors
@@ -931,6 +921,13 @@ mod tests {
     use dpr_graph::generators::edu::{edu_domain, EduDomainConfig};
     use dpr_graph::generators::toy;
     use dpr_partition::Strategy;
+
+    /// Test convenience: every config in this module schedules churn the
+    /// overlay supports, so unwrap the `Result` here instead of threading
+    /// `expect` through every call site.
+    fn run_over_network(g: &WebGraph, cfg: NetRunConfig) -> NetRunResult {
+        try_run_over_network(g, cfg).expect("test configs use supported churn schedules")
+    }
 
     fn quick(transmission: Transmission) -> NetRunConfig {
         NetRunConfig {

@@ -127,6 +127,10 @@ impl DistributedRun {
         assert!((0.0..=1.0).contains(&cfg.send_success_prob));
 
         let partition = Partition::build(g, &cfg.strategy, cfg.k, 0);
+        // Both construction hot spots fan out over the shared worker pool
+        // on large graphs: the reference solve through the pooled kernels
+        // (bit-identical to sequential) and the per-group context assembly
+        // inside `build_all`.
         let reference = open_pagerank(g, &cfg.rank).ranks;
         let contexts = GroupContext::build_all(g, &partition, &cfg.rank);
         let waits = WaitModel::uniform_means(cfg.k, cfg.t1, cfg.t2, cfg.seed ^ 0xABCD);

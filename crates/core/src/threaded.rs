@@ -24,7 +24,7 @@ use std::sync::{Arc, Barrier};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use dpr_graph::{PageId, WebGraph};
-use dpr_linalg::vec_ops;
+use dpr_linalg::{vec_ops, Pool};
 use dpr_partition::{GroupId, Partition, Strategy};
 
 use crate::centralized::open_pagerank;
@@ -47,6 +47,12 @@ pub struct ThreadedRunConfig {
     pub quiescence_epsilon: f64,
     /// Safety cap on rounds.
     pub max_rounds: u64,
+    /// Worker pool for each ranker's *inner* solve kernels. Defaults to
+    /// sequential: the rankers themselves already occupy one core each, so
+    /// hand a real pool in only when `k` is small relative to the machine
+    /// (e.g. 2 rankers on a 16-core box). The kernels' fixed chunking
+    /// keeps results bit-identical whichever pool is used.
+    pub solver_pool: Pool,
 }
 
 impl Default for ThreadedRunConfig {
@@ -58,6 +64,7 @@ impl Default for ThreadedRunConfig {
             variant: DprVariant::Dpr1,
             quiescence_epsilon: 1e-9,
             max_rounds: 100_000,
+            solver_pool: Pool::sequential(),
         }
     }
 }
@@ -178,10 +185,10 @@ fn ranker_thread(
         let x = afferent.refresh();
         match cfg.variant {
             DprVariant::Dpr1 => {
-                ctx.group_pagerank(&mut r, x, 1e-12, 100_000);
+                ctx.group_pagerank_pooled(&mut r, x, 1e-12, 100_000, &cfg.solver_pool);
             }
             DprVariant::Dpr2 => {
-                ctx.step(&mut r, x);
+                ctx.step_pooled(&mut r, x, &cfg.solver_pool);
             }
         }
         let moved = vec_ops::l1_diff(&r, &prev);

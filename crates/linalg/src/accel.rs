@@ -17,11 +17,12 @@
 //!   starting point to the unique fixed point.
 
 use crate::csr::Csr;
+use crate::pool::Pool;
 use crate::solver::{FixedPointSolver, SolveReport};
 use crate::vec_ops;
 
 /// Configuration for Aitken-accelerated solves.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct AitkenSolver {
     /// Stop when `‖xᵢ₊₁ − xᵢ‖₁ ≤ tolerance`.
     pub tolerance: f64,
@@ -31,11 +32,15 @@ pub struct AitkenSolver {
     /// al. recommend infrequent application; must be ≥ 2 because the
     /// scheme needs three iterates).
     pub period: usize,
+    /// Worker pool for the underlying plain iteration's kernels; the
+    /// extrapolation pass itself is a cheap O(n) sweep and stays on the
+    /// calling thread. Bit-identical at every worker count.
+    pub pool: Pool,
 }
 
 impl Default for AitkenSolver {
     fn default() -> Self {
-        Self { tolerance: 1e-10, max_iters: 10_000, period: 8 }
+        Self { tolerance: 1e-10, max_iters: 10_000, period: 8, pool: Pool::sequential() }
     }
 }
 
@@ -50,7 +55,8 @@ impl AitkenSolver {
         assert_eq!(f.len(), n);
         assert_eq!(x.len(), n);
 
-        let plain = FixedPointSolver { tolerance: self.tolerance, max_iters: 1, parallel: false };
+        let plain =
+            FixedPointSolver { tolerance: self.tolerance, max_iters: 1, pool: self.pool.clone() };
         let mut prev2 = vec![0.0; n];
         let mut prev1 = vec![0.0; n];
         let mut iters = 0usize;
@@ -101,7 +107,7 @@ impl AitkenSolver {
 #[must_use]
 pub fn iteration_savings(a: &Csr, f: &[f64], tolerance: f64) -> (usize, usize) {
     let mut x_plain = vec![0.0; f.len()];
-    let plain = FixedPointSolver { tolerance, max_iters: 100_000, parallel: false }.solve(
+    let plain = FixedPointSolver { tolerance, max_iters: 100_000, ..Default::default() }.solve(
         a,
         f,
         &mut x_plain,

@@ -7,11 +7,18 @@
 //! repository iterate `R ← A·R + f`, which is a single sparse
 //! matrix–vector product (SpMV) per step.
 
-use rayon::prelude::*;
+use crate::pool::{Pool, SharedSlice};
 
-/// Row count above which [`Csr::mul_vec_par`] actually splits across the
-/// Rayon pool; tiny matrices stay sequential.
+/// Row count above which [`Csr::mul_vec_pool`] actually splits across the
+/// worker pool; tiny matrices stay sequential.
 const PAR_ROWS_THRESHOLD: usize = 1 << 12;
+
+/// Fixed row-chunk width for the pooled SpMV. Boundaries are independent of
+/// the worker count, so every output element is produced by the identical
+/// per-row dot product regardless of parallelism (rows are independent, so
+/// SpMV is bit-deterministic by construction; the fixed width keeps the
+/// schedule cache-friendly and the work queue short).
+const SPMV_CHUNK_ROWS: usize = 1024;
 
 /// An immutable sparse matrix in compressed sparse row format.
 ///
@@ -118,18 +125,26 @@ impl Csr {
         }
     }
 
-    /// Rayon-parallel SpMV: `y ← A·x`. Rows are independent, so this is a
-    /// straightforward `par_chunks_mut` over the output with no locking.
-    /// Falls back to the sequential kernel for small matrices.
-    pub fn mul_vec_par(&self, x: &[f64], y: &mut [f64]) {
+    /// Pool-parallel SpMV: `y ← A·x` with row chunks distributed over real
+    /// worker threads. Rows are independent and each output element is the
+    /// same per-row dot product as [`Csr::mul_vec`], so the result is
+    /// bit-identical to the sequential kernel at every worker count. Falls
+    /// back to the sequential kernel for small matrices or a sequential
+    /// pool.
+    pub fn mul_vec_pool(&self, x: &[f64], y: &mut [f64], pool: &Pool) {
         assert_eq!(x.len(), self.n_cols);
         assert_eq!(y.len(), self.n_rows);
-        if self.n_rows < PAR_ROWS_THRESHOLD {
+        if !pool.is_parallel() || self.n_rows < PAR_ROWS_THRESHOLD {
             return self.mul_vec(x, y);
         }
-        let chunk = (self.n_rows / (rayon::current_num_threads() * 8)).max(256);
-        y.par_chunks_mut(chunk).enumerate().for_each(|(ci, ys)| {
-            let base = ci * chunk;
+        let n_chunks = self.n_rows.div_ceil(SPMV_CHUNK_ROWS);
+        let out = SharedSlice::new(y);
+        pool.for_each_chunk(n_chunks, |c| {
+            let base = c * SPMV_CHUNK_ROWS;
+            let len = SPMV_CHUNK_ROWS.min(self.n_rows - base);
+            // SAFETY: chunk `c` covers rows `[base, base + len)` and chunks
+            // are pairwise disjoint.
+            let ys = unsafe { out.slice_mut(base, len) };
             for (i, yr) in ys.iter_mut().enumerate() {
                 let r = base + i;
                 let lo = self.row_ptr[r] as usize;
@@ -141,6 +156,11 @@ impl Csr {
                 *yr = acc;
             }
         });
+    }
+
+    /// [`Csr::mul_vec_pool`] on the process-wide [`Pool::global`] pool.
+    pub fn mul_vec_par(&self, x: &[f64], y: &mut [f64]) {
+        self.mul_vec_pool(x, y, Pool::global());
     }
 
     /// The infinity norm `‖A‖∞ = max_r Σ_c |A[r,c]|` (maximum absolute row
@@ -293,6 +313,31 @@ mod tests {
         m.mul_vec_par(&x, &mut y2);
         for (a, b) in y1.iter().zip(&y2) {
             assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mul_vec_pool_bit_identical_across_worker_counts() {
+        use crate::pool::Pool;
+        use rand::{Rng, SeedableRng};
+        let n = PAR_ROWS_THRESHOLD + 777;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+        let mut t = TripletMatrix::new(n, n);
+        for _ in 0..n * 6 {
+            t.push(rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(-1.0..1.0));
+        }
+        let m = t.to_csr();
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let mut seq = vec![0.0; n];
+        m.mul_vec(&x, &mut seq);
+        for workers in [1, 2, 8] {
+            let pool = Pool::with_workers(workers);
+            let mut y = vec![f64::NAN; n];
+            m.mul_vec_pool(&x, &mut y, &pool);
+            assert!(
+                seq.iter().zip(&y).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "pooled SpMV diverged at {workers} workers"
+            );
         }
     }
 

@@ -103,7 +103,7 @@ impl GaussSeidelSolver {
 #[must_use]
 pub fn sweep_comparison(a: &Csr, f: &[f64], tolerance: f64) -> (usize, usize) {
     let mut xj = vec![0.0; f.len()];
-    let j = crate::solver::FixedPointSolver { tolerance, max_iters: 100_000, parallel: false }
+    let j = crate::solver::FixedPointSolver { tolerance, max_iters: 100_000, ..Default::default() }
         .solve(a, f, &mut xj);
     let mut xg = vec![0.0; f.len()];
     let g = GaussSeidelSolver { tolerance, max_iters: 100_000, ..GaussSeidelSolver::default() }

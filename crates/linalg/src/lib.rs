@@ -6,7 +6,7 @@
 //! from:
 //!
 //! * [`Csr`] — compressed sparse row matrices with sequential and
-//!   [Rayon]-parallel matrix–vector products,
+//!   pool-parallel matrix–vector products (see [`pool`]),
 //! * [`vec_ops`] — the dense-vector kernels (norms, axpy, differences) used
 //!   by every iteration loop,
 //! * [`solver`] — the Jacobi-style fixed-point solver of Algorithm 2
@@ -14,9 +14,11 @@
 //!   criterion that Theorem 3.3 justifies,
 //! * [`theory`] — executable forms of Theorems 3.1–3.3 and the appendix
 //!   lemmas (spectral-radius bounds, contraction error bounds,
-//!   non-negativity and monotonicity of the fixed point).
-//!
-//! [Rayon]: https://docs.rs/rayon
+//!   non-negativity and monotonicity of the fixed point),
+//! * [`pool`] — the scoped worker pool behind every parallel kernel:
+//!   real OS threads, spawned once and reused across solves, with a fixed
+//!   chunking discipline that keeps pooled results bit-identical to the
+//!   sequential ones at every worker count.
 //!
 //! # Example
 //!
@@ -41,6 +43,7 @@
 pub mod accel;
 pub mod csr;
 pub mod gauss_seidel;
+pub mod pool;
 pub mod solver;
 pub mod theory;
 pub mod triplet;
@@ -49,5 +52,6 @@ pub mod vec_ops;
 pub use accel::AitkenSolver;
 pub use csr::Csr;
 pub use gauss_seidel::GaussSeidelSolver;
+pub use pool::Pool;
 pub use solver::{FixedPointSolver, SolveReport};
 pub use triplet::TripletMatrix;

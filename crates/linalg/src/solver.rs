@@ -8,23 +8,26 @@
 //! on the true error — which is why the stopping rule is sound.
 
 use crate::csr::Csr;
+use crate::pool::Pool;
 use crate::theory;
 use crate::vec_ops;
 
 /// Configuration for the Jacobi-style fixed-point iteration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct FixedPointSolver {
     /// Stop when `‖xᵢ₊₁ − xᵢ‖₁ ≤ tolerance`.
     pub tolerance: f64,
     /// Hard iteration cap (guards against a caller passing `‖A‖∞ ≥ 1`).
     pub max_iters: usize,
-    /// Use the Rayon-parallel SpMV kernel.
-    pub parallel: bool,
+    /// Worker pool for the SpMV and reduction kernels. The kernels use
+    /// fixed chunk boundaries, so the solve is bit-identical at every
+    /// worker count — the pool only changes wall-clock time.
+    pub pool: Pool,
 }
 
 impl Default for FixedPointSolver {
     fn default() -> Self {
-        Self { tolerance: 1e-10, max_iters: 10_000, parallel: false }
+        Self { tolerance: 1e-10, max_iters: 10_000, pool: Pool::sequential() }
     }
 }
 
@@ -47,6 +50,13 @@ impl FixedPointSolver {
     #[must_use]
     pub fn new(tolerance: f64) -> Self {
         Self { tolerance, ..Self::default() }
+    }
+
+    /// Returns the solver with its kernels routed through `pool`.
+    #[must_use]
+    pub fn with_pool(mut self, pool: Pool) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// Solves `x = A·x + f` in place, starting from the current contents of
@@ -77,16 +87,12 @@ impl FixedPointSolver {
         let mut iters = 0;
         while iters < self.max_iters {
             // scratch ← A·x + f
-            if self.parallel {
-                a.mul_vec_par(x, scratch);
-            } else {
-                a.mul_vec(x, scratch);
-            }
+            a.mul_vec_pool(x, scratch, &self.pool);
             for (s, fi) in scratch.iter_mut().zip(f.iter()) {
                 *s += fi;
             }
             iters += 1;
-            delta = vec_ops::l1_diff(scratch, x);
+            delta = vec_ops::l1_diff_pool(scratch, x, &self.pool);
             std::mem::swap(x, scratch);
             if delta <= self.tolerance {
                 break;
@@ -118,15 +124,11 @@ impl FixedPointSolver {
         let mut scratch = vec![0.0; n];
         let mut delta = 0.0;
         for _ in 0..steps {
-            if self.parallel {
-                a.mul_vec_par(x, &mut scratch);
-            } else {
-                a.mul_vec(x, &mut scratch);
-            }
+            a.mul_vec_pool(x, &mut scratch, &self.pool);
             for (s, fi) in scratch.iter_mut().zip(f.iter()) {
                 *s += fi;
             }
-            delta = vec_ops::l1_diff(&scratch, x);
+            delta = vec_ops::l1_diff_pool(&scratch, x, &self.pool);
             std::mem::swap(x, &mut scratch);
         }
         delta
@@ -162,7 +164,7 @@ mod tests {
     fn error_bound_is_valid() {
         let (a, f, expect) = small_system();
         let mut x = vec![0.0, 0.0];
-        let solver = FixedPointSolver { tolerance: 1e-6, max_iters: 50, parallel: false };
+        let solver = FixedPointSolver { tolerance: 1e-6, max_iters: 50, ..Default::default() };
         let report = solver.solve(&a, &f, &mut x);
         let true_err = vec_ops::l1_diff(&x, &expect);
         let bound = report.error_bound.expect("norm < 1 so bound applies");
@@ -189,7 +191,7 @@ mod tests {
         let mut t = TripletMatrix::new(1, 1);
         t.push(0, 0, 1.0);
         let a = t.to_csr();
-        let solver = FixedPointSolver { tolerance: 1e-12, max_iters: 17, parallel: false };
+        let solver = FixedPointSolver { tolerance: 1e-12, max_iters: 17, ..Default::default() };
         let mut x = vec![0.0];
         let report = solver.solve(&a, &[1.0], &mut x);
         assert_eq!(report.iterations, 17);
@@ -207,13 +209,17 @@ mod tests {
     }
 
     #[test]
-    fn parallel_solver_agrees() {
+    fn pooled_solver_is_bit_identical_to_sequential() {
         let (a, f, _) = small_system();
         let mut x1 = vec![0.0, 0.0];
-        let mut x2 = vec![0.0, 0.0];
-        FixedPointSolver { parallel: false, ..FixedPointSolver::new(1e-12) }.solve(&a, &f, &mut x1);
-        FixedPointSolver { parallel: true, ..FixedPointSolver::new(1e-12) }.solve(&a, &f, &mut x2);
-        assert_eq!(x1, x2);
+        FixedPointSolver::new(1e-12).solve(&a, &f, &mut x1);
+        for workers in [2, 8] {
+            let mut x2 = vec![0.0, 0.0];
+            FixedPointSolver::new(1e-12)
+                .with_pool(Pool::with_workers(workers))
+                .solve(&a, &f, &mut x2);
+            assert_eq!(x1, x2, "pooled solve diverged at {workers} workers");
+        }
     }
 
     #[test]

@@ -4,12 +4,64 @@
 //! borrowed buffers, or sub-slices of larger workspaces without conversion.
 //! Length mismatches are programming errors and panic via `debug_assert!` in
 //! debug builds (the hot paths must not pay for checks in release builds).
+//!
+//! # Chunked reductions and bit-determinism
+//!
+//! The reductions ([`l1_norm`], [`l1_diff`], [`sum`], and their `_pool`
+//! variants) all accumulate over **fixed chunks of [`REDUCE_CHUNK`]
+//! elements** and then fold the per-chunk partials in chunk order.
+//! Floating-point addition is not associative, so this fixed association is
+//! what makes the sequential and pooled paths return *bit-identical*
+//! results at every worker count: the pool only changes which thread
+//! computes a chunk, never which elements a chunk contains or the order
+//! partials combine in.
 
-use rayon::prelude::*;
+use crate::pool::{Pool, SharedSlice};
 
-/// Minimum vector length before the parallel kernels split work across the
-/// Rayon pool. Below this, thread coordination costs more than it saves.
+/// Fixed reduction-chunk width. Independent of worker count by design —
+/// see the module docs; changing this value changes low-order bits of
+/// every reduction (it re-associates the sums), so treat it as part of the
+/// numeric contract.
+const REDUCE_CHUNK: usize = 4096;
+
+/// Minimum vector length before the pooled reductions fan out. Below this,
+/// the broadcast handoff costs more than the arithmetic it distributes.
 const PAR_THRESHOLD: usize = 1 << 14;
+
+/// Chunk-ordered fold shared by the sequential reductions: applies
+/// `partial` to each fixed chunk and sums the partials left to right.
+#[inline]
+fn chunked_reduce(len: usize, partial: impl Fn(usize, usize) -> f64) -> f64 {
+    let mut acc = 0.0;
+    let mut lo = 0;
+    while lo < len {
+        let hi = (lo + REDUCE_CHUNK).min(len);
+        acc += partial(lo, hi);
+        lo = hi;
+    }
+    acc
+}
+
+/// Pooled counterpart of [`chunked_reduce`]: per-chunk partials land in a
+/// chunk-indexed scratch vector (each slot written by exactly one worker),
+/// then fold in chunk order on the calling thread — the identical
+/// association as the sequential path, hence bit-identical results.
+fn chunked_reduce_pool(
+    len: usize,
+    pool: &Pool,
+    partial: impl Fn(usize, usize) -> f64 + Sync,
+) -> f64 {
+    let n_chunks = len.div_ceil(REDUCE_CHUNK);
+    let mut partials = vec![0.0_f64; n_chunks];
+    let out = SharedSlice::new(&mut partials);
+    pool.for_each_chunk(n_chunks, |c| {
+        let lo = c * REDUCE_CHUNK;
+        let hi = (lo + REDUCE_CHUNK).min(len);
+        // SAFETY: chunk `c` writes only slot `c`.
+        unsafe { out.slice_mut(c, 1)[0] = partial(lo, hi) };
+    });
+    partials.iter().sum()
+}
 
 /// The L1 norm `‖x‖₁ = Σ |xᵢ|`.
 ///
@@ -20,11 +72,17 @@ pub fn l1_norm(x: &[f64]) -> f64 {
     // `+ 0.0` normalizes the signed zero: std's float `Sum` identity is
     // -0.0, and a negative-zero "norm" breaks bit-level max tricks
     // downstream (−0.0's bit pattern exceeds every positive float's).
-    if x.len() >= PAR_THRESHOLD {
-        x.par_iter().map(|v| v.abs()).sum::<f64>() + 0.0
-    } else {
-        x.iter().map(|v| v.abs()).sum::<f64>() + 0.0
+    chunked_reduce(x.len(), |lo, hi| x[lo..hi].iter().map(|v| v.abs()).sum()) + 0.0
+}
+
+/// [`l1_norm`] with the chunk partials computed on `pool`'s workers.
+/// Bit-identical to the sequential version at every worker count.
+#[must_use]
+pub fn l1_norm_pool(x: &[f64], pool: &Pool) -> f64 {
+    if !pool.is_parallel() || x.len() < PAR_THRESHOLD {
+        return l1_norm(x);
     }
+    chunked_reduce_pool(x.len(), pool, |lo, hi| x[lo..hi].iter().map(|v| v.abs()).sum()) + 0.0
 }
 
 /// The L∞ norm `‖x‖∞ = max |xᵢ|`; zero for the empty vector.
@@ -38,11 +96,22 @@ pub fn linf_norm(x: &[f64]) -> f64 {
 pub fn l1_diff(x: &[f64], y: &[f64]) -> f64 {
     debug_assert_eq!(x.len(), y.len());
     // `+ 0.0`: see `l1_norm` — keeps the empty diff at +0.0, not -0.0.
-    if x.len() >= PAR_THRESHOLD {
-        x.par_iter().zip(y.par_iter()).map(|(a, b)| (a - b).abs()).sum::<f64>() + 0.0
-    } else {
-        x.iter().zip(y.iter()).map(|(a, b)| (a - b).abs()).sum::<f64>() + 0.0
+    chunked_reduce(x.len(), |lo, hi| {
+        x[lo..hi].iter().zip(&y[lo..hi]).map(|(a, b)| (a - b).abs()).sum()
+    }) + 0.0
+}
+
+/// [`l1_diff`] with the chunk partials computed on `pool`'s workers.
+/// Bit-identical to the sequential version at every worker count.
+#[must_use]
+pub fn l1_diff_pool(x: &[f64], y: &[f64], pool: &Pool) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    if !pool.is_parallel() || x.len() < PAR_THRESHOLD {
+        return l1_diff(x, y);
     }
+    chunked_reduce_pool(x.len(), pool, |lo, hi| {
+        x[lo..hi].iter().zip(&y[lo..hi]).map(|(a, b)| (a - b).abs()).sum()
+    }) + 0.0
 }
 
 /// The L∞ distance `‖x − y‖∞`.
@@ -55,11 +124,17 @@ pub fn linf_diff(x: &[f64], y: &[f64]) -> f64 {
 /// Sum of all elements (signed, unlike [`l1_norm`]).
 #[must_use]
 pub fn sum(x: &[f64]) -> f64 {
-    if x.len() >= PAR_THRESHOLD {
-        x.par_iter().sum()
-    } else {
-        x.iter().sum()
+    chunked_reduce(x.len(), |lo, hi| x[lo..hi].iter().sum())
+}
+
+/// [`sum`] with the chunk partials computed on `pool`'s workers.
+/// Bit-identical to the sequential version at every worker count.
+#[must_use]
+pub fn sum_pool(x: &[f64], pool: &Pool) -> f64 {
+    if !pool.is_parallel() || x.len() < PAR_THRESHOLD {
+        return sum(x);
     }
+    chunked_reduce_pool(x.len(), pool, |lo, hi| x[lo..hi].iter().sum())
 }
 
 /// Arithmetic mean; zero for the empty vector.
@@ -122,8 +197,15 @@ pub fn is_nonneg(x: &[f64]) -> bool {
 /// both are zero.
 #[must_use]
 pub fn relative_error(x: &[f64], x_star: &[f64]) -> f64 {
-    let denom = l1_norm(x_star);
-    let num = l1_diff(x, x_star);
+    relative_error_pool(x, x_star, &Pool::sequential())
+}
+
+/// [`relative_error`] with both reductions computed on `pool`'s workers.
+/// Bit-identical to the sequential version at every worker count.
+#[must_use]
+pub fn relative_error_pool(x: &[f64], x_star: &[f64], pool: &Pool) -> f64 {
+    let denom = l1_norm_pool(x_star, pool);
+    let num = l1_diff_pool(x, x_star, pool);
     if denom == 0.0 {
         if num == 0.0 {
             0.0
@@ -154,6 +236,25 @@ mod tests {
         let big: Vec<f64> = (0..(PAR_THRESHOLD + 17)).map(|i| (i as f64) * 0.5 - 100.0).collect();
         let seq: f64 = big.iter().map(|v| v.abs()).sum();
         assert!((l1_norm(&big) - seq).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pooled_reductions_are_bit_identical_to_sequential() {
+        // Irrational-ish values so any re-association would show up in the
+        // low bits.
+        let x: Vec<f64> =
+            (0..(3 * PAR_THRESHOLD + 1234)).map(|i| ((i as f64) * 0.7371).sin() / 3.0).collect();
+        let y: Vec<f64> = x.iter().map(|v| v * 1.0001 + 1e-7).collect();
+        for workers in [2, 3, 8] {
+            let pool = Pool::with_workers(workers);
+            assert_eq!(l1_norm(&x).to_bits(), l1_norm_pool(&x, &pool).to_bits());
+            assert_eq!(l1_diff(&x, &y).to_bits(), l1_diff_pool(&x, &y, &pool).to_bits());
+            assert_eq!(sum(&x).to_bits(), sum_pool(&x, &pool).to_bits());
+            assert_eq!(
+                relative_error(&x, &y).to_bits(),
+                relative_error_pool(&x, &y, &pool).to_bits()
+            );
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --release --example churn_recovery`
 
-use dpr::core::{run_over_network, NetRunConfig};
+use dpr::core::{try_run_over_network, NetRunConfig};
 use dpr::graph::generators::edu::{edu_domain, EduDomainConfig};
 use dpr::partition::Strategy;
 
@@ -17,7 +17,7 @@ fn main() {
         graph.n_pages()
     );
 
-    let res = run_over_network(
+    let res = try_run_over_network(
         &graph,
         NetRunConfig {
             k: 32,
@@ -28,7 +28,8 @@ fn main() {
             departures: vec![(120.0, 5), (200.0, 11), (280.0, 19)],
             ..NetRunConfig::default()
         },
-    );
+    )
+    .expect("Pastry supports the scheduled churn");
 
     println!("\n   t     relative error");
     for &(t, v) in res.rel_err.points() {

@@ -3,12 +3,20 @@
 //! a network partition healing, bounded retry budgets on a dead network,
 //! and bit-exact replay of faulty runs.
 
-use dpr::core::{run_over_network, NetRunConfig, OverlayKind, Reliability, Transmission};
+use dpr::core::{
+    try_run_over_network, NetRunConfig, NetRunResult, OverlayKind, Reliability, Transmission,
+};
 use dpr::graph::generators::edu::{edu_domain, EduDomainConfig};
 use dpr::graph::generators::toy;
 use dpr::partition::Strategy;
 use dpr::sim::{FaultPlan, Jitter};
 use proptest::prelude::*;
+
+/// Every config in this file schedules churn its overlay supports, so a
+/// `ChurnUnsupported` error would be a test bug — unwrap it once here.
+fn run_over_network(g: &dpr::graph::WebGraph, cfg: NetRunConfig) -> NetRunResult {
+    try_run_over_network(g, cfg).expect("test configs use supported churn schedules")
+}
 
 /// The headline robustness claim: at 50% per-hop loss the reliable
 /// protocol reaches the paper's 0.1% error threshold within a horizon

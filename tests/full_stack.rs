@@ -5,7 +5,7 @@
 //! one scenario.
 
 use dpr::core::metrics::top_k;
-use dpr::core::{open_pagerank, run_over_network, NetRunConfig, RankConfig, Transmission};
+use dpr::core::{open_pagerank, try_run_over_network, NetRunConfig, RankConfig, Transmission};
 use dpr::crawl::crawler::parallel_crawl;
 use dpr::crawl::{crawl_to_graph, CrawlBudget, HiddenWeb, HiddenWebConfig, Mode};
 use dpr::linalg::vec_ops::relative_error;
@@ -24,7 +24,7 @@ fn crawl_rank_over_overlay_crash_and_query() {
     assert!(g.n_external_links() > 0, "partial crawl must leak links");
 
     // 2. Rank over a live overlay with a mid-run crash.
-    let res = run_over_network(
+    let res = try_run_over_network(
         &g,
         NetRunConfig {
             k: 24,
@@ -36,7 +36,8 @@ fn crawl_rank_over_overlay_crash_and_query() {
             departures: vec![(150.0, 2)],
             ..NetRunConfig::default()
         },
-    );
+    )
+    .expect("config schedules no unsupported churn");
     assert!(res.final_rel_err < 1e-3, "rel err {}", res.final_rel_err);
 
     // 3. The overlay-routed result matches plain centralized ranking.

@@ -131,7 +131,7 @@ proptest! {
         let f: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect();
 
         // Loose solve, then tight solve as "truth".
-        let solver = dpr::linalg::FixedPointSolver { tolerance: 1e-4, max_iters: 10_000, parallel: false };
+        let solver = dpr::linalg::FixedPointSolver { tolerance: 1e-4, max_iters: 10_000, ..Default::default() };
         let mut x = vec![0.0; dim];
         let report = solver.solve(&a, &f, &mut x);
         prop_assert!(report.converged);

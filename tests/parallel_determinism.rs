@@ -1,0 +1,75 @@
+//! Bit-determinism contract of the worker-pool compute runtime: the same
+//! chunked arithmetic runs whatever the worker count, so every pooled
+//! result must equal its sequential counterpart down to the last bit —
+//! for the kernels (covered by unit tests in `dpr-linalg`), for the full
+//! open PageRank solve, and for the threaded BSP runner.
+
+use dpr::core::{open_pagerank_with_pool, run_threaded, RankConfig, ThreadedRunConfig};
+use dpr::graph::generators::edu::{edu_domain, EduDomainConfig};
+use dpr::linalg::Pool;
+use dpr::partition::Strategy;
+
+fn assert_bits_equal(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: rank {i} differs ({x:e} vs {y:e})");
+    }
+}
+
+/// The headline guarantee: `open_pagerank` over the pool produces the same
+/// bits as the sequential solve at 1, 2 and 8 workers on a web-like graph.
+#[test]
+fn open_pagerank_is_bit_identical_at_every_worker_count() {
+    let g =
+        edu_domain(&EduDomainConfig { n_pages: 30_000, n_sites: 60, ..EduDomainConfig::default() });
+    let cfg = RankConfig::default();
+    let reference = open_pagerank_with_pool(&g, &cfg, &Pool::sequential());
+    assert!(reference.converged, "reference solve must converge");
+
+    for workers in [1usize, 2, 8] {
+        let pooled = open_pagerank_with_pool(&g, &cfg, &Pool::with_workers(workers));
+        assert_eq!(pooled.iterations, reference.iterations, "{workers} workers");
+        assert_bits_equal(
+            &pooled.ranks,
+            &reference.ranks,
+            &format!("open_pagerank with {workers} workers"),
+        );
+    }
+}
+
+/// The threaded BSP runner already spreads groups over `k` OS threads; the
+/// solver pool it hands each ranker must not change the arithmetic either.
+#[test]
+fn run_threaded_is_bit_identical_with_and_without_solver_pool() {
+    let g =
+        edu_domain(&EduDomainConfig { n_pages: 4_000, n_sites: 20, ..EduDomainConfig::default() });
+    let base =
+        ThreadedRunConfig { k: 4, strategy: Strategy::HashBySite, ..ThreadedRunConfig::default() };
+
+    let sequential = run_threaded(&g, &base);
+    for workers in [1usize, 2, 8] {
+        let pooled = run_threaded(
+            &g,
+            &ThreadedRunConfig { solver_pool: Pool::with_workers(workers), ..base.clone() },
+        );
+        assert_eq!(pooled.rounds, sequential.rounds, "{workers} workers");
+        assert_bits_equal(
+            &pooled.final_ranks,
+            &sequential.final_ranks,
+            &format!("run_threaded with {workers}-worker solver pool"),
+        );
+    }
+}
+
+/// A shared global pool is reused across back-to-back solves without
+/// contaminating results (the pool holds no per-solve state).
+#[test]
+fn pool_reuse_across_solves_is_stable() {
+    let g =
+        edu_domain(&EduDomainConfig { n_pages: 20_000, n_sites: 40, ..EduDomainConfig::default() });
+    let cfg = RankConfig::default();
+    let pool = Pool::with_workers(4);
+    let first = open_pagerank_with_pool(&g, &cfg, &pool);
+    let second = open_pagerank_with_pool(&g, &cfg, &pool);
+    assert_bits_equal(&first.ranks, &second.ranks, "repeated solve on one pool");
+}
