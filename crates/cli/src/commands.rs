@@ -42,10 +42,12 @@ COMMANDS:
             [--transmission indirect|direct]
             [--reliable] [--ack-timeout T] [--max-retries R]
             [--crash T:NODE[,T:NODE...]] [--join T:SEED[,T:SEED...]]
-            [--partition T1:T2:LO-HI]
+            [--partition T1:T2:LO-HI] [--no-coalesce] [--no-route-cache]
             --reliable turns on ack/retry/dedup delivery; --crash departs
             nodes (state lost), --join adds nodes (graceful handoff),
-            --partition severs nodes LO..=HI from the rest during [T1,T2).
+            --partition severs nodes LO..=HI from the rest during [T1,T2);
+            --no-coalesce / --no-route-cache disable the fast message
+            path (per-destination merging, memoized overlay lookups).
   top       FILE --ranks RANKS [--k K] [--site S]
             Top pages from a saved rank file (optionally one site only).
   analyze   FILE [--sinks-only]
@@ -273,6 +275,8 @@ fn simulate_net(args: &Args, g: &WebGraph, variant: DprVariant) -> CmdResult {
         joins,
         reliability,
         faults,
+        coalesce: !args.flag("no-coalesce"),
+        route_cache: !args.flag("no-route-cache"),
         ..NetRunConfig::default()
     };
     let res = try_run_over_network(g, cfg).map_err(|e| e.to_string())?;
@@ -286,6 +290,14 @@ fn simulate_net(args: &Args, g: &WebGraph, variant: DprVariant) -> CmdResult {
         res.counters.lookup_messages,
         res.counters.bytes as f64 / 1e6,
         res.mean_route_hops
+    );
+    println!(
+        "message path: {} parts coalesced away, route cache {:.1}% hit rate ({} hits / {} misses, {} invalidations)",
+        res.counters.coalesced_parts,
+        res.route_cache.hit_rate() * 100.0,
+        res.route_cache.hits,
+        res.route_cache.misses,
+        res.route_cache.invalidations
     );
     if res.counters.acks > 0 || res.counters.retries > 0 {
         println!(

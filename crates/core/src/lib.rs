@@ -53,6 +53,7 @@ pub mod threaded;
 pub use centralized::{open_pagerank, open_pagerank_with_pool, pagerank, PageRankOutcome};
 pub use config::RankConfig;
 pub use dpr::{DprVariant, RankerNode, YMessage};
+pub use dpr_overlay::RouteCacheStats;
 pub use group::{AfferentState, GroupContext};
 pub use netrun::{
     try_run_over_network, ChurnUnsupported, NetCounters, NetRunConfig, NetRunResult, OverlayKind,

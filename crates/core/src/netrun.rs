@@ -21,14 +21,17 @@
 //!   (direct: `O((h+1)K²)` messages; indirect: neighbor-bound packages but
 //!   `h×` forwarded bytes) *while the ranks are converging*.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 
 use dpr_graph::{PageId, WebGraph};
 use dpr_linalg::vec_ops;
-use dpr_overlay::{CanNetwork, ChordNetwork, NodeIndex, Overlay, PastryNetwork};
+use dpr_overlay::{
+    CanNetwork, ChordNetwork, NodeIndex, Overlay, PastryNetwork, RouteCache, RouteCacheStats,
+};
 use dpr_partition::{GroupId, Partition};
 use dpr_sim::waits::WaitModel;
 use dpr_sim::{Actor, Ctx, FaultPlan, SimStats, Simulation, TimeSeries};
@@ -237,6 +240,19 @@ pub struct NetRunConfig {
     /// precedence over `send_success_prob` (the plan's own loss, latency,
     /// jitter, partitions, stragglers and crash windows govern delivery).
     pub faults: Option<FaultPlan>,
+    /// Per-destination update coalescing (§4.4): within one think window a
+    /// node merges `Y` parts sharing `(src_group, dest_group)` — keeping
+    /// the newest, exactly what sequential delivery into
+    /// [`AfferentState::set`] would have kept — and, under direct
+    /// transmission, batches all parts for one owner into a single
+    /// package. Changes message/byte counters (that is the point), never
+    /// the final ranks.
+    pub coalesce: bool,
+    /// Memoize overlay `next_hop`/`route` lookups in a generation-checked
+    /// [`RouteCache`]. Invisible to results by construction — `false`
+    /// recomputes every lookup (and still counts them, so benchmarks can
+    /// compare the two modes honestly).
+    pub route_cache: bool,
 }
 
 impl Default for NetRunConfig {
@@ -264,6 +280,8 @@ impl Default for NetRunConfig {
             joins: Vec::new(),
             reliability: None,
             faults: None,
+            coalesce: true,
+            route_cache: true,
         }
     }
 }
@@ -281,8 +299,15 @@ pub struct YPart {
 }
 
 /// A package of parts sharing one overlay hop.
+///
+/// The payload is behind an `Arc` so the in-flight copy and the sender's
+/// retransmit queue share one allocation: a retransmission clones the
+/// `Arc`, never the parts. (`Arc<Vec<_>>` rather than `Arc<[_]>` so a
+/// receiver holding the last reference can take the parts back out with
+/// [`Arc::try_unwrap`] — the fire-and-forget path moves payloads end to
+/// end without copying them once.)
 #[derive(Debug, Clone)]
-pub struct Package(pub Vec<YPart>);
+pub struct Package(pub Arc<Vec<YPart>>);
 
 /// The simulator message: a data package (sequence-numbered when the
 /// reliability protocol is active) or a hop-by-hop acknowledgment.
@@ -321,6 +346,9 @@ pub struct NetCounters {
     pub duplicates_suppressed: u64,
     /// Packages abandoned after exhausting the retry budget.
     pub retry_exhausted: u64,
+    /// `Y` parts absorbed by per-destination coalescing before reaching
+    /// the wire (each one a superseded update that was never sent).
+    pub coalesced_parts: u64,
 }
 
 /// One group's ranking state hosted on a node.
@@ -340,6 +368,10 @@ pub struct NetNode {
     owner_of: Arc<RwLock<Vec<NodeIndex>>>,
     /// `group → DHT key`.
     key_of: Arc<Vec<u128>>,
+    /// Shared memo of routing decisions (keys include the source node, so
+    /// one shared cache is equivalent to per-node caches). Bypassed — but
+    /// still counting lookups — when `cfg.route_cache` is off.
+    cache: Arc<RwLock<RouteCache>>,
     relay: Vec<YPart>,
     cfg: Arc<NetRunConfig>,
     mean_wait: f64,
@@ -359,10 +391,12 @@ pub struct NetNode {
     seen: HashSet<(usize, u64)>,
 }
 
-/// One unacked package on the sender side.
+/// One unacked package on the sender side. `parts` shares the in-flight
+/// package's allocation; retransmissions put the *same* bytes back on the
+/// wire without copying them.
 struct PendingSend {
     dst: NodeIndex,
-    parts: Vec<YPart>,
+    parts: Arc<Vec<YPart>>,
     /// Retransmissions already performed.
     retries: u32,
     /// Virtual time at which the package is considered lost.
@@ -378,13 +412,53 @@ impl NetNode {
     }
 
     /// Delivers a part to a locally hosted group.
-    fn deliver_local(&mut self, part: YPart) {
+    fn deliver_local(&mut self, part: &YPart) {
         if let Some(gs) = self.groups.iter_mut().find(|g| g.ctx.group_id() == part.dest_group) {
             let localized = gs.ctx.localize(&part.entries);
             gs.afferent.set(part.src_group, localized);
         }
         // A part for a group we do not host is stale traffic after a
         // membership change; §4.2 lets nodes drop it silently.
+    }
+
+    /// Cached next hop toward `dest_group`'s key.
+    fn next_hop_for(&self, dest_group: GroupId) -> Option<NodeIndex> {
+        let ov = self.overlay.read();
+        self.cache.write().next_hop(ov.as_overlay(), self.me, self.key_of[dest_group as usize])
+    }
+
+    /// Cached route length toward `dest_group`'s key — the `h` a direct
+    /// transmission's lookup pays in messages and latency (§4.5).
+    fn lookup_hops(&self, dest_group: GroupId) -> u64 {
+        let ov = self.overlay.read();
+        self.cache.write().route_hops(ov.as_overlay(), self.me, self.key_of[dest_group as usize])
+            as u64
+    }
+
+    /// Merges parts sharing `(src_group, dest_group)`, keeping the newest
+    /// payload at the earliest occurrence's position. Sequential delivery
+    /// would feed both through [`AfferentState::set`], which replaces per
+    /// source — so dropping the superseded payload is rank-neutral and the
+    /// stale bytes simply never reach the wire.
+    fn coalesce_parts(&mut self, parts: &mut Vec<YPart>) {
+        if parts.len() < 2 {
+            return;
+        }
+        let mut slot: HashMap<(GroupId, GroupId), usize> = HashMap::with_capacity(parts.len());
+        let mut kept: Vec<YPart> = Vec::with_capacity(parts.len());
+        for part in parts.drain(..) {
+            match slot.entry((part.src_group, part.dest_group)) {
+                Entry::Occupied(e) => {
+                    self.counters.coalesced_parts += 1;
+                    kept[*e.get()] = part;
+                }
+                Entry::Vacant(e) => {
+                    e.insert(kept.len());
+                    kept.push(part);
+                }
+            }
+        }
+        *parts = kept;
     }
 
     /// Serializes `bytes` through the node's uplink: returns the extra
@@ -415,6 +489,7 @@ impl NetNode {
         self.counters.bytes += bytes;
         let queueing = self.uplink_delay(ctx.now(), bytes);
         let delay = self.cfg.hop_latency + queueing + extra_delay;
+        let parts = Arc::new(parts);
         let seq = self.cfg.reliability.map(|rel| {
             let seq = self.next_seq;
             self.next_seq += 1;
@@ -422,7 +497,7 @@ impl NetNode {
                 seq,
                 PendingSend {
                     dst,
-                    parts: parts.clone(),
+                    parts: Arc::clone(&parts),
                     retries: 0,
                     deadline: ctx.now() + delay + rel.ack_timeout,
                     rto: rel.ack_timeout,
@@ -453,10 +528,12 @@ impl NetNode {
             self.counters.bytes += bytes;
             let queueing = self.uplink_delay(now, bytes);
             let delay = self.cfg.hop_latency + queueing;
+            // The retransmitted package shares the original's allocation:
+            // byte-for-byte the same payload, no copy.
             ctx.send_after(
                 p.dst,
                 delay,
-                NetMsg::Data { seq: Some(seq), package: Package(p.parts.clone()) },
+                NetMsg::Data { seq: Some(seq), package: Package(Arc::clone(&p.parts)) },
             );
             p.rto *= rel.backoff;
             p.deadline = now + delay + p.rto;
@@ -466,23 +543,47 @@ impl NetNode {
 
     /// Routes parts one overlay hop (indirect) or directly to the owner
     /// (direct), grouping by next hop so each neighbor gets one package.
-    fn dispatch(&mut self, ctx: &mut Ctx<'_, NetMsg>, parts: Vec<YPart>) {
+    /// With coalescing on, superseded same-`(src, dest)` parts are merged
+    /// away first and direct mode additionally batches everything bound
+    /// for one owner into a single package (one data message, one header;
+    /// every part's destination still pays its §4.5 lookup).
+    fn dispatch(&mut self, ctx: &mut Ctx<'_, NetMsg>, mut parts: Vec<YPart>) {
+        if self.cfg.coalesce {
+            self.coalesce_parts(&mut parts);
+        }
         match self.cfg.transmission {
+            Transmission::Direct if self.cfg.coalesce => {
+                // BTreeMap: package send order must be deterministic.
+                let mut by_owner: BTreeMap<NodeIndex, (u64, Vec<YPart>)> = BTreeMap::new();
+                for part in parts {
+                    let owner = self.owner_of.read()[part.dest_group as usize];
+                    if owner == self.me {
+                        self.deliver_local(&part);
+                        continue;
+                    }
+                    let hops = self.lookup_hops(part.dest_group);
+                    self.counters.lookup_messages += hops;
+                    self.counters.bytes += hops * self.cfg.lookup_bytes;
+                    let slot = by_owner.entry(owner).or_insert((0, Vec::new()));
+                    // The batch leaves once its slowest lookup resolves.
+                    slot.0 = slot.0.max(hops);
+                    slot.1.push(part);
+                }
+                for (owner, (hops, batch)) in by_owner {
+                    let lookup_delay = hops as f64 * self.cfg.hop_latency;
+                    self.transmit(ctx, owner, lookup_delay, batch);
+                }
+            }
             Transmission::Direct => {
                 for part in parts {
                     let owner = self.owner_of.read()[part.dest_group as usize];
                     if owner == self.me {
-                        self.deliver_local(part);
+                        self.deliver_local(&part);
                         continue;
                     }
                     // Pay the lookup: h messages of r bytes, plus latency
                     // before the data message can leave.
-                    let hops = self
-                        .overlay
-                        .read()
-                        .as_overlay()
-                        .route(self.me, self.key_of[part.dest_group as usize])
-                        .len() as u64;
+                    let hops = self.lookup_hops(part.dest_group);
                     self.counters.lookup_messages += hops;
                     self.counters.bytes += hops * self.cfg.lookup_bytes;
                     let lookup_delay = hops as f64 * self.cfg.hop_latency;
@@ -493,13 +594,8 @@ impl NetNode {
                 // BTreeMap: package send order must be deterministic.
                 let mut by_hop: BTreeMap<NodeIndex, Vec<YPart>> = BTreeMap::new();
                 for part in parts {
-                    let hop = self
-                        .overlay
-                        .read()
-                        .as_overlay()
-                        .next_hop(self.me, self.key_of[part.dest_group as usize]);
-                    match hop {
-                        None => self.deliver_local(part),
+                    match self.next_hop_for(part.dest_group) {
+                        None => self.deliver_local(&part),
                         Some(hop) => by_hop.entry(hop).or_default().push(part),
                     }
                 }
@@ -538,15 +634,21 @@ impl Actor for NetNode {
         }
 
         // 2. Forward buffered relay traffic (indirect transmission's
-        //    store-recombine-forward cycle).
-        if !self.relay.is_empty() {
-            let parts = std::mem::take(&mut self.relay);
-            self.dispatch(ctx, parts);
-        }
+        //    store-recombine-forward cycle). With coalescing on, relayed
+        //    parts and freshly produced Y share this wake's packages —
+        //    §4.4's merge at intermediate nodes.
+        let mut outgoing = if self.cfg.coalesce {
+            std::mem::take(&mut self.relay)
+        } else {
+            if !self.relay.is_empty() {
+                let parts = std::mem::take(&mut self.relay);
+                self.dispatch(ctx, parts);
+            }
+            Vec::new()
+        };
 
         // 3. Run the DPR loop body for every hosted group and collect the
         //    resulting Y parts.
-        let mut outgoing = Vec::new();
         for gi in 0..self.groups.len() {
             let gs = &mut self.groups[gi];
             if gs.ctx.n_local() == 0 {
@@ -600,9 +702,13 @@ impl Actor for NetNode {
                 package
             }
         };
-        for part in package.0 {
+        // Fire-and-forget packages arrive holding the last `Arc` reference,
+        // so the parts move out without a copy; only a reliable-mode sender
+        // still holding the payload for retransmission forces a clone.
+        let parts = Arc::try_unwrap(package.0).unwrap_or_else(|shared| (*shared).clone());
+        for part in parts {
             if self.owner_of.read()[part.dest_group as usize] == self.me {
-                self.deliver_local(part);
+                self.deliver_local(&part);
             } else {
                 // Buffer for the next wake; recombination with other parts
                 // for the same destination happens in dispatch().
@@ -623,10 +729,17 @@ pub struct NetRunResult {
     pub final_ranks: Vec<f64>,
     /// Summed per-node network counters.
     pub counters: NetCounters,
+    /// The same counters before summing, indexed by overlay node. Sends
+    /// (data, lookups, retries) are charged to the sender; acks and
+    /// duplicate suppressions to the receiver.
+    pub per_node: Vec<NetCounters>,
     /// Engine counters.
     pub sim_stats: SimStats,
     /// Measured mean route length between group publishers and owners.
     pub mean_route_hops: f64,
+    /// Route-cache hit/miss/invalidation counters for the whole run (all
+    /// misses when `route_cache` is off).
+    pub route_cache: RouteCacheStats,
 }
 
 /// One scheduled churn event, merged from `departures` and `joins`.
@@ -686,6 +799,11 @@ pub fn try_run_over_network(
     let owner_of: Arc<RwLock<Vec<NodeIndex>>> = Arc::new(RwLock::new(
         key_of.iter().map(|&k| overlay.read().as_overlay().responsible(k)).collect(),
     ));
+    let cache = Arc::new(RwLock::new(if cfg.route_cache {
+        RouteCache::new()
+    } else {
+        RouteCache::bypassed()
+    }));
 
     let partition = Partition::build(g, &cfg.strategy, cfg.k, 0);
     let reference = open_pagerank(g, &cfg.rank).ranks;
@@ -725,6 +843,7 @@ pub fn try_run_over_network(
             overlay: Arc::clone(&overlay),
             owner_of: Arc::clone(&owner_of),
             key_of: Arc::clone(&key_of),
+            cache: Arc::clone(&cache),
             relay: Vec::new(),
             cfg: Arc::clone(&cfg),
             mean_wait: waits.mean(i),
@@ -773,7 +892,9 @@ pub fn try_run_over_network(
                 ChurnEvent::Join { id_seed } => {
                     let mean_wait = waits.mean(cfg.n_nodes + joined);
                     joined += 1;
-                    apply_join(&mut sim, &overlay, &owner_of, &key_of, &cfg, mean_wait, id_seed);
+                    apply_join(
+                        &mut sim, &overlay, &owner_of, &key_of, &cache, &cfg, mean_wait, id_seed,
+                    );
                 }
             }
         }
@@ -783,23 +904,28 @@ pub fn try_run_over_network(
     }
 
     let final_ranks = assemble(sim.actors(), n_pages);
-    let counters = sim.actors().iter().fold(NetCounters::default(), |mut acc, n| {
-        acc.data_messages += n.counters.data_messages;
-        acc.lookup_messages += n.counters.lookup_messages;
-        acc.bytes += n.counters.bytes;
-        acc.retries += n.counters.retries;
-        acc.acks += n.counters.acks;
-        acc.duplicates_suppressed += n.counters.duplicates_suppressed;
-        acc.retry_exhausted += n.counters.retry_exhausted;
+    let per_node: Vec<NetCounters> = sim.actors().iter().map(|n| n.counters).collect();
+    let counters = per_node.iter().fold(NetCounters::default(), |mut acc, c| {
+        acc.data_messages += c.data_messages;
+        acc.lookup_messages += c.lookup_messages;
+        acc.bytes += c.bytes;
+        acc.retries += c.retries;
+        acc.acks += c.acks;
+        acc.duplicates_suppressed += c.duplicates_suppressed;
+        acc.retry_exhausted += c.retry_exhausted;
+        acc.coalesced_parts += c.coalesced_parts;
         acc
     });
+    let route_cache = cache.read().stats();
     Ok(NetRunResult {
         final_rel_err: vec_ops::relative_error(&final_ranks, &reference),
         rel_err,
         final_ranks,
         counters,
+        per_node,
         sim_stats: sim.stats(),
         mean_route_hops: if hop_count == 0 { 0.0 } else { hop_total as f64 / hop_count as f64 },
+        route_cache,
     })
 }
 
@@ -846,11 +972,13 @@ fn apply_departure(
 /// hands over the groups it is now responsible for *with their ranking
 /// state intact* — a graceful handoff, unlike the state loss of
 /// [`apply_departure`].
+#[allow(clippy::too_many_arguments)]
 fn apply_join(
     sim: &mut Simulation<NetNode>,
     overlay: &Arc<RwLock<AnyOverlay>>,
     owner_of: &Arc<RwLock<Vec<NodeIndex>>>,
     key_of: &Arc<Vec<u128>>,
+    cache: &Arc<RwLock<RouteCache>>,
     cfg: &Arc<NetRunConfig>,
     mean_wait: f64,
     id_seed: u64,
@@ -869,6 +997,7 @@ fn apply_join(
         overlay: Arc::clone(overlay),
         owner_of: Arc::clone(owner_of),
         key_of: Arc::clone(key_of),
+        cache: Arc::clone(cache),
         relay: Vec::new(),
         cfg: Arc::clone(cfg),
         mean_wait,
@@ -1226,6 +1355,158 @@ mod tests {
         assert_eq!(res.counters.retry_exhausted, 0);
         assert!(res.counters.acks >= res.counters.data_messages);
         assert!(res.final_rel_err < 1e-4);
+    }
+
+    #[test]
+    fn package_clones_share_the_payload_allocation() {
+        // The retransmit path clones `Package`s; payloads must be shared,
+        // never copied.
+        let parts = Arc::new(vec![YPart { src_group: 0, dest_group: 1, entries: vec![(0, 0.5)] }]);
+        let original = Package(Arc::clone(&parts));
+        let retransmitted = original.clone();
+        assert!(Arc::ptr_eq(&original.0, &retransmitted.0));
+    }
+
+    #[test]
+    fn retransmitted_bytes_match_the_original_send() {
+        // On a 2-node overlay every node's data packages have one constant
+        // payload size (the same parts structure every wake). Solve that
+        // size per node from a clean run, then check a partition-stressed
+        // run — where every data message past the first attempt is a
+        // retransmission sharing the original's payload — against the same
+        // per-node accounting identity: bytes = data·P + acks·header. Any
+        // retransmission that put different bytes on the wire than its
+        // original breaks the identity.
+        let g = toy::two_cliques(4);
+        let base = NetRunConfig {
+            k: 2,
+            n_nodes: 2,
+            strategy: Strategy::HashByUrl,
+            reliability: Some(Reliability::default()),
+            t_end: 120.0,
+            ..quick(Transmission::Indirect)
+        };
+        let clean = run_over_network(&g, base.clone());
+        let stressed = run_over_network(
+            &g,
+            NetRunConfig {
+                faults: Some(FaultPlan::new().with_latency(0.01).with_partition(20.0, 45.0, &[0])),
+                ..base
+            },
+        );
+        assert!(stressed.counters.retries > 0, "the partition must force retransmissions");
+        let hdr = 40u64;
+        // On two nodes each sender emits the same parts structure every
+        // wake, so all of one node's packages share a single payload size.
+        // Solve it from the per-node byte identity and require the
+        // partition-stressed run — where the extra data messages are
+        // retransmissions sharing the original send's payload — to satisfy
+        // the identity with the *same* size (both runs place groups
+        // identically).
+        let solve = |c: &NetCounters| {
+            if c.data_messages == 0 {
+                return None;
+            }
+            let payload = c.bytes - c.acks * hdr;
+            assert_eq!(
+                payload % c.data_messages,
+                0,
+                "bytes must be an integer number of equal-sized packages"
+            );
+            Some(payload / c.data_messages)
+        };
+        assert_eq!(clean.per_node.len(), stressed.per_node.len());
+        let mut senders = 0;
+        for (c, s) in clean.per_node.iter().zip(&stressed.per_node) {
+            assert_eq!(solve(c), solve(s));
+            senders += usize::from(c.data_messages > 0);
+        }
+        assert!(senders > 0, "the topology must produce cross-node traffic");
+        // And the retransmitted payloads were *correct*: ranking still
+        // reaches the centralized fixed point after the partition heals.
+        assert!(stressed.final_rel_err < 1e-3, "rel err {}", stressed.final_rel_err);
+    }
+
+    #[test]
+    fn coalescing_reduces_traffic_with_identical_final_ranks() {
+        // The golden on/off comparison: §4.4 coalescing may only change
+        // *cost* counters (down), never the ranks.
+        let g = toy::two_cliques(6);
+        let base = quick(Transmission::Indirect);
+        let on = run_over_network(&g, NetRunConfig { coalesce: true, ..base.clone() });
+        let off = run_over_network(&g, NetRunConfig { coalesce: false, ..base });
+        assert_eq!(
+            on.final_ranks.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+            off.final_ranks.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+            "coalescing must be rank-neutral"
+        );
+        assert!(on.counters.coalesced_parts > 0, "relayed duplicates must get merged");
+        assert_eq!(off.counters.coalesced_parts, 0);
+        // Merging same-(src, dest) parts shrinks packages; it only removes
+        // whole packages when a relay batch and the node's own output share
+        // a next hop, so messages are ≤ and bytes strictly <.
+        assert!(on.counters.data_messages <= off.counters.data_messages);
+        assert!(
+            on.counters.bytes < off.counters.bytes,
+            "coalescing must cut bytes: {} vs {}",
+            on.counters.bytes,
+            off.counters.bytes
+        );
+    }
+
+    #[test]
+    fn direct_coalescing_batches_per_owner() {
+        // With fewer nodes than groups every node hosts several groups, so
+        // a sender has multiple parts bound for the same owner per wake;
+        // §4.4 batching must collapse them into one data message each —
+        // while still pricing every part's own §4.5 lookup — without
+        // disturbing the final ranks.
+        let g = toy::two_cliques(6);
+        let base = NetRunConfig { n_nodes: 6, ..quick(Transmission::Direct) };
+        let on = run_over_network(&g, NetRunConfig { coalesce: true, ..base.clone() });
+        let off = run_over_network(&g, NetRunConfig { coalesce: false, ..base });
+        assert_eq!(
+            on.final_ranks.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+            off.final_ranks.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+            "batching must be rank-neutral"
+        );
+        assert!(
+            on.counters.data_messages < off.counters.data_messages,
+            "batching must cut data messages: {} vs {}",
+            on.counters.data_messages,
+            off.counters.data_messages
+        );
+        assert!(on.counters.bytes < off.counters.bytes);
+        assert_eq!(
+            on.counters.lookup_messages, off.counters.lookup_messages,
+            "batched parts still pay their own lookups"
+        );
+    }
+
+    #[test]
+    fn route_cache_is_invisible_to_results() {
+        // Cache on vs off: *everything* observable must be identical —
+        // ranks, §4.5 counters, engine stats. Only the hit/miss bookkeeping
+        // may differ.
+        let g = toy::two_cliques(5);
+        let base = NetRunConfig {
+            departures: vec![(60.0, 2), (90.0, 5)],
+            t_end: 250.0,
+            ..quick(Transmission::Indirect)
+        };
+        let cached = run_over_network(&g, NetRunConfig { route_cache: true, ..base.clone() });
+        let fresh = run_over_network(&g, NetRunConfig { route_cache: false, ..base });
+        assert_eq!(cached.final_ranks, fresh.final_ranks);
+        assert_eq!(cached.counters, fresh.counters);
+        assert_eq!(cached.sim_stats, fresh.sim_stats);
+        assert!(cached.route_cache.hits > 0);
+        assert_eq!(cached.route_cache.invalidations, 2, "one flush per departure");
+        assert_eq!(fresh.route_cache.hits, 0, "a bypassed cache never hits");
+        assert_eq!(
+            cached.route_cache.hits + cached.route_cache.misses,
+            fresh.route_cache.misses,
+            "both modes must count the same lookups"
+        );
     }
 
     #[test]

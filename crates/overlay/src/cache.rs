@@ -1,0 +1,263 @@
+//! Memoized overlay routing — the message-path hot cache.
+//!
+//! Every rank update in the networked runtime needs a routing decision:
+//! direct transmission resolves the full route to price the lookup (§4.5),
+//! indirect transmission resolves one next hop per forwarded package
+//! (§4.4). Both are pure functions of `(src, key)` *for a fixed topology*,
+//! and the topology changes only at discrete churn events — so between two
+//! joins/departs every lookup after the first is a repeat. [`RouteCache`]
+//! memoizes them and uses the overlay's [`Overlay::generation`] counter to
+//! drop every entry the moment membership changes, which keeps the
+//! invariant the rest of the system is built on:
+//!
+//! > a cached answer is always bit-identical to a freshly computed one.
+//!
+//! Because of that invariant the cache is invisible to simulation results
+//! (same ranks, same §4.5 counters, same `SimStats`); it only removes
+//! repeated route walks and their per-hop `Vec` allocations from the hot
+//! path. A [`RouteCache::bypassed`] instance keeps the same bookkeeping
+//! (every lookup counted as a miss) without storing anything, so benchmarks
+//! can report an honest allocations-per-delivery proxy for both modes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::{NodeIndex, Overlay};
+
+/// Hit/miss/invalidation counters for a [`RouteCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to walk the overlay (including every lookup of a
+    /// bypassed cache).
+    pub misses: u64,
+    /// Number of times a generation change flushed the cache.
+    pub invalidations: u64,
+}
+
+impl RouteCacheStats {
+    /// Fraction of lookups answered from the cache (0 when no lookups).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Component-wise difference, for measuring a steady-state window:
+    /// `later.delta(earlier)` is the traffic between two snapshots.
+    #[must_use]
+    pub fn delta(&self, earlier: &Self) -> Self {
+        Self {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            invalidations: self.invalidations - earlier.invalidations,
+        }
+    }
+}
+
+/// Generation-checked memo of `next_hop` and `route` lookups.
+///
+/// Keys are `(src, key)` pairs, so one shared cache behaves exactly like a
+/// per-source cache. Full routes are stored as `Arc<[NodeIndex]>`: repeated
+/// lookups hand out the same allocation instead of rebuilding the hop
+/// vector.
+#[derive(Debug, Default)]
+pub struct RouteCache {
+    /// Generation the entries were computed at; entries are flushed when
+    /// the overlay reports a different one.
+    generation: u64,
+    next_hops: HashMap<(NodeIndex, u128), Option<NodeIndex>>,
+    routes: HashMap<(NodeIndex, u128), Arc<[NodeIndex]>>,
+    stats: RouteCacheStats,
+    /// When set, nothing is stored and every lookup counts as a miss —
+    /// the "cache off" configuration with identical bookkeeping.
+    bypass: bool,
+}
+
+impl RouteCache {
+    /// An empty, active cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A cache that memoizes nothing: every lookup recomputes and counts
+    /// as a miss. Lets "cache off" runs share the cache-aware call sites.
+    #[must_use]
+    pub fn bypassed() -> Self {
+        Self { bypass: true, ..Self::default() }
+    }
+
+    /// Whether this instance actually stores entries.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        !self.bypass
+    }
+
+    /// Drops every entry if the overlay's topology generation moved since
+    /// the entries were computed.
+    fn sync(&mut self, net: &dyn Overlay) {
+        let gen = net.generation();
+        if gen != self.generation {
+            self.generation = gen;
+            if !(self.next_hops.is_empty() && self.routes.is_empty()) {
+                self.next_hops.clear();
+                self.routes.clear();
+                self.stats.invalidations += 1;
+            }
+        }
+    }
+
+    /// Memoized [`Overlay::next_hop`]. Identical to the overlay's answer
+    /// by construction: entries never survive a generation change.
+    pub fn next_hop(&mut self, net: &dyn Overlay, src: NodeIndex, key: u128) -> Option<NodeIndex> {
+        if self.bypass {
+            self.stats.misses += 1;
+            return net.next_hop(src, key);
+        }
+        self.sync(net);
+        if let Some(&hop) = self.next_hops.get(&(src, key)) {
+            self.stats.hits += 1;
+            return hop;
+        }
+        self.stats.misses += 1;
+        let hop = net.next_hop(src, key);
+        self.next_hops.insert((src, key), hop);
+        hop
+    }
+
+    /// Memoized [`Overlay::route`], shared without copying the hop vector.
+    pub fn route(&mut self, net: &dyn Overlay, src: NodeIndex, key: u128) -> Arc<[NodeIndex]> {
+        if self.bypass {
+            self.stats.misses += 1;
+            return net.route(src, key).into();
+        }
+        self.sync(net);
+        if let Some(path) = self.routes.get(&(src, key)) {
+            self.stats.hits += 1;
+            return Arc::clone(path);
+        }
+        self.stats.misses += 1;
+        let path: Arc<[NodeIndex]> = net.route(src, key).into();
+        self.routes.insert((src, key), Arc::clone(&path));
+        path
+    }
+
+    /// Hop count of the memoized route — the `h` that §4.5 charges per
+    /// direct-transmission lookup.
+    pub fn route_hops(&mut self, net: &dyn Overlay, src: NodeIndex, key: u128) -> usize {
+        self.route(net, src, key).len()
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> RouteCacheStats {
+        self.stats
+    }
+
+    /// Number of memoized entries (next-hop plus full-route).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.next_hops.len() + self.routes.len()
+    }
+
+    /// Whether the cache currently holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::key_from_u64;
+    use crate::{ChordNetwork, PastryNetwork};
+
+    #[test]
+    fn repeated_lookups_hit() {
+        let net = PastryNetwork::with_nodes(64, 9);
+        let mut cache = RouteCache::new();
+        let key = key_from_u64(42);
+        let first = cache.next_hop(&net, 3, key);
+        let second = cache.next_hop(&net, 3, key);
+        assert_eq!(first, second);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn cached_routes_match_fresh_routes() {
+        let net = PastryNetwork::with_nodes(100, 17);
+        let mut cache = RouteCache::new();
+        for pass in 0..2 {
+            for k in 0..50u64 {
+                let key = key_from_u64(k);
+                for src in [0usize, 13, 99] {
+                    let cached = cache.route(&net, src, key);
+                    assert_eq!(cached.as_ref(), net.route(src, key).as_slice());
+                    assert_eq!(cache.next_hop(&net, src, key), net.next_hop(src, key));
+                }
+            }
+            if pass == 1 {
+                assert_eq!(cache.stats().hits, 300, "second pass must hit on every lookup");
+            }
+        }
+    }
+
+    #[test]
+    fn depart_invalidates() {
+        let mut net = PastryNetwork::with_nodes(32, 5);
+        let mut cache = RouteCache::new();
+        let key = key_from_u64(7);
+        let stale = cache.next_hop(&net, 1, key);
+        let _ = stale;
+        net.depart(net.responsible(key));
+        // Post-churn answers must be recomputed, not replayed.
+        assert_eq!(cache.next_hop(&net, 1, key), net.next_hop(1, key));
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn chord_departs_bump_generation() {
+        let mut net = ChordNetwork::with_nodes(16, 3);
+        assert_eq!(net.generation(), 0);
+        net.depart(5);
+        assert_eq!(net.generation(), 1);
+        net.depart(6);
+        assert_eq!(net.generation(), 2);
+    }
+
+    #[test]
+    fn bypassed_cache_stores_nothing_and_counts_misses() {
+        let net = ChordNetwork::with_nodes(32, 11);
+        let mut cache = RouteCache::bypassed();
+        let key = key_from_u64(9);
+        for _ in 0..3 {
+            assert_eq!(cache.next_hop(&net, 2, key), net.next_hop(2, key));
+        }
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 3);
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn stats_delta_isolates_a_window() {
+        let net = PastryNetwork::with_nodes(16, 21);
+        let mut cache = RouteCache::new();
+        let key = key_from_u64(1);
+        cache.next_hop(&net, 0, key); // miss
+        let snapshot = cache.stats();
+        cache.next_hop(&net, 0, key); // hit
+        cache.next_hop(&net, 0, key); // hit
+        let window = cache.stats().delta(&snapshot);
+        assert_eq!(window, RouteCacheStats { hits: 2, misses: 0, invalidations: 0 });
+        assert_eq!(window.hit_rate(), 1.0);
+    }
+}

@@ -18,12 +18,18 @@ pub struct ChordNetwork {
     ids: Vec<u64>,
     /// Live handles sorted by id (the ring order).
     order: Vec<u32>,
+    /// `rank[h]` = position of live handle `h` in `order` (stale for
+    /// departed handles, which never route).
+    rank: Vec<u32>,
     /// `fingers[h][i]` = handle of `successor(ids[h] + 2^i)`, deduplicated.
     fingers: Vec<Vec<u32>>,
     /// Number of successors each node tracks (Chord's successor list).
     n_successors: usize,
     /// Liveness per handle; departed nodes keep their slot.
     alive: Vec<bool>,
+    /// Topology version for [`crate::RouteCache`] invalidation; bumped by
+    /// every `depart`.
+    generation: u64,
 }
 
 impl ChordNetwork {
@@ -48,12 +54,18 @@ impl ChordNetwork {
             order.windows(2).all(|w| ids[w[0] as usize] != ids[w[1] as usize]),
             "duplicate node ids"
         );
+        let mut rank = vec![0u32; n];
+        for (pos, &h) in order.iter().enumerate() {
+            rank[h as usize] = pos as u32;
+        }
         let mut net = Self {
             ids,
             order,
+            rank,
             fingers: Vec::new(),
             n_successors: 4.min(n - 1).max(1),
             alive: vec![true; n],
+            generation: 0,
         };
         net.rebuild_fingers();
         net
@@ -107,9 +119,12 @@ impl ChordNetwork {
         assert!(self.alive[h], "node {h} already departed");
         assert!(self.order.len() > 1, "cannot remove the last node");
         self.alive[h] = false;
-        let pos = self.order.iter().position(|&o| o == h as u32).expect("handle in ring");
-        self.order.remove(pos);
+        self.order.remove(self.rank[h] as usize);
+        for (pos, &o) in self.order.iter().enumerate() {
+            self.rank[o as usize] = pos as u32;
+        }
         self.rebuild_fingers();
+        self.generation += 1;
     }
 
     /// The ring id of node `h`.
@@ -126,19 +141,22 @@ impl ChordNetwork {
 
     /// Successor of node `h` on the ring.
     fn ring_successor(&self, h: NodeIndex) -> u32 {
-        let pos = self.order.iter().position(|&o| o == h as u32).expect("handle in ring");
+        debug_assert!(self.alive[h], "ring position of departed node {h}");
+        let pos = self.rank[h] as usize;
         self.order[(pos + 1) % self.order.len()]
     }
 
-    /// The node's successor list (ring-clockwise neighbors), capped to the
-    /// current live membership so shrunken rings don't repeat entries.
-    fn successor_list(&self, h: NodeIndex) -> Vec<u32> {
-        let pos = self.order.iter().position(|&o| o == h as u32).expect("handle in ring");
+    /// The node's successor handles (ring-clockwise neighbors), capped to
+    /// the current live membership so shrunken rings don't repeat entries.
+    /// Returned as an iterator: `next_hop` runs per forwarded message and
+    /// must not allocate a successor vector each time.
+    fn successors(&self, h: NodeIndex) -> impl Iterator<Item = u32> + '_ {
+        debug_assert!(self.alive[h], "ring position of departed node {h}");
+        let pos = self.rank[h] as usize;
         let k_max = self.n_successors.min(self.order.len().saturating_sub(1));
         (1..=k_max)
-            .map(|k| self.order[(pos + k) % self.order.len()])
-            .filter(|&s| s != h as u32)
-            .collect()
+            .map(move |k| self.order[(pos + k) % self.order.len()])
+            .filter(move |&s| s != h as u32)
     }
 
     /// Clockwise distance from `a` to `b` on the ring.
@@ -192,7 +210,7 @@ impl Overlay for ChordNetwork {
         let my = self.ids[src];
         let key_dist = Self::clockwise(my, k);
         let mut best: Option<(u64, u32)> = None;
-        for &f in self.fingers[src].iter().chain(self.successor_list(src).iter()) {
+        for f in self.fingers[src].iter().copied().chain(self.successors(src)) {
             let d = Self::clockwise(my, self.ids[f as usize]);
             if d > 0 && d < key_dist && best.is_none_or(|(bd, _)| d > bd) {
                 best = Some((d, f));
@@ -210,7 +228,7 @@ impl Overlay for ChordNetwork {
             return Vec::new();
         }
         let mut out: Vec<NodeIndex> = self.fingers[idx].iter().map(|&f| f as NodeIndex).collect();
-        out.extend(self.successor_list(idx).iter().map(|&s| s as NodeIndex));
+        out.extend(self.successors(idx).map(|s| s as NodeIndex));
         out.sort_unstable();
         out.dedup();
         out.retain(|&h| h != idx);
@@ -219,6 +237,10 @@ impl Overlay for ChordNetwork {
 
     fn is_live(&self, idx: NodeIndex) -> bool {
         self.alive[idx]
+    }
+
+    fn generation(&self) -> u64 {
+        self.generation
     }
 }
 

@@ -41,12 +41,14 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod can;
 pub mod chord;
 pub mod id;
 pub mod metrics;
 pub mod pastry;
 
+pub use cache::{RouteCache, RouteCacheStats};
 pub use can::CanNetwork;
 pub use chord::ChordNetwork;
 pub use id::NodeId;
@@ -90,6 +92,15 @@ pub trait Overlay {
     /// handles stable (for id reuse safety) and reports them dead here.
     fn is_live(&self, _idx: NodeIndex) -> bool {
         true
+    }
+
+    /// Monotone topology version, bumped on every mutation that can change
+    /// a routing decision (`join`, `depart`, `repair`). [`RouteCache`]
+    /// compares it against the generation its entries were computed at, so
+    /// a cached route can never outlive the membership that produced it.
+    /// Overlays with static membership keep the default constant `0`.
+    fn generation(&self) -> u64 {
+        0
     }
 
     /// Mean neighbor-set size `g` over live nodes (the constant in

@@ -72,6 +72,9 @@ pub struct PastryNetwork {
     /// network distance drops.
     locations: Option<Vec<(f64, f64)>>,
     leaf_half: usize,
+    /// Topology version for [`crate::RouteCache`] invalidation; bumped by
+    /// every `join`/`depart`/`repair`.
+    generation: u64,
 }
 
 impl PastryNetwork {
@@ -178,6 +181,7 @@ impl PastryNetwork {
             alive: vec![true; n],
             locations: None,
             leaf_half: DEFAULT_LEAF_HALF,
+            generation: 0,
         };
         for h in 0..n {
             let t = net.build_table_for(Some(h), net.nodes[h]);
@@ -316,9 +320,17 @@ impl PastryNetwork {
     #[must_use]
     pub fn leaf_set(&self, h: NodeIndex) -> Vec<NodeIndex> {
         let r = self.rank[h] as usize;
+        self.leaf_positions(h).filter(|&p| p != r).map(|p| self.order[p] as NodeIndex).collect()
+    }
+
+    /// Sorted-order positions spanned by `h`'s leaf set, *including* `h`'s
+    /// own position. `next_hop` iterates this range directly so the routing
+    /// hot path never materializes a leaf-set vector.
+    fn leaf_positions(&self, h: NodeIndex) -> std::ops::Range<usize> {
+        let r = self.rank[h] as usize;
         let lo = r.saturating_sub(self.leaf_half);
         let hi = (r + self.leaf_half + 1).min(self.order.len());
-        (lo..hi).filter(|&p| p != r).map(|p| self.order[p] as NodeIndex).collect()
+        lo..hi
     }
 
     /// Incremental join: derives a fresh id from `seed`, routes a join
@@ -414,6 +426,7 @@ impl PastryNetwork {
                 self.tables[other].rows[r][d] = h as u32;
             }
         }
+        self.generation += 1;
         h
     }
 }
@@ -450,6 +463,7 @@ impl PastryNetwork {
         for (p, &o) in self.order.iter().enumerate() {
             self.rank[o as usize] = p as u32;
         }
+        self.generation += 1;
     }
 
     /// Rebuilds every live node's routing table from the current
@@ -461,6 +475,7 @@ impl PastryNetwork {
                 self.tables[h] = self.build_table_for(Some(h), self.nodes[h]);
             }
         }
+        self.generation += 1;
     }
 }
 
@@ -516,9 +531,11 @@ impl Overlay for PastryNetwork {
         let my_dist = my.distance(target);
 
         // (1) Leaf-set delivery: if the responsible node is within our leaf
-        //     span, hop straight to the numerically closest leaf.
-        let leaves = self.leaf_set(src);
-        if leaves.contains(&resp) {
+        //     span, hop straight to the numerically closest leaf. Leaf-set
+        //     membership is a rank-range check on the sorted order, so no
+        //     vector is allocated per hop.
+        let leaf_range = self.leaf_positions(src);
+        if leaf_range.contains(&(self.rank[resp] as usize)) {
             return Some(resp);
         }
 
@@ -551,8 +568,11 @@ impl Overlay for PastryNetwork {
                 best = Some((d, h));
             }
         };
-        for h in &leaves {
-            consider(*h);
+        for p in leaf_range.clone() {
+            let h = self.order[p] as NodeIndex;
+            if h != src {
+                consider(h);
+            }
         }
         for row in &self.tables[src].rows {
             for &e in row.iter() {
@@ -564,7 +584,11 @@ impl Overlay for PastryNetwork {
         if best.is_none() {
             // Fall back to pure leaf-walking (strictly decreasing distance,
             // no prefix requirement) — guarantees termination.
-            for h in leaves {
+            for p in leaf_range {
+                let h = self.order[p] as NodeIndex;
+                if h == src {
+                    continue;
+                }
                 let d = self.nodes[h].distance(target);
                 if d < my_dist && best.is_none_or(|(bd, _)| d < bd) {
                     best = Some((d, h));
@@ -576,6 +600,10 @@ impl Overlay for PastryNetwork {
 
     fn is_live(&self, idx: NodeIndex) -> bool {
         self.alive[idx]
+    }
+
+    fn generation(&self) -> u64 {
+        self.generation
     }
 
     fn neighbors(&self, idx: NodeIndex) -> Vec<NodeIndex> {

@@ -355,7 +355,7 @@ impl<A: Actor> Simulation<A> {
             }
             self.step();
         }
-        self.now = self.now.max(t_end.min(self.now.max(t_end)));
+        self.now = self.now.max(t_end);
     }
 
     /// Runs in slices of `sample_every` virtual-time units, calling
