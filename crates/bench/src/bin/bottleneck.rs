@@ -7,7 +7,7 @@
 //!
 //! Usage: `bottleneck [--pages N] [--k K] [--t-end T]`
 
-use dpr_bench::{arg, parse_args, write_json};
+use dpr_bench::BenchArgs;
 use dpr_core::{try_run_over_network, NetRunConfig, OverlayKind, Transmission};
 use dpr_graph::generators::edu::{edu_domain, EduDomainConfig};
 use dpr_partition::Strategy;
@@ -30,11 +30,11 @@ struct OverlayRow {
 }
 
 fn main() {
-    let args = parse_args(std::env::args().skip(1));
-    let pages = arg(&args, "pages", 10_000usize);
-    let k = arg(&args, "k", 64usize);
-    let t_end = arg(&args, "t-end", 400.0f64);
-    let seed = arg(&args, "seed", 5u64);
+    let args = BenchArgs::from_env("bottleneck");
+    let pages = args.get("pages", 10_000usize);
+    let k = args.get("k", 64usize);
+    let t_end = args.get("t-end", 400.0f64);
+    let seed = args.get("seed", 5u64);
 
     eprintln!("[bottleneck] generating edu-domain graph: {pages} pages");
     let g =
@@ -111,8 +111,7 @@ fn main() {
     }
     println!("\n(Longer CAN/Chord routes mean more forwarded bytes for the same exchange — the reason §4.5 assumes Pastry.)");
 
-    match write_json("bottleneck", &(rows, orows)) {
-        Ok(path) => eprintln!("[bottleneck] wrote {}", path.display()),
-        Err(e) => eprintln!("[bottleneck] JSON write failed: {e}"),
+    if let Err(e) = args.emit(&(rows, orows)) {
+        eprintln!("[bottleneck] JSON write failed: {e}");
     }
 }

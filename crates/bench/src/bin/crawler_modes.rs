@@ -5,7 +5,7 @@
 //!
 //! Usage: `crawler_modes [--web-pages N] [--sites S] [--max-agents A]`
 
-use dpr_bench::{arg, parse_args, write_json};
+use dpr_bench::BenchArgs;
 use dpr_crawl::crawler::parallel_crawl;
 use dpr_crawl::{crawl_to_graph, CrawlBudget, HiddenWeb, HiddenWebConfig, Mode};
 use dpr_graph::GraphStats;
@@ -23,10 +23,10 @@ struct Row {
 }
 
 fn main() {
-    let args = parse_args(std::env::args().skip(1));
-    let web_pages = arg(&args, "web-pages", 100_000u64);
-    let sites = arg(&args, "sites", 100usize);
-    let max_agents = arg(&args, "max-agents", 16usize);
+    let args = BenchArgs::from_env("crawler_modes");
+    let web_pages = args.get("web-pages", 100_000u64);
+    let sites = args.get("sites", 100usize);
+    let max_agents = args.get("max-agents", 16usize);
 
     let web = HiddenWeb::new(HiddenWebConfig {
         total_pages: web_pages,
@@ -89,8 +89,7 @@ fn main() {
          site partitioning cheap.)"
     );
 
-    match write_json("crawler_modes", &rows) {
-        Ok(path) => eprintln!("[crawl] wrote {}", path.display()),
-        Err(e) => eprintln!("[crawl] JSON write failed: {e}"),
+    if let Err(e) = args.emit(&rows) {
+        eprintln!("[crawl] JSON write failed: {e}");
     }
 }

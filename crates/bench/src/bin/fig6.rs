@@ -10,23 +10,23 @@
 //! Usage: `fig6 [--pages N] [--sites S] [--k K] [--t-end T] [--variant dpr1|dpr2] [--full]`
 //! `--full` uses the paper's dataset scale (1M pages / 15M links).
 
-use dpr_bench::{arg, ascii_chart, flag, parse_args, series_payload, write_json};
+use dpr_bench::{ascii_chart, series_payload, BenchArgs};
 use dpr_core::{run_distributed, DistributedRunConfig, DprVariant};
 use dpr_graph::generators::edu::{edu_domain, EduDomainConfig};
 use dpr_partition::Strategy;
 
 fn main() {
-    let args = parse_args(std::env::args().skip(1));
-    let full = flag(&args, "full");
-    let pages = arg(&args, "pages", if full { 1_000_000 } else { 50_000 });
-    let sites = arg(&args, "sites", 100usize);
-    let k = arg(&args, "k", 1_000usize);
-    let t_end = arg(&args, "t-end", 100.0f64);
-    let variant = match args.get("variant").map(String::as_str) {
+    let args = BenchArgs::from_env("fig6");
+    let full = args.flag("full");
+    let pages = args.get("pages", if full { 1_000_000 } else { 50_000 });
+    let sites = args.get("sites", 100usize);
+    let k = args.get("k", 1_000usize);
+    let t_end = args.get("t-end", 100.0f64);
+    let variant = match args.raw("variant") {
         Some("dpr2") => DprVariant::Dpr2,
         _ => DprVariant::Dpr1,
     };
-    let seed = arg(&args, "seed", 42u64);
+    let seed = args.get("seed", 42u64);
 
     eprintln!("[fig6] generating edu-domain graph: {pages} pages, {sites} sites");
     let g = edu_domain(&EduDomainConfig {
@@ -97,8 +97,7 @@ fn main() {
     }
 
     let payload = series_payload(&refs);
-    match write_json("fig6", &payload) {
-        Ok(path) => eprintln!("[fig6] wrote {}", path.display()),
-        Err(e) => eprintln!("[fig6] JSON write failed: {e}"),
+    if let Err(e) = args.emit(&payload) {
+        eprintln!("[fig6] JSON write failed: {e}");
     }
 }

@@ -8,7 +8,7 @@
 //!
 //! Usage: `fig8 [--pages N] [--sites S] [--t-end T] [--threshold E] [--max-k K] [--full]`
 
-use dpr_bench::{arg, flag, parse_args, write_json};
+use dpr_bench::BenchArgs;
 use dpr_core::centralized::open_pagerank_iterations_to;
 use dpr_core::{run_distributed, DistributedRunConfig, DprVariant, RankConfig};
 use dpr_graph::generators::edu::{edu_domain, EduDomainConfig};
@@ -24,17 +24,17 @@ struct Fig8Row {
 }
 
 fn main() {
-    let args = parse_args(std::env::args().skip(1));
-    let full = flag(&args, "full");
-    let pages = arg(&args, "pages", if full { 1_000_000 } else { 50_000 });
-    let sites = arg(&args, "sites", 100usize);
-    let t_end = arg(&args, "t-end", 3_000.0f64);
-    let threshold = arg(&args, "threshold", 1e-4f64); // 0.01%
-    let max_k = arg(&args, "max-k", 10_000usize);
-    let seed = arg(&args, "seed", 3u64);
+    let args = BenchArgs::from_env("fig8");
+    let full = args.flag("full");
+    let pages = args.get("pages", if full { 1_000_000 } else { 50_000 });
+    let sites = args.get("sites", 100usize);
+    let t_end = args.get("t-end", 3_000.0f64);
+    let threshold = args.get("threshold", 1e-4f64); // 0.01%
+    let max_k = args.get("max-k", 10_000usize);
+    let seed = args.get("seed", 3u64);
     // Exponential think times make a single run's iteration count noisy;
     // average a few independent schedules like any asynchronous measurement.
-    let trials = arg(&args, "trials", 3u64);
+    let trials = args.get("trials", 3u64);
 
     eprintln!("[fig8] generating edu-domain graph: {pages} pages, {sites} sites");
     let g = edu_domain(&EduDomainConfig {
@@ -120,8 +120,7 @@ fn main() {
         / dpr1s.iter().fold(f64::INFINITY, |a, &b| a.min(b)).max(1e-9);
     println!("  K has little effect (DPR1 max/min ratio):   {spread:.2}");
 
-    match write_json("fig8", &rows) {
-        Ok(path) => eprintln!("[fig8] wrote {}", path.display()),
-        Err(e) => eprintln!("[fig8] JSON write failed: {e}"),
+    if let Err(e) = args.emit(&rows) {
+        eprintln!("[fig8] JSON write failed: {e}");
     }
 }

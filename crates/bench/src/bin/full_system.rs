@@ -7,7 +7,7 @@
 //!
 //! Usage: `full_system [--pages N] [--sites S] [--k K] [--nodes N] [--t-end T]`
 
-use dpr_bench::{arg, parse_args, write_json};
+use dpr_bench::BenchArgs;
 use dpr_core::{try_run_over_network, NetRunConfig, Transmission};
 use dpr_graph::generators::edu::{edu_domain, EduDomainConfig};
 use dpr_partition::Strategy;
@@ -25,13 +25,13 @@ struct Row {
 }
 
 fn main() {
-    let args = parse_args(std::env::args().skip(1));
-    let pages = arg(&args, "pages", 20_000usize);
-    let sites = arg(&args, "sites", 100usize);
-    let k = arg(&args, "k", 100usize);
-    let n_nodes = arg(&args, "nodes", 100usize);
-    let t_end = arg(&args, "t-end", 120.0f64);
-    let seed = arg(&args, "seed", 17u64);
+    let args = BenchArgs::from_env("full_system");
+    let pages = args.get("pages", 20_000usize);
+    let sites = args.get("sites", 100usize);
+    let k = args.get("k", 100usize);
+    let n_nodes = args.get("nodes", 100usize);
+    let t_end = args.get("t-end", 120.0f64);
+    let seed = args.get("seed", 17u64);
 
     eprintln!("[full_system] generating edu-domain graph: {pages} pages, {sites} sites");
     let g = edu_domain(&EduDomainConfig {
@@ -94,8 +94,7 @@ fn main() {
         i.megabytes / d.megabytes.max(1e-9),
     );
 
-    match write_json("full_system", &rows) {
-        Ok(path) => eprintln!("[full_system] wrote {}", path.display()),
-        Err(e) => eprintln!("[full_system] JSON write failed: {e}"),
+    if let Err(e) = args.emit(&rows) {
+        eprintln!("[full_system] JSON write failed: {e}");
     }
 }

@@ -5,7 +5,7 @@
 //!
 //! Usage: `hops [--max-n N] [--samples S]`
 
-use dpr_bench::{arg, parse_args, write_json};
+use dpr_bench::BenchArgs;
 use dpr_model::pastry_hops;
 use dpr_overlay::{avg_route_hops, CanNetwork, ChordNetwork, PastryNetwork};
 use serde::Serialize;
@@ -25,9 +25,9 @@ struct Row {
 }
 
 fn main() {
-    let args = parse_args(std::env::args().skip(1));
-    let max_n = arg(&args, "max-n", 100_000usize);
-    let samples = arg(&args, "samples", 2_000usize);
+    let args = BenchArgs::from_env("hops");
+    let max_n = args.get("max-n", 100_000usize);
+    let samples = args.get("samples", 2_000usize);
 
     let ns: Vec<usize> =
         [100usize, 1_000, 10_000, 100_000].into_iter().filter(|&n| n <= max_n).collect();
@@ -104,8 +104,7 @@ fn main() {
         100.0 * (1.0 - d_pns / d_plain)
     );
 
-    match write_json("hops", &rows) {
-        Ok(path) => eprintln!("[hops] wrote {}", path.display()),
-        Err(e) => eprintln!("[hops] JSON write failed: {e}"),
+    if let Err(e) = args.emit(&rows) {
+        eprintln!("[hops] JSON write failed: {e}");
     }
 }

@@ -23,7 +23,7 @@
 
 use std::time::Instant;
 
-use dpr_bench::{arg, flag, parse_args, write_json};
+use dpr_bench::BenchArgs;
 use dpr_core::{try_run_over_network, NetRunConfig, Transmission};
 use dpr_graph::generators::edu::{edu_domain, EduDomainConfig};
 use dpr_graph::WebGraph;
@@ -132,15 +132,15 @@ fn run_mode(
 }
 
 fn main() {
-    let args = parse_args(std::env::args().skip(1));
-    let quick = flag(&args, "quick");
-    let pages = arg(&args, "pages", if quick { 800 } else { 2_000usize });
-    let sites = arg(&args, "sites", if quick { 10 } else { 20usize });
+    let args = BenchArgs::from_env("netrun_hotpath");
+    let quick = args.flag("quick");
+    let pages = args.get("pages", if quick { 800 } else { 2_000usize });
+    let sites = args.get("sites", if quick { 10 } else { 20usize });
     // Many small groups: the regime §4.5 prices, where per-part headers
     // and lookups are a large share of the wire and coalescing pays most.
-    let groups = arg(&args, "groups", if quick { 64 } else { 128usize });
-    let nodes = arg(&args, "nodes", 16usize);
-    let t_end = arg(&args, "t-end", if quick { 60.0 } else { 200.0f64 });
+    let groups = args.get("groups", if quick { 64 } else { 128usize });
+    let nodes = args.get("nodes", 16usize);
+    let t_end = args.get("t-end", if quick { 60.0 } else { 200.0f64 });
 
     eprintln!(
         "[netrun_hotpath] edu-domain graph: {pages} pages, {sites} sites; \
@@ -214,11 +214,5 @@ fn main() {
         }
     }
 
-    let path = write_json("netrun_hotpath", &payload).expect("write experiment json");
-    eprintln!("[netrun_hotpath] wrote {}", path.display());
-    if let Some(out) = args.get("out") {
-        let text = serde_json::to_string_pretty(&payload).expect("serializable payload");
-        std::fs::write(out, text + "\n").expect("write --out path");
-        eprintln!("[netrun_hotpath] wrote {out}");
-    }
+    args.emit(&payload).expect("write experiment json");
 }

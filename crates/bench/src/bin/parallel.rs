@@ -15,7 +15,7 @@
 
 use std::time::Instant;
 
-use dpr_bench::{arg, parse_args, write_json};
+use dpr_bench::BenchArgs;
 use dpr_core::{open_pagerank_with_pool, RankConfig};
 use dpr_graph::generators::edu::{edu_domain, EduDomainConfig};
 use dpr_linalg::Pool;
@@ -50,13 +50,11 @@ struct Payload {
 }
 
 fn main() {
-    let args = parse_args(std::env::args().skip(1));
-    let pages = arg(&args, "pages", 100_000usize);
-    let sites = arg(&args, "sites", 100usize);
-    let reps = arg(&args, "reps", 3usize);
-    let workers_csv = args.get("workers").cloned().unwrap_or_else(|| "1,2,4,8".to_string());
-    let worker_counts: Vec<usize> =
-        workers_csv.split(',').filter_map(|w| w.trim().parse().ok()).collect();
+    let args = BenchArgs::from_env("parallel");
+    let pages = args.get("pages", 100_000usize);
+    let sites = args.get("sites", 100usize);
+    let reps = args.get("reps", 3usize);
+    let worker_counts: Vec<usize> = args.list("workers", "1,2,4,8");
     assert!(!worker_counts.is_empty(), "--workers must list at least one count");
 
     let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
@@ -135,11 +133,5 @@ fn main() {
     }
 
     let payload = Payload { pages, sites, reps, host_threads, rows };
-    let path = write_json("parallel", &payload).expect("write experiment json");
-    eprintln!("[parallel] wrote {}", path.display());
-    if let Some(out) = args.get("out") {
-        let text = serde_json::to_string_pretty(&payload).expect("serializable payload");
-        std::fs::write(out, text + "\n").expect("write --out path");
-        eprintln!("[parallel] wrote {out}");
-    }
+    args.emit(&payload).expect("write experiment json");
 }

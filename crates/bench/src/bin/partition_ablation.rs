@@ -8,7 +8,7 @@
 //!
 //! Usage: `partition_ablation [--pages N] [--sites S] [--k K]`
 
-use dpr_bench::{arg, parse_args, write_json};
+use dpr_bench::BenchArgs;
 use dpr_graph::generators::edu::{edu_domain, EduDomainConfig};
 use dpr_graph::refresh::recrawl;
 use dpr_partition::{Partition, PartitionMetrics, Strategy};
@@ -26,10 +26,10 @@ struct Row {
 }
 
 fn main() {
-    let args = parse_args(std::env::args().skip(1));
-    let pages = arg(&args, "pages", 100_000usize);
-    let sites = arg(&args, "sites", 100usize);
-    let k = arg(&args, "k", 64usize);
+    let args = BenchArgs::from_env("partition_ablation");
+    let pages = args.get("pages", 100_000usize);
+    let sites = args.get("sites", 100usize);
+    let k = args.get("k", 64usize);
 
     eprintln!("[partition] generating edu-domain graph: {pages} pages, {sites} sites");
     let g = edu_domain(&EduDomainConfig {
@@ -89,8 +89,7 @@ fn main() {
         site.recrawl_stability * 100.0
     );
 
-    match write_json("partition_ablation", &rows) {
-        Ok(path) => eprintln!("[partition] wrote {}", path.display()),
-        Err(e) => eprintln!("[partition] JSON write failed: {e}"),
+    if let Err(e) = args.emit(&rows) {
+        eprintln!("[partition] JSON write failed: {e}");
     }
 }

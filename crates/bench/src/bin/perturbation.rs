@@ -10,7 +10,7 @@
 //!
 //! Usage: `perturbation [--pages N] [--sites S] [--site SID]`
 
-use dpr_bench::{arg, parse_args, write_json};
+use dpr_bench::BenchArgs;
 use dpr_core::{open_pagerank, RankConfig};
 use dpr_graph::analysis::bfs_distance;
 use dpr_graph::generators::edu::{edu_domain, EduDomainConfig};
@@ -57,10 +57,10 @@ fn rewire_site(g: &WebGraph, site: u32) -> WebGraph {
 }
 
 fn main() {
-    let args = parse_args(std::env::args().skip(1));
-    let pages = arg(&args, "pages", 50_000usize);
-    let sites = arg(&args, "sites", 100usize);
-    let site = arg(&args, "site", 5u32);
+    let args = BenchArgs::from_env("perturbation");
+    let pages = args.get("pages", 50_000usize);
+    let sites = args.get("sites", 100usize);
+    let site = args.get("site", 5u32);
 
     eprintln!("[perturbation] generating edu-domain graph: {pages} pages");
     let g = edu_domain(&EduDomainConfig {
@@ -117,8 +117,7 @@ fn main() {
         near / far.max(1e-300)
     );
 
-    match write_json("perturbation", &rows) {
-        Ok(path) => eprintln!("[perturbation] wrote {}", path.display()),
-        Err(e) => eprintln!("[perturbation] JSON write failed: {e}"),
+    if let Err(e) = args.emit(&rows) {
+        eprintln!("[perturbation] JSON write failed: {e}");
     }
 }

@@ -7,16 +7,16 @@
 //! (defaults are the paper's constants). Also cross-checks the Pastry hop
 //! constants against a measured overlay at 1 000 nodes.
 
-use dpr_bench::{arg, parse_args, write_json};
+use dpr_bench::BenchArgs;
 use dpr_model::{pastry_hops, render_table1, CapacityModel};
 use dpr_overlay::{avg_route_hops, PastryNetwork};
 
 fn main() {
-    let args = parse_args(std::env::args().skip(1));
+    let args = BenchArgs::from_env("table1");
     let model = CapacityModel {
-        total_pages: arg(&args, "pages", 3.0e9),
-        link_record_bytes: arg(&args, "record-bytes", 100.0),
-        usable_bisection_bytes_per_sec: arg(&args, "bisection-mb", 100.0) * 1e6,
+        total_pages: args.get("pages", 3.0e9),
+        link_record_bytes: args.get("record-bytes", 100.0),
+        usable_bisection_bytes_per_sec: args.get("bisection-mb", 100.0) * 1e6,
     };
 
     let rows: Vec<_> = [1_000u64, 10_000, 100_000].iter().map(|&n| model.row(n)).collect();
@@ -46,8 +46,7 @@ fn main() {
         pastry_hops(1_000)
     );
 
-    match write_json("table1", &rows) {
-        Ok(path) => eprintln!("[table1] wrote {}", path.display()),
-        Err(e) => eprintln!("[table1] JSON write failed: {e}"),
+    if let Err(e) = args.emit(&rows) {
+        eprintln!("[table1] JSON write failed: {e}");
     }
 }

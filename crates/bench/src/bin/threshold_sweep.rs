@@ -10,7 +10,7 @@
 //!
 //! Usage: `threshold_sweep [--pages N] [--k K] [--t-end T]`
 
-use dpr_bench::{arg, parse_args, write_json};
+use dpr_bench::BenchArgs;
 use dpr_core::{run_distributed, DistributedRunConfig};
 use dpr_graph::generators::edu::{edu_domain, EduDomainConfig};
 use dpr_partition::Strategy;
@@ -26,11 +26,11 @@ struct Row {
 }
 
 fn main() {
-    let args = parse_args(std::env::args().skip(1));
-    let pages = arg(&args, "pages", 20_000usize);
-    let k = arg(&args, "k", 64usize);
-    let t_end = arg(&args, "t-end", 120.0f64);
-    let seed = arg(&args, "seed", 9u64);
+    let args = BenchArgs::from_env("threshold_sweep");
+    let pages = args.get("pages", 20_000usize);
+    let k = args.get("k", 64usize);
+    let t_end = args.get("t-end", 120.0f64);
+    let seed = args.get("seed", 9u64);
 
     eprintln!("[threshold] generating edu-domain graph: {pages} pages");
     let g =
@@ -98,8 +98,7 @@ fn main() {
          magnitude — pick a threshold one order below the target accuracy for free savings."
     );
 
-    match write_json("threshold_sweep", &rows) {
-        Ok(path) => eprintln!("[threshold] wrote {}", path.display()),
-        Err(e) => eprintln!("[threshold] JSON write failed: {e}"),
+    if let Err(e) = args.emit(&rows) {
+        eprintln!("[threshold] JSON write failed: {e}");
     }
 }

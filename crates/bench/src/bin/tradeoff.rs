@@ -10,7 +10,7 @@
 //!
 //! Usage: `tradeoff [--pages N] [--sites S] [--rankers R] [--web-pages W]`
 
-use dpr_bench::{arg, parse_args, write_json};
+use dpr_bench::BenchArgs;
 use dpr_core::{run_distributed, DistributedRunConfig, DprVariant};
 use dpr_graph::generators::edu::{edu_domain, EduDomainConfig};
 use dpr_model::{pastry_hops, CapacityModel};
@@ -28,11 +28,11 @@ struct Row {
 }
 
 fn main() {
-    let args = parse_args(std::env::args().skip(1));
-    let pages = arg(&args, "pages", 20_000usize);
-    let sites = arg(&args, "sites", 100usize);
-    let rankers = arg(&args, "rankers", 1_000u64);
-    let web_pages = arg(&args, "web-pages", 3.0e9f64);
+    let args = BenchArgs::from_env("tradeoff");
+    let pages = args.get("pages", 20_000usize);
+    let sites = args.get("sites", 100usize);
+    let rankers = args.get("rankers", 1_000u64);
+    let web_pages = args.get("web-pages", 3.0e9f64);
 
     // Measure outer iteration counts once on the simulated deployment.
     eprintln!("[tradeoff] measuring iteration counts on a {pages}-page dataset …");
@@ -107,8 +107,7 @@ fn main() {
         rows[2].dpr1_convergence_days, 10, rows[2].compressed_dpr1_days
     );
 
-    match write_json("tradeoff", &rows) {
-        Ok(path) => eprintln!("[tradeoff] wrote {}", path.display()),
-        Err(e) => eprintln!("[tradeoff] JSON write failed: {e}"),
+    if let Err(e) = args.emit(&rows) {
+        eprintln!("[tradeoff] JSON write failed: {e}");
     }
 }

@@ -8,7 +8,7 @@
 //!
 //! Usage: `transmission [--max-n N] [--updates-per-pair U] [--overlay pastry|chord|can]`
 
-use dpr_bench::{arg, parse_args, write_json};
+use dpr_bench::BenchArgs;
 use dpr_overlay::id::key_from_u64;
 use dpr_overlay::{avg_route_hops, CanNetwork, ChordNetwork, Overlay, PastryNetwork};
 use dpr_transport::codec::PaperSizeModel;
@@ -52,10 +52,10 @@ fn all_to_all(n: usize, updates: usize) -> Vec<Outgoing> {
 }
 
 fn main() {
-    let args = parse_args(std::env::args().skip(1));
-    let max_n = arg(&args, "max-n", 400usize);
-    let updates = arg(&args, "updates-per-pair", 3usize);
-    let overlay_kind = args.get("overlay").map(String::as_str).unwrap_or("pastry").to_string();
+    let args = BenchArgs::from_env("transmission");
+    let max_n = args.get("max-n", 400usize);
+    let updates = args.get("updates-per-pair", 3usize);
+    let overlay_kind = args.raw("overlay").unwrap_or("pastry").to_string();
 
     let ns: Vec<usize> =
         [5usize, 10, 25, 50, 100, 200, 400, 800].into_iter().filter(|&n| n <= max_n).collect();
@@ -138,8 +138,7 @@ fn main() {
         last.indirect_bytes as f64 / last.direct_bytes.max(1) as f64,
     );
 
-    match write_json("transmission", &rows) {
-        Ok(path) => eprintln!("[transmission] wrote {}", path.display()),
-        Err(e) => eprintln!("[transmission] JSON write failed: {e}"),
+    if let Err(e) = args.emit(&rows) {
+        eprintln!("[transmission] JSON write failed: {e}");
     }
 }

@@ -44,6 +44,71 @@ pub fn flag(args: &HashMap<String, String>, key: &str) -> bool {
     args.get(key).map(String::as_str) == Some("true")
 }
 
+/// The parsed command line of one experiment binary: `--key value` pairs
+/// and bare `--flag`s, with typed lookups and the shared JSON emission
+/// path every binary used to hand-roll (`target/experiments/<name>.json`
+/// plus an optional `--out PATH` copy for the committed `BENCH_*.json`
+/// artifacts).
+pub struct BenchArgs {
+    name: &'static str,
+    args: HashMap<String, String>,
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args()` for the binary named `name`; the name is
+    /// reused as the default JSON artifact name and the log prefix.
+    #[must_use]
+    pub fn from_env(name: &'static str) -> Self {
+        Self::from_iter(name, std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (for tests).
+    #[must_use]
+    pub fn from_iter(name: &'static str, args: impl Iterator<Item = String>) -> Self {
+        Self { name, args: parse_args(args) }
+    }
+
+    /// Typed `--key value` lookup with default.
+    #[must_use]
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        arg(&self.args, key, default)
+    }
+
+    /// Raw string lookup, `None` when the key is absent.
+    #[must_use]
+    pub fn raw(&self, key: &str) -> Option<&str> {
+        self.args.get(key).map(String::as_str)
+    }
+
+    /// Whether a bare `--flag` was passed.
+    #[must_use]
+    pub fn flag(&self, key: &str) -> bool {
+        flag(&self.args, key)
+    }
+
+    /// Comma-separated list lookup: `--key 1,2,4` parses to `[1, 2, 4]`;
+    /// `default` (same syntax) is parsed when the key is absent.
+    /// Unparsable items are skipped.
+    #[must_use]
+    pub fn list<T: std::str::FromStr>(&self, key: &str, default: &str) -> Vec<T> {
+        self.raw(key).unwrap_or(default).split(',').filter_map(|v| v.trim().parse().ok()).collect()
+    }
+
+    /// Writes `payload` to `target/experiments/<name>.json` and, when
+    /// `--out PATH` was given, to that path too. Returns the experiments
+    /// path.
+    pub fn emit<T: Serialize>(&self, payload: &T) -> std::io::Result<PathBuf> {
+        let path = write_json(self.name, payload)?;
+        eprintln!("[{}] wrote {}", self.name, path.display());
+        if let Some(out) = self.args.get("out") {
+            let text = serde_json::to_string_pretty(payload).expect("serializable payload");
+            std::fs::write(out, text + "\n")?;
+            eprintln!("[{}] wrote {out}", self.name);
+        }
+        Ok(path)
+    }
+}
+
 /// Renders one or more labelled time series as an ASCII chart — the
 /// terminal stand-in for the paper's figure panels. Values are mapped onto
 /// `height` rows between the global min and max.
@@ -173,6 +238,22 @@ mod tests {
     fn chart_handles_empty_input() {
         let s = TimeSeries::new();
         assert_eq!(ascii_chart(&[("x", &s)], 40, 5), "(no data)\n");
+    }
+
+    #[test]
+    fn bench_args_typed_lookups() {
+        let a = BenchArgs::from_iter(
+            "unit",
+            ["--pages", "100", "--quick", "--workers", "1, 2,4"].iter().map(|s| s.to_string()),
+        );
+        assert_eq!(a.get("pages", 0usize), 100);
+        assert_eq!(a.get("missing", 7i32), 7);
+        assert!(a.flag("quick"));
+        assert!(!a.flag("absent"));
+        assert_eq!(a.raw("pages"), Some("100"));
+        assert_eq!(a.raw("absent"), None);
+        assert_eq!(a.list::<usize>("workers", "8"), vec![1, 2, 4]);
+        assert_eq!(a.list::<usize>("threads", "8,16"), vec![8, 16]);
     }
 
     #[test]

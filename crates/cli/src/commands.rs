@@ -43,11 +43,15 @@ COMMANDS:
             [--reliable] [--ack-timeout T] [--max-retries R]
             [--crash T:NODE[,T:NODE...]] [--join T:SEED[,T:SEED...]]
             [--partition T1:T2:LO-HI] [--no-coalesce] [--no-route-cache]
+            [--heap-scheduler] [--no-ext-cache]
             --reliable turns on ack/retry/dedup delivery; --crash departs
             nodes (state lost), --join adds nodes (graceful handoff),
             --partition severs nodes LO..=HI from the rest during [T1,T2);
             --no-coalesce / --no-route-cache disable the fast message
-            path (per-destination merging, memoized overlay lookups).
+            path (per-destination merging, memoized overlay lookups);
+            --heap-scheduler / --no-ext-cache fall back to the legacy
+            BinaryHeap event queue and full external-contribution
+            rebuilds (bit-identical results, slower engine).
   top       FILE --ranks RANKS [--k K] [--site S]
             Top pages from a saved rank file (optionally one site only).
   analyze   FILE [--sinks-only]
@@ -277,6 +281,12 @@ fn simulate_net(args: &Args, g: &WebGraph, variant: DprVariant) -> CmdResult {
         faults,
         coalesce: !args.flag("no-coalesce"),
         route_cache: !args.flag("no-route-cache"),
+        scheduler: if args.flag("heap-scheduler") {
+            dpr_sim::SchedulerKind::BinaryHeap
+        } else {
+            dpr_sim::SchedulerKind::Slab
+        },
+        ext_cache: !args.flag("no-ext-cache"),
         ..NetRunConfig::default()
     };
     let res = try_run_over_network(g, cfg).map_err(|e| e.to_string())?;

@@ -34,7 +34,7 @@ use dpr_overlay::{
 };
 use dpr_partition::{GroupId, Partition};
 use dpr_sim::waits::WaitModel;
-use dpr_sim::{Actor, Ctx, FaultPlan, SimStats, Simulation, TimeSeries};
+use dpr_sim::{Actor, Ctx, FaultPlan, SchedStats, SchedulerKind, SimStats, Simulation, TimeSeries};
 
 use crate::centralized::open_pagerank;
 use crate::config::RankConfig;
@@ -253,6 +253,17 @@ pub struct NetRunConfig {
     /// recomputes every lookup (and still counts them, so benchmarks can
     /// compare the two modes honestly).
     pub route_cache: bool,
+    /// Event-scheduler implementation for the underlying engine. Both
+    /// choices dequeue in the identical `(time, seq)` total order, so runs
+    /// are bit-identical across them; the slab default recycles event slots
+    /// instead of allocating per event.
+    pub scheduler: SchedulerKind,
+    /// Dirty-row external-contribution caching (see
+    /// [`AfferentState`](crate::group::AfferentState)): think steps
+    /// recompute only the `X` rows remote updates touched and keep a
+    /// persistent `f = βE + X` solve input. `false` rebuilds everything
+    /// every step (the pre-cache baseline). Bit-identical either way.
+    pub ext_cache: bool,
 }
 
 impl Default for NetRunConfig {
@@ -282,6 +293,8 @@ impl Default for NetRunConfig {
             faults: None,
             coalesce: true,
             route_cache: true,
+            scheduler: SchedulerKind::Slab,
+            ext_cache: true,
         }
     }
 }
@@ -294,8 +307,11 @@ pub struct YPart {
     pub src_group: GroupId,
     /// Destination group.
     pub dest_group: GroupId,
-    /// Aggregated rank transfers (global page ids).
-    pub entries: Vec<(PageId, f64)>,
+    /// Aggregated rank transfers (global page ids). Shared, not owned: a
+    /// converged group re-publishes the same `Y` every wake, and the `Arc`
+    /// lets every re-publication (and every coalesced/relayed copy) alias
+    /// the sender's memoized buffer instead of cloning it onto the wire.
+    pub entries: Arc<Vec<(PageId, f64)>>,
 }
 
 /// A package of parts sharing one overlay hop.
@@ -349,14 +365,74 @@ pub struct NetCounters {
     /// `Y` parts absorbed by per-destination coalescing before reaching
     /// the wire (each one a superseded update that was never sent).
     pub coalesced_parts: u64,
+    /// Receive-path payload copies forced by a still-shared `Arc` (a
+    /// reliable-mode sender holding the package for retransmission). Zero
+    /// under fire-and-forget: payloads move end to end without a copy.
+    pub payload_clones: u64,
+    /// Afferent `X` rows recomputed during refreshes — a full rebuild
+    /// counts every row, the dirty-row cache only the stale ones. Charged
+    /// to the group's host at collection time.
+    pub rows_recomputed: u64,
 }
 
-/// One group's ranking state hosted on a node.
+/// One group's ranking state hosted on a node. The `f_buf`/`scratch`/
+/// `touched` buffers persist across think steps so the steady-state wake
+/// path allocates nothing (the §4.5 "million-page" scaling requirement).
+/// Memoized per-destination `Y` publication: `(dest group, shared payload)`.
+type YCache = Vec<(GroupId, Arc<Vec<(PageId, f64)>>)>;
+
 struct GroupState {
     ctx: GroupContext,
     r: Vec<f64>,
     afferent: AfferentState,
+    /// Persistent solve input `f = βE + X`; rows are patched from the
+    /// refresh worklist instead of being rebuilt (cached mode only).
+    f_buf: Vec<f64>,
+    /// Reusable solve double buffer.
+    scratch: Vec<f64>,
+    /// Worklist of `X` rows the last refresh recomputed.
+    touched: Vec<u32>,
+    /// Final successive difference of the last solve that actually ran.
+    /// Exactly `0.0` means `r` is the *exact* f64 fixed point of the
+    /// current iteration map: rerunning the solve with an unchanged `f`
+    /// would reproduce `r` bit-for-bit, so the think step may skip it
+    /// (cached mode only).
+    last_delta: f64,
+    /// Memoized `compute_y(&r)` — a deterministic function of `r`, valid
+    /// until a solve changes `r` (cached mode only). Entries are behind
+    /// `Arc`s so publication is a pointer bump, not a payload copy.
+    y_cache: Option<YCache>,
+    /// Last accepted raw `Y` payload per source, as `(page, rank bits)` —
+    /// the receive-path twin of the sender's `y_cache`. A re-publication
+    /// that bit-matches it is dropped before any page→local translation;
+    /// the localized comparison in [`AfferentState::bits_match`] remains as
+    /// the slow-path check when the raw bytes differ (cached mode only).
+    last_payload: BTreeMap<GroupId, Vec<(PageId, u64)>>,
     outer_iterations: u64,
+}
+
+impl GroupState {
+    /// Fresh (rank-zero) state for `ctx`, in cached or full-rebuild mode.
+    fn new(ctx: GroupContext, ext_cache: bool) -> Self {
+        let n = ctx.n_local();
+        let afferent =
+            if ext_cache { AfferentState::new(n) } else { AfferentState::new_full_rebuild(n) };
+        // `X` starts at zero, so `f = βE` exactly (βE ≥ 0, and `b + 0.0`
+        // is bitwise `b` for non-negative `b`).
+        let f_buf = ctx.beta_e().to_vec();
+        Self {
+            ctx,
+            r: vec![0.0; n],
+            afferent,
+            f_buf,
+            scratch: vec![0.0; n],
+            touched: Vec::new(),
+            last_delta: f64::INFINITY,
+            y_cache: None,
+            last_payload: BTreeMap::new(),
+            outer_iterations: 0,
+        }
+    }
 }
 
 /// An overlay node hosting zero or more page groups and relaying traffic.
@@ -413,9 +489,43 @@ impl NetNode {
 
     /// Delivers a part to a locally hosted group.
     fn deliver_local(&mut self, part: &YPart) {
+        let ext_cache = self.cfg.ext_cache;
         if let Some(gs) = self.groups.iter_mut().find(|g| g.ctx.group_id() == part.dest_group) {
-            let localized = gs.ctx.localize(&part.entries);
-            gs.afferent.set(part.src_group, localized);
+            if !ext_cache {
+                let localized = gs.ctx.localize(&part.entries);
+                gs.afferent.set(part.src_group, localized);
+                return;
+            }
+            // Steady-state receive path: once the sender's ranks stall its
+            // re-publications are bit-identical and `set` would discard the
+            // payload unread. Cheapest check first — the raw `(page, bits)`
+            // copy of the last accepted payload, a flat scan with no
+            // page→local translation at all.
+            if let Some(prev) = gs.last_payload.get(&part.src_group) {
+                if prev.len() == part.entries.len()
+                    && prev
+                        .iter()
+                        .zip(part.entries.iter())
+                        .all(|(&(pp, pb), &(p, s))| pp == p && pb == s.to_bits())
+                {
+                    return;
+                }
+            }
+            // Raw bytes differ; the *localized* payload may still match
+            // (e.g. the delta is confined to pages this group no longer
+            // owns). Compare lazily before paying the allocation.
+            let lazily_localized = part
+                .entries
+                .iter()
+                .filter_map(|&(p, s)| gs.ctx.local_index(p).map(|i| (i as u32, s)));
+            if !gs.afferent.bits_match(part.src_group, lazily_localized) {
+                let localized = gs.ctx.localize(&part.entries);
+                gs.afferent.set(part.src_group, localized);
+            }
+            gs.last_payload.insert(
+                part.src_group,
+                part.entries.iter().map(|&(p, s)| (p, s.to_bits())).collect(),
+            );
         }
         // A part for a group we do not host is stale traffic after a
         // membership change; §4.2 lets nodes drop it silently.
@@ -654,19 +764,86 @@ impl Actor for NetNode {
             if gs.ctx.n_local() == 0 {
                 continue;
             }
-            let x = gs.afferent.refresh();
-            match self.cfg.variant {
-                DprVariant::Dpr1 => {
-                    gs.ctx.group_pagerank(&mut gs.r, x, 1e-10, 10_000);
+            if self.cfg.ext_cache {
+                // Dirty-row path: refresh only the stale X rows, patch the
+                // persistent f = βE + X on exactly those rows, and solve
+                // with the reusable double buffer — no allocation, same
+                // bits as the full rebuild below.
+                gs.touched.clear();
+                gs.afferent.refresh_tracked(Some(&mut gs.touched));
+                let (beta_e, x) = (gs.ctx.beta_e(), gs.afferent.x());
+                for &li in &gs.touched {
+                    gs.f_buf[li as usize] = beta_e[li as usize] + x[li as usize];
                 }
-                DprVariant::Dpr2 => {
-                    gs.ctx.step(&mut gs.r, x);
+                // Stall short-circuit: no row of f changed and the last
+                // solve ended with a successive difference of exactly 0.0,
+                // so `r` is the exact f64 fixed point of `r ← A·r + f` —
+                // rerunning the solve would reproduce `r` bit-for-bit
+                // (ranks are non-negative, so even ±0.0 cannot differ).
+                // The group still publishes below; only the arithmetic is
+                // skipped.
+                if !(gs.touched.is_empty() && gs.last_delta == 0.0) {
+                    let (delta, r_unchanged) = match self.cfg.variant {
+                        DprVariant::Dpr1 => {
+                            let report = gs.ctx.group_pagerank_prepared(
+                                &mut gs.r,
+                                &gs.f_buf,
+                                1e-10,
+                                10_000,
+                                &mut gs.scratch,
+                            );
+                            // A multi-iteration solve moved `r` even if its
+                            // final step didn't.
+                            (
+                                report.final_delta,
+                                report.iterations <= 1 && report.final_delta == 0.0,
+                            )
+                        }
+                        DprVariant::Dpr2 => {
+                            let delta = gs.ctx.step_prepared(&mut gs.r, &gs.f_buf, &mut gs.scratch);
+                            (delta, delta == 0.0)
+                        }
+                    };
+                    gs.last_delta = delta;
+                    if !r_unchanged {
+                        gs.y_cache = None;
+                    }
+                }
+            } else {
+                let x = gs.afferent.refresh();
+                match self.cfg.variant {
+                    DprVariant::Dpr1 => {
+                        gs.ctx.group_pagerank(&mut gs.r, x, 1e-10, 10_000);
+                    }
+                    DprVariant::Dpr2 => {
+                        gs.ctx.step(&mut gs.r, x);
+                    }
                 }
             }
             gs.outer_iterations += 1;
             let src = gs.ctx.group_id();
-            for (dest, entries) in gs.ctx.compute_y(&gs.r) {
-                outgoing.push(YPart { src_group: src, dest_group: dest, entries });
+            if self.cfg.ext_cache {
+                // Y is a pure function of `r`; while `r` is bitwise
+                // unchanged the memoized parts are bit-identical to a
+                // fresh computation and only need cloning onto the wire.
+                let y = gs.y_cache.get_or_insert_with(|| {
+                    gs.ctx.compute_y(&gs.r).into_iter().map(|(d, e)| (d, Arc::new(e))).collect()
+                });
+                for (dest, entries) in y {
+                    outgoing.push(YPart {
+                        src_group: src,
+                        dest_group: *dest,
+                        entries: Arc::clone(entries),
+                    });
+                }
+            } else {
+                for (dest, entries) in gs.ctx.compute_y(&gs.r) {
+                    outgoing.push(YPart {
+                        src_group: src,
+                        dest_group: dest,
+                        entries: Arc::new(entries),
+                    });
+                }
             }
         }
         if !outgoing.is_empty() {
@@ -705,7 +882,10 @@ impl Actor for NetNode {
         // Fire-and-forget packages arrive holding the last `Arc` reference,
         // so the parts move out without a copy; only a reliable-mode sender
         // still holding the payload for retransmission forces a clone.
-        let parts = Arc::try_unwrap(package.0).unwrap_or_else(|shared| (*shared).clone());
+        let parts = Arc::try_unwrap(package.0).unwrap_or_else(|shared| {
+            self.counters.payload_clones += 1;
+            (*shared).clone()
+        });
         for part in parts {
             if self.owner_of.read()[part.dest_group as usize] == self.me {
                 self.deliver_local(&part);
@@ -733,8 +913,19 @@ pub struct NetRunResult {
     /// (data, lookups, retries) are charged to the sender; acks and
     /// duplicate suppressions to the receiver.
     pub per_node: Vec<NetCounters>,
+    /// Wall-clock seconds spent before the event loop started: graph
+    /// partitioning, the centralized reference solve, group-context
+    /// assembly, and overlay placement. Identical work across engine
+    /// configurations, so throughput comparisons should exclude it.
+    pub setup_secs: f64,
+    /// Wall-clock seconds spent inside the event loop (simulation plus
+    /// periodic error sampling) — the denominator for events/sec.
+    pub engine_secs: f64,
     /// Engine counters.
     pub sim_stats: SimStats,
+    /// Event-scheduler allocation counters (arena recycling
+    /// observability; never part of the replay contract).
+    pub sched_stats: SchedStats,
     /// Measured mean route length between group publishers and owners.
     pub mean_route_hops: f64,
     /// Route-cache hit/miss/invalidation counters for the whole run (all
@@ -757,6 +948,7 @@ pub fn try_run_over_network(
     g: &WebGraph,
     cfg: NetRunConfig,
 ) -> Result<NetRunResult, ChurnUnsupported> {
+    let wall_start = std::time::Instant::now();
     cfg.rank.validate(g.n_pages());
     assert!(cfg.k >= 1 && cfg.n_nodes >= 1);
     let cfg = Arc::new(cfg);
@@ -825,13 +1017,7 @@ pub fn try_run_over_network(
             hop_total += overlay.read().as_overlay().route(owner, key_of[dest as usize]).len();
             hop_count += 1;
         }
-        let n = c.n_local();
-        hosted[owner].push(GroupState {
-            ctx: c,
-            r: vec![0.0; n],
-            afferent: AfferentState::new(n),
-            outer_iterations: 0,
-        });
+        hosted[owner].push(GroupState::new(c, cfg.ext_cache));
     }
 
     let nodes: Vec<NetNode> = hosted
@@ -860,7 +1046,7 @@ pub fn try_run_over_network(
     let plan = cfg.faults.clone().unwrap_or_else(|| {
         FaultPlan::new().with_latency(0.01).with_default_success(cfg.send_success_prob)
     });
-    let mut sim = Simulation::with_plan(nodes, cfg.seed, plan);
+    let mut sim = Simulation::with_plan_scheduler(nodes, cfg.seed, plan, cfg.scheduler);
 
     // Merge departures and joins into one time-ordered churn schedule.
     let mut churn: Vec<(f64, ChurnEvent)> = cfg
@@ -871,6 +1057,8 @@ pub fn try_run_over_network(
         .collect();
     churn.sort_by(|a, b| a.0.total_cmp(&b.0));
 
+    let setup_secs = wall_start.elapsed().as_secs_f64();
+    let engine_start = std::time::Instant::now();
     let mut rel_err = TimeSeries::new();
     let n_pages = g.n_pages();
     let mut churn = churn.into_iter().peekable();
@@ -903,8 +1091,17 @@ pub fn try_run_over_network(
         t = next_t;
     }
 
+    let engine_secs = engine_start.elapsed().as_secs_f64();
     let final_ranks = assemble(sim.actors(), n_pages);
-    let per_node: Vec<NetCounters> = sim.actors().iter().map(|n| n.counters).collect();
+    let per_node: Vec<NetCounters> = sim
+        .actors()
+        .iter()
+        .map(|n| {
+            let mut c = n.counters;
+            c.rows_recomputed = n.groups.iter().map(|g| g.afferent.rows_recomputed()).sum();
+            c
+        })
+        .collect();
     let counters = per_node.iter().fold(NetCounters::default(), |mut acc, c| {
         acc.data_messages += c.data_messages;
         acc.lookup_messages += c.lookup_messages;
@@ -914,6 +1111,8 @@ pub fn try_run_over_network(
         acc.duplicates_suppressed += c.duplicates_suppressed;
         acc.retry_exhausted += c.retry_exhausted;
         acc.coalesced_parts += c.coalesced_parts;
+        acc.payload_clones += c.payload_clones;
+        acc.rows_recomputed += c.rows_recomputed;
         acc
     });
     let route_cache = cache.read().stats();
@@ -923,7 +1122,10 @@ pub fn try_run_over_network(
         final_ranks,
         counters,
         per_node,
+        setup_secs,
+        engine_secs,
         sim_stats: sim.stats(),
+        sched_stats: sim.sched_stats(),
         mean_route_hops: if hop_count == 0 { 0.0 } else { hop_total as f64 / hop_count as f64 },
         route_cache,
     })
@@ -950,6 +1152,7 @@ fn apply_departure(
     }
     let actors = sim.actors_mut();
     actors[node].active = false;
+    let ext_cache = actors[node].cfg.ext_cache;
     let orphaned = std::mem::take(&mut actors[node].groups);
     actors[node].relay.clear();
     actors[node].pending.clear();
@@ -957,13 +1160,7 @@ fn apply_departure(
     for gs in orphaned {
         let gid = gs.ctx.group_id() as usize;
         let new_owner = owners[gid];
-        let n = gs.ctx.n_local();
-        actors[new_owner].groups.push(GroupState {
-            ctx: gs.ctx,
-            r: vec![0.0; n],
-            afferent: AfferentState::new(n),
-            outer_iterations: 0,
-        });
+        actors[new_owner].groups.push(GroupState::new(gs.ctx, ext_cache));
     }
 }
 
@@ -1361,7 +1558,11 @@ mod tests {
     fn package_clones_share_the_payload_allocation() {
         // The retransmit path clones `Package`s; payloads must be shared,
         // never copied.
-        let parts = Arc::new(vec![YPart { src_group: 0, dest_group: 1, entries: vec![(0, 0.5)] }]);
+        let parts = Arc::new(vec![YPart {
+            src_group: 0,
+            dest_group: 1,
+            entries: Arc::new(vec![(0, 0.5)]),
+        }]);
         let original = Package(Arc::clone(&parts));
         let retransmitted = original.clone();
         assert!(Arc::ptr_eq(&original.0, &retransmitted.0));

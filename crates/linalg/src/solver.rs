@@ -117,19 +117,35 @@ impl FixedPointSolver {
     /// body does a single step per outer loop), returning the last successive
     /// difference.
     pub fn step(&self, a: &Csr, f: &[f64], x: &mut Vec<f64>, steps: usize) -> f64 {
+        let mut scratch = vec![0.0; x.len()];
+        self.step_with_scratch(a, f, x, steps, &mut scratch)
+    }
+
+    /// [`Self::step`] with a caller-provided double buffer, so per-wake hot
+    /// loops (one step per think time, thousands of think times per run)
+    /// never reallocate. The scratch contents are irrelevant on entry — the
+    /// SpMV overwrites every element.
+    pub fn step_with_scratch(
+        &self,
+        a: &Csr,
+        f: &[f64],
+        x: &mut Vec<f64>,
+        steps: usize,
+        scratch: &mut Vec<f64>,
+    ) -> f64 {
         let n = a.n_rows();
         assert_eq!(a.n_cols(), n);
         assert_eq!(f.len(), n);
         assert_eq!(x.len(), n);
-        let mut scratch = vec![0.0; n];
+        scratch.resize(n, 0.0);
         let mut delta = 0.0;
         for _ in 0..steps {
-            a.mul_vec_pool(x, &mut scratch, &self.pool);
+            a.mul_vec_pool(x, scratch, &self.pool);
             for (s, fi) in scratch.iter_mut().zip(f.iter()) {
                 *s += fi;
             }
-            delta = vec_ops::l1_diff_pool(&scratch, x, &self.pool);
-            std::mem::swap(x, &mut scratch);
+            delta = vec_ops::l1_diff_pool(scratch, x, &self.pool);
+            std::mem::swap(x, scratch);
         }
         delta
     }

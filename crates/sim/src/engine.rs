@@ -1,12 +1,10 @@
 //! The virtual-time event loop.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::faults::{BlockReason, FaultPlan};
+use crate::sched::{EventQueue, SchedStats, SchedulerKind};
 
 /// Simulation parameters (the legacy scalar fault model). Internally this
 /// converts into a trivial [`FaultPlan`]; use [`Simulation::with_plan`]
@@ -143,32 +141,10 @@ enum EventKind<M> {
     Message { src: usize, dst: usize, msg: M },
 }
 
-struct Event<M> {
-    time: f64,
-    seq: u64,
-    kind: EventKind<M>,
-}
-
-// Heap ordering: earliest time first, FIFO (sequence) among equal times.
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time.total_cmp(&other.time).then(self.seq.cmp(&other.seq))
-    }
-}
-
 struct Kernel<M> {
-    queue: BinaryHeap<Reverse<Event<M>>>,
+    // Dequeue order is by (time, seq): earliest time first, FIFO
+    // (sequence) among equal times — identical under either scheduler.
+    queue: EventQueue<EventKind<M>>,
     rng: SmallRng,
     plan: FaultPlan,
     stats: SimStats,
@@ -179,7 +155,7 @@ impl<M> Kernel<M> {
     fn push(&mut self, time: f64, kind: EventKind<M>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Event { time, seq, kind }));
+        self.queue.push(time, seq, kind);
     }
 
     /// The single delivery path behind `send`/`send_reliable`/`send_after`.
@@ -244,13 +220,29 @@ impl<A: Actor> Simulation<A> {
     }
 
     /// Creates a simulation over `actors` with a full [`FaultPlan`]. The
-    /// same `(seed, plan)` pair replays bit-identically.
+    /// same `(seed, plan)` pair replays bit-identically. Uses the default
+    /// slab-backed scheduler; see [`Simulation::with_plan_scheduler`] to
+    /// select the legacy heap.
     #[must_use]
     pub fn with_plan(actors: Vec<A>, seed: u64, plan: FaultPlan) -> Self {
+        Self::with_plan_scheduler(actors, seed, plan, SchedulerKind::default())
+    }
+
+    /// [`Simulation::with_plan`] with an explicit event-scheduler choice.
+    /// Both schedulers dequeue in the identical `(time, seq)` total order,
+    /// so every run is bit-identical across them; the choice only affects
+    /// wall-clock speed and allocation behavior (see [`crate::sched`]).
+    #[must_use]
+    pub fn with_plan_scheduler(
+        actors: Vec<A>,
+        seed: u64,
+        plan: FaultPlan,
+        scheduler: SchedulerKind,
+    ) -> Self {
         Self {
             actors,
             kernel: Kernel {
-                queue: BinaryHeap::new(),
+                queue: EventQueue::new(scheduler),
                 rng: SmallRng::seed_from_u64(seed),
                 plan,
                 stats: SimStats::default(),
@@ -293,6 +285,13 @@ impl<A: Actor> Simulation<A> {
         self.kernel.stats
     }
 
+    /// Scheduler allocation counters (arena recycling observability;
+    /// never part of the replay contract).
+    #[must_use]
+    pub fn sched_stats(&self) -> SchedStats {
+        self.kernel.queue.stats()
+    }
+
     /// Immutable view of the actors (for measurement between events).
     #[must_use]
     pub fn actors(&self) -> &[A] {
@@ -325,12 +324,12 @@ impl<A: Actor> Simulation<A> {
     /// (quiescence).
     pub fn step(&mut self) -> bool {
         self.start_if_needed();
-        let Some(Reverse(ev)) = self.kernel.queue.pop() else {
+        let Some((time, kind)) = self.kernel.queue.pop() else {
             return false;
         };
-        debug_assert!(ev.time >= self.now, "time went backwards");
-        self.now = ev.time;
-        match ev.kind {
+        debug_assert!(time >= self.now, "time went backwards");
+        self.now = time;
+        match kind {
             EventKind::Wake { actor } => {
                 self.kernel.stats.wakes += 1;
                 let mut ctx = Ctx { now: self.now, me: actor, kernel: &mut self.kernel };
@@ -349,8 +348,8 @@ impl<A: Actor> Simulation<A> {
     /// at exactly `t_end` are still processed.
     pub fn run_until(&mut self, t_end: f64) {
         self.start_if_needed();
-        while let Some(Reverse(ev)) = self.kernel.queue.peek() {
-            if ev.time > t_end {
+        while let Some(time) = self.kernel.queue.peek_time() {
+            if time > t_end {
                 break;
             }
             self.step();

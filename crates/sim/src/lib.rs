@@ -50,9 +50,11 @@
 
 pub mod engine;
 pub mod faults;
+pub mod sched;
 pub mod trace;
 pub mod waits;
 
 pub use engine::{Actor, Ctx, SimConfig, SimStats, Simulation};
 pub use faults::{FaultPlan, Jitter};
+pub use sched::{SchedStats, SchedulerKind};
 pub use trace::TimeSeries;

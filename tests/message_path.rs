@@ -9,7 +9,7 @@ use dpr::core::{try_run_over_network, NetRunConfig, NetRunResult, Reliability, T
 use dpr::graph::generators::toy;
 use dpr::graph::WebGraph;
 use dpr::partition::Strategy;
-use dpr::sim::FaultPlan;
+use dpr::sim::{FaultPlan, SchedulerKind};
 
 fn run_over_network(g: &WebGraph, cfg: NetRunConfig) -> NetRunResult {
     try_run_over_network(g, cfg).expect("test configs use supported churn schedules")
@@ -117,4 +117,71 @@ fn route_cache_invisible_under_churn_and_faults() {
         fresh.route_cache.misses,
         "both modes must observe the same lookup stream"
     );
+}
+
+/// The slab scheduler and the dirty-row external-contribution cache are
+/// pure performance work: on the same churn + loss + reliable-delivery
+/// scenario, every combination of {slab, heap} × {cached, full-rebuild}
+/// must produce bit-identical ranks, engine statistics, and network
+/// counters — while the cached runs really do skip most row recomputation.
+#[test]
+fn scheduler_and_ext_cache_invisible_under_churn_and_faults() {
+    let g = toy::two_cliques(6);
+    let cfg = NetRunConfig {
+        departures: vec![(60.0, 3), (110.0, 9)],
+        faults: Some(FaultPlan::new().with_latency(0.01).with_default_success(0.8)),
+        ..base(400.0)
+    };
+    let reference = run_over_network(
+        &g,
+        NetRunConfig { scheduler: SchedulerKind::BinaryHeap, ext_cache: false, ..cfg.clone() },
+    );
+    let mut cached_rows = None;
+    for scheduler in [SchedulerKind::Slab, SchedulerKind::BinaryHeap] {
+        for ext_cache in [true, false] {
+            let run = run_over_network(&g, NetRunConfig { scheduler, ext_cache, ..cfg.clone() });
+            assert_eq!(
+                rank_bits(&run),
+                rank_bits(&reference),
+                "ranks diverged under {scheduler:?}/ext_cache={ext_cache}"
+            );
+            assert_eq!(run.sim_stats, reference.sim_stats);
+            // Every counter except the row-recomputation observability one
+            // must match the legacy engine exactly.
+            let mut c = run.counters;
+            c.rows_recomputed = reference.counters.rows_recomputed;
+            assert_eq!(c, reference.counters);
+            if ext_cache {
+                assert!(
+                    run.counters.rows_recomputed < reference.counters.rows_recomputed,
+                    "dirty-row cache recomputed {} rows, full rebuild {}",
+                    run.counters.rows_recomputed,
+                    reference.counters.rows_recomputed
+                );
+                cached_rows.get_or_insert(run.counters.rows_recomputed);
+                assert_eq!(cached_rows, Some(run.counters.rows_recomputed));
+            }
+        }
+    }
+    assert!(reference.final_rel_err < 1e-3);
+}
+
+/// Fire-and-forget packages must move through the receive path without a
+/// single payload copy — the counter this guards is the alloc-regression
+/// canary for the zero-copy `Arc` transport.
+#[test]
+fn fire_and_forget_receive_path_never_copies_payloads() {
+    let g = toy::two_cliques(6);
+    let fire_and_forget = NetRunConfig { reliability: None, ..base(300.0) };
+    let run = run_over_network(&g, fire_and_forget);
+    assert!(run.counters.data_messages > 0);
+    assert_eq!(
+        run.counters.payload_clones, 0,
+        "receive path cloned {} payloads under fire-and-forget",
+        run.counters.payload_clones
+    );
+    // Reliable delivery keeps the payload in the sender's retransmit queue,
+    // so the receiver's `Arc` is still shared — the counter must see it.
+    let reliable = run_over_network(&g, base(300.0));
+    assert!(reliable.counters.payload_clones > 0, "reliability must exercise the clone fallback");
 }
