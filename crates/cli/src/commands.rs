@@ -43,7 +43,7 @@ COMMANDS:
             [--reliable] [--ack-timeout T] [--max-retries R]
             [--crash T:NODE[,T:NODE...]] [--join T:SEED[,T:SEED...]]
             [--partition T1:T2:LO-HI] [--no-coalesce] [--no-route-cache]
-            [--heap-scheduler] [--no-ext-cache]
+            [--heap-scheduler] [--no-ext-cache] [--engine-workers W]
             --reliable turns on ack/retry/dedup delivery; --crash departs
             nodes (state lost), --join adds nodes (graceful handoff),
             --partition severs nodes LO..=HI from the rest during [T1,T2);
@@ -51,7 +51,10 @@ COMMANDS:
             path (per-destination merging, memoized overlay lookups);
             --heap-scheduler / --no-ext-cache fall back to the legacy
             BinaryHeap event queue and full external-contribution
-            rebuilds (bit-identical results, slower engine).
+            rebuilds (bit-identical results, slower engine);
+            --engine-workers W runs same-window node solves on W pool
+            threads (default: all hardware threads; 1 = sequential;
+            results are bit-identical at any W).
   top       FILE --ranks RANKS [--k K] [--site S]
             Top pages from a saved rank file (optionally one site only).
   analyze   FILE [--sinks-only]
@@ -287,8 +290,10 @@ fn simulate_net(args: &Args, g: &WebGraph, variant: DprVariant) -> CmdResult {
             dpr_sim::SchedulerKind::Slab
         },
         ext_cache: !args.flag("no-ext-cache"),
+        engine_workers: args.get("engine-workers", dpr_linalg::pool::Pool::host_threads()),
         ..NetRunConfig::default()
     };
+    let engine_workers = cfg.engine_workers;
     let res = try_run_over_network(g, cfg).map_err(|e| e.to_string())?;
     println!(
         "whole-system run: {k} groups on {} {overlay:?} nodes, {transmission:?} transmission",
@@ -323,6 +328,13 @@ fn simulate_net(args: &Args, g: &WebGraph, variant: DprVariant) -> CmdResult {
         "engine: {} sends, {} dropped ({} by partition, {} by crash), {} delivered",
         s.sends_attempted, s.sends_dropped, s.partition_dropped, s.crash_dropped, s.deliveries
     );
+    if engine_workers > 1 {
+        let b = res.sched_stats;
+        println!(
+            "parallel engine: {engine_workers} workers, {} batches (max {} wakes, {} singleton)",
+            b.batches, b.max_batch, b.singleton_batches
+        );
+    }
     println!("final relative error {:.6}%", res.final_rel_err * 100.0);
     match res.rel_err.first_time_below(1e-3) {
         Some(t) => println!("reached 0.1% relative error at t = {t:.1}"),

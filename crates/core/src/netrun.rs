@@ -264,6 +264,15 @@ pub struct NetRunConfig {
     /// persistent `f = βE + X` solve input. `false` rebuilds everything
     /// every step (the pre-cache baseline). Bit-identical either way.
     pub ext_cache: bool,
+    /// Worker threads for the engine's deterministic parallel think stage.
+    /// `1` (the default) runs the plain sequential event loop; `> 1` runs
+    /// same-window node solves concurrently on a shared pool and commits
+    /// their outputs in canonical `(time, seq)` order — bit-identical to
+    /// the sequential engine at any worker count (the
+    /// [`dpr_sim`] batched-engine contract). Parallelism only materializes
+    /// with `coalesce: true`; the legacy non-coalesce wake path dispatches
+    /// relay traffic before its solves, so those stay inline.
+    pub engine_workers: usize,
 }
 
 impl Default for NetRunConfig {
@@ -295,6 +304,7 @@ impl Default for NetRunConfig {
             route_cache: true,
             scheduler: SchedulerKind::Slab,
             ext_cache: true,
+            engine_workers: 1,
         }
     }
 }
@@ -449,6 +459,9 @@ pub struct NetNode {
     /// still counting lookups — when `cfg.route_cache` is off.
     cache: Arc<RwLock<RouteCache>>,
     relay: Vec<YPart>,
+    /// `Y` parts produced by the last `think` (the engine's parallel
+    /// compute stage), awaiting dispatch by the matching `on_wake` commit.
+    pending_y: Vec<YPart>,
     cfg: Arc<NetRunConfig>,
     mean_wait: f64,
     /// Virtual time until which this node's uplink is busy serializing
@@ -716,49 +729,13 @@ impl NetNode {
         }
     }
 
-    fn sample_wait(&self, ctx: &mut Ctx<'_, NetMsg>) -> f64 {
-        use rand::Rng;
-        if self.mean_wait <= 0.0 {
-            return 1e-3;
-        }
-        let u: f64 = ctx.rng().gen::<f64>();
-        -self.mean_wait * (1.0 - u).ln()
-    }
-}
-
-impl Actor for NetNode {
-    type Msg = NetMsg;
-
-    fn on_start(&mut self, ctx: &mut Ctx<'_, NetMsg>) {
-        let w = self.sample_wait(ctx);
-        ctx.schedule_wake(w);
-    }
-
-    fn on_wake(&mut self, ctx: &mut Ctx<'_, NetMsg>) {
-        if !self.active {
-            return; // departed: no work, no reschedule
-        }
-        // 1. Retransmit unacked packages whose deadline passed.
-        if let Some(rel) = self.cfg.reliability {
-            self.retransmit_due(ctx, rel);
-        }
-
-        // 2. Forward buffered relay traffic (indirect transmission's
-        //    store-recombine-forward cycle). With coalescing on, relayed
-        //    parts and freshly produced Y share this wake's packages —
-        //    §4.4's merge at intermediate nodes.
-        let mut outgoing = if self.cfg.coalesce {
-            std::mem::take(&mut self.relay)
-        } else {
-            if !self.relay.is_empty() {
-                let parts = std::mem::take(&mut self.relay);
-                self.dispatch(ctx, parts);
-            }
-            Vec::new()
-        };
-
-        // 3. Run the DPR loop body for every hosted group and collect the
-        //    resulting Y parts.
+    /// The DPR loop body for every hosted group: refresh afferent state,
+    /// solve, and buffer the resulting `Y` parts in `pending_y` for the
+    /// next dispatch. This is the wake's pure-compute slice — it touches
+    /// only this node's own state, draws no RNG, and sends nothing, which
+    /// is what lets the batched engine run it concurrently with other
+    /// nodes' solves ([`Actor::think`]) without observable divergence.
+    fn run_group_thinks(&mut self) {
         for gi in 0..self.groups.len() {
             let gs = &mut self.groups[gi];
             if gs.ctx.n_local() == 0 {
@@ -830,7 +807,7 @@ impl Actor for NetNode {
                     gs.ctx.compute_y(&gs.r).into_iter().map(|(d, e)| (d, Arc::new(e))).collect()
                 });
                 for (dest, entries) in y {
-                    outgoing.push(YPart {
+                    self.pending_y.push(YPart {
                         src_group: src,
                         dest_group: *dest,
                         entries: Arc::clone(entries),
@@ -838,7 +815,7 @@ impl Actor for NetNode {
                 }
             } else {
                 for (dest, entries) in gs.ctx.compute_y(&gs.r) {
-                    outgoing.push(YPart {
+                    self.pending_y.push(YPart {
                         src_group: src,
                         dest_group: dest,
                         entries: Arc::new(entries),
@@ -846,6 +823,70 @@ impl Actor for NetNode {
                 }
             }
         }
+    }
+
+    fn sample_wait(&self, ctx: &mut Ctx<'_, NetMsg>) -> f64 {
+        use rand::Rng;
+        if self.mean_wait <= 0.0 {
+            return 1e-3;
+        }
+        let u: f64 = ctx.rng().gen::<f64>();
+        -self.mean_wait * (1.0 - u).ln()
+    }
+}
+
+impl Actor for NetNode {
+    type Msg = NetMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, NetMsg>) {
+        let w = self.sample_wait(ctx);
+        ctx.schedule_wake(w);
+    }
+
+    fn think(&mut self, _now: f64) {
+        // The engine runs this (possibly concurrently with other nodes'
+        // thinks) exactly once before every on_wake. Legacy non-coalesce
+        // mode dispatches relay traffic — which can deliver locally and
+        // alter solve inputs — *before* its solves, so its compute cannot
+        // be hoisted here without changing bits; it stays inline below.
+        if self.active && self.cfg.coalesce {
+            self.run_group_thinks();
+        }
+    }
+
+    fn on_wake(&mut self, ctx: &mut Ctx<'_, NetMsg>) {
+        if !self.active {
+            return; // departed: no work, no reschedule
+        }
+        // 1. Retransmit unacked packages whose deadline passed.
+        if let Some(rel) = self.cfg.reliability {
+            self.retransmit_due(ctx, rel);
+        }
+
+        // 2. Forward buffered relay traffic (indirect transmission's
+        //    store-recombine-forward cycle). With coalescing on, relayed
+        //    parts and freshly produced Y share this wake's packages —
+        //    §4.4's merge at intermediate nodes.
+        let mut outgoing = if self.cfg.coalesce {
+            std::mem::take(&mut self.relay)
+        } else {
+            if !self.relay.is_empty() {
+                let parts = std::mem::take(&mut self.relay);
+                self.dispatch(ctx, parts);
+            }
+            Vec::new()
+        };
+
+        // 3. Collect the Y parts of this wake's DPR loop body. In coalesce
+        //    mode the solves already ran in think() — the engine's
+        //    (possibly parallel) compute stage — and buffered their output
+        //    in `pending_y`; legacy non-coalesce mode runs them inline now,
+        //    after the relay dispatch above (which can deliver locally and
+        //    alter solve inputs).
+        if !self.cfg.coalesce {
+            self.run_group_thinks();
+        }
+        outgoing.append(&mut self.pending_y);
         if !outgoing.is_empty() {
             self.dispatch(ctx, outgoing);
         }
@@ -1031,6 +1072,7 @@ pub fn try_run_over_network(
             key_of: Arc::clone(&key_of),
             cache: Arc::clone(&cache),
             relay: Vec::new(),
+            pending_y: Vec::new(),
             cfg: Arc::clone(&cfg),
             mean_wait: waits.mean(i),
             uplink_busy_until: 0.0,
@@ -1058,6 +1100,11 @@ pub fn try_run_over_network(
     churn.sort_by(|a, b| a.0.total_cmp(&b.0));
 
     let setup_secs = wall_start.elapsed().as_secs_f64();
+    // `engine_workers == 1` is the plain sequential event loop (the
+    // replay-contract reference); `> 1` takes the batched path, which
+    // commits in the identical (time, seq) order and is bit-identical.
+    let engine_pool =
+        (cfg.engine_workers > 1).then(|| dpr_linalg::pool::Pool::with_workers(cfg.engine_workers));
     let engine_start = std::time::Instant::now();
     let mut rel_err = TimeSeries::new();
     let n_pages = g.n_pages();
@@ -1072,7 +1119,10 @@ pub fn try_run_over_network(
                 break;
             }
             let (ct, ev) = churn.next().expect("peeked");
-            sim.run_until(ct);
+            match &engine_pool {
+                Some(pool) => sim.run_until_pooled(ct, pool),
+                None => sim.run_until(ct),
+            }
             match ev {
                 ChurnEvent::Depart(node) => {
                     apply_departure(&mut sim, &overlay, &owner_of, &key_of, node);
@@ -1086,7 +1136,10 @@ pub fn try_run_over_network(
                 }
             }
         }
-        sim.run_until(next_t);
+        match &engine_pool {
+            Some(pool) => sim.run_until_pooled(next_t, pool),
+            None => sim.run_until(next_t),
+        }
         rel_err.push(next_t, vec_ops::relative_error(&assemble(sim.actors(), n_pages), &reference));
         t = next_t;
     }
@@ -1155,6 +1208,7 @@ fn apply_departure(
     let ext_cache = actors[node].cfg.ext_cache;
     let orphaned = std::mem::take(&mut actors[node].groups);
     actors[node].relay.clear();
+    actors[node].pending_y.clear();
     actors[node].pending.clear();
     let owners = owner_of.read();
     for gs in orphaned {
@@ -1196,6 +1250,7 @@ fn apply_join(
         key_of: Arc::clone(key_of),
         cache: Arc::clone(cache),
         relay: Vec::new(),
+        pending_y: Vec::new(),
         cfg: Arc::clone(cfg),
         mean_wait,
         uplink_busy_until: 0.0,
@@ -1708,6 +1763,77 @@ mod tests {
             fresh.route_cache.misses,
             "both modes must count the same lookups"
         );
+    }
+
+    #[test]
+    fn engine_workers_are_bit_invisible() {
+        // The tentpole contract: any worker count replays the sequential
+        // engine bit for bit — ranks, cost counters, engine stats, the
+        // whole error time series, and even the order-sensitive route
+        // cache bookkeeping.
+        let g = toy::two_cliques(6);
+        let base = NetRunConfig {
+            faults: Some(
+                FaultPlan::new()
+                    .with_latency(0.01)
+                    .with_default_success(0.85)
+                    .with_jitter(dpr_sim::Jitter::Uniform { max: 0.005 })
+                    .with_straggler(3, 2.0, 1.5),
+            ),
+            t_end: 250.0,
+            ..quick(Transmission::Indirect)
+        };
+        let run = |workers| {
+            run_over_network(&g, NetRunConfig { engine_workers: workers, ..base.clone() })
+        };
+        let seq = run(1);
+        assert_eq!(seq.sched_stats.batches, 0, "one worker is the plain sequential loop");
+        for workers in [2, 4, 8] {
+            let par = run(workers);
+            assert_eq!(
+                par.final_ranks.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+                seq.final_ranks.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+                "rank bits diverged at {workers} workers"
+            );
+            assert_eq!(par.counters, seq.counters, "counters diverged at {workers} workers");
+            assert_eq!(par.per_node, seq.per_node);
+            assert_eq!(par.sim_stats, seq.sim_stats, "engine stats diverged at {workers} workers");
+            assert_eq!(par.rel_err.points(), seq.rel_err.points());
+            assert_eq!(par.route_cache.hits, seq.route_cache.hits);
+            assert_eq!(par.route_cache.misses, seq.route_cache.misses);
+            assert!(par.sched_stats.batches > 0, "parallel runs must actually batch");
+            assert!(par.sched_stats.max_batch >= 2, "no same-window parallelism exposed");
+        }
+    }
+
+    #[test]
+    fn engine_workers_survive_churn_and_reliability() {
+        // The hard mode: departures (state loss + ownership churn), a
+        // join (graceful handoff + mid-run actor spawn), retransmissions,
+        // and direct-mode lookups — still bit-identical across workers.
+        let g = toy::two_cliques(5);
+        let base = NetRunConfig {
+            n_nodes: 8,
+            send_success_prob: 0.7,
+            reliability: Some(Reliability::default()),
+            departures: vec![(60.0, 2)],
+            joins: vec![(90.0, 901)],
+            t_end: 300.0,
+            ..quick(Transmission::Direct)
+        };
+        let run = |workers| {
+            run_over_network(&g, NetRunConfig { engine_workers: workers, ..base.clone() })
+        };
+        let seq = run(1);
+        let par = run(2);
+        assert_eq!(
+            par.final_ranks.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+            seq.final_ranks.iter().map(|r| r.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(par.counters, seq.counters);
+        assert_eq!(par.sim_stats, seq.sim_stats);
+        assert!(par.counters.retries > 0, "loss must exercise the retransmit path");
+        assert!(seq.final_rel_err < 1e-3, "rel err {}", seq.final_rel_err);
     }
 
     #[test]

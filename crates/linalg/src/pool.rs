@@ -33,31 +33,35 @@
 //! on the calling thread so a poisoned computation cannot be mistaken for
 //! a finished one.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
-/// Countdown latch: `broadcast` waits until every worker checked in.
+/// Countdown latch: `broadcast` waits until every worker checked in. The
+/// first worker panic's payload is kept and re-raised on the calling
+/// thread, so a caller sees the *original* panic message (an engine
+/// running heterogeneous per-node tasks surfaces "node 7's solve failed",
+/// not a generic pool assertion).
 struct Latch {
     remaining: Mutex<usize>,
     all_done: Condvar,
-    panicked: AtomicBool,
+    panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
 }
 
 impl Latch {
     fn new(n: usize) -> Self {
-        Self {
-            remaining: Mutex::new(n),
-            all_done: Condvar::new(),
-            panicked: AtomicBool::new(false),
-        }
+        Self { remaining: Mutex::new(n), all_done: Condvar::new(), panic_payload: Mutex::new(None) }
     }
 
-    fn count_down(&self, worker_panicked: bool) {
-        if worker_panicked {
-            self.panicked.store(true, Ordering::Release);
+    fn count_down(&self, panicked: Option<Box<dyn Any + Send>>) {
+        if let Some(payload) = panicked {
+            let mut slot = self.panic_payload.lock().unwrap();
+            // Keep the first payload; later panics of the same broadcast
+            // are duplicates of the same failed fan-out.
+            slot.get_or_insert(payload);
         }
         let mut rem = self.remaining.lock().unwrap();
         *rem -= 1;
@@ -66,13 +70,15 @@ impl Latch {
         }
     }
 
-    /// Blocks until all workers counted down; returns whether any panicked.
-    fn wait(&self) -> bool {
+    /// Blocks until all workers counted down; returns the first panic
+    /// payload, if any worker panicked.
+    fn wait(&self) -> Option<Box<dyn Any + Send>> {
         let mut rem = self.remaining.lock().unwrap();
         while *rem > 0 {
             rem = self.all_done.wait(rem).unwrap();
         }
-        self.panicked.load(Ordering::Acquire)
+        drop(rem);
+        self.panic_payload.lock().unwrap().take()
     }
 }
 
@@ -118,7 +124,7 @@ impl WorkerPool {
                         // SAFETY: upheld by the `Job` contract above.
                         let outcome =
                             catch_unwind(AssertUnwindSafe(|| unsafe { (job.call)(job.data, idx) }));
-                        job.latch.count_down(outcome.is_err());
+                        job.latch.count_down(outcome.err());
                     }
                 })
                 .expect("spawn pool worker");
@@ -136,7 +142,9 @@ impl WorkerPool {
     /// all invocations return.
     ///
     /// # Panics
-    /// If any worker invocation panicked.
+    /// Re-raises the first worker panic with its **original payload**, so a
+    /// heterogeneous batch (different task per worker) reports which task
+    /// actually failed rather than a generic pool assertion.
     fn broadcast<F: Fn(usize) + Sync>(&self, f: &F) {
         unsafe fn call_erased<F: Fn(usize)>(data: *const (), idx: usize) {
             // SAFETY: `data` was produced from `&F` below and is still live
@@ -155,8 +163,9 @@ impl WorkerPool {
             };
             tx.send(Msg::Run(job)).expect("pool worker alive");
         }
-        let panicked = latch.wait();
-        assert!(!panicked, "worker thread panicked during pool broadcast");
+        if let Some(payload) = latch.wait() {
+            resume_unwind(payload);
+        }
     }
 }
 
@@ -207,17 +216,25 @@ impl Pool {
         }
     }
 
-    /// The process-wide shared pool, sized to the machine's available
-    /// parallelism and spawned lazily on first use. On a single-core host
-    /// this is [`Pool::sequential`] — claiming parallelism there would be
-    /// the very lie this module exists to remove.
+    /// The machine's usable hardware parallelism: `available_parallelism()`
+    /// with a fallback of 1 when the host cannot report it. Benchmarks
+    /// record this next to their timings — `BENCH_parallel.json` was
+    /// recorded on a `host_threads() == 1` machine, where speedup ≈ 1× *by
+    /// construction* (every pool degenerates to sequential), so its numbers
+    /// certify determinism, not scaling.
+    #[must_use]
+    pub fn host_threads() -> usize {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+
+    /// The process-wide shared pool, clamped to [`Pool::host_threads`] and
+    /// spawned lazily on first use. On a single-core host this is
+    /// [`Pool::sequential`] — claiming parallelism there would be the very
+    /// lie this module exists to remove.
     #[must_use]
     pub fn global() -> &'static Pool {
         static GLOBAL: OnceLock<Pool> = OnceLock::new();
-        GLOBAL.get_or_init(|| {
-            let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-            Pool::with_workers(n)
-        })
+        GLOBAL.get_or_init(|| Pool::with_workers(Pool::host_threads()))
     }
 
     /// Number of concurrent workers this handle provides (1 when
@@ -391,6 +408,61 @@ mod tests {
             ok.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(ok.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn worker_panic_keeps_its_original_payload() {
+        let pool = Pool::with_workers(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(|i| {
+                if i == 1 {
+                    panic!("solve failed on node 7");
+                }
+            });
+        }));
+        let payload = result.expect_err("broadcast must propagate the panic");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .expect("panic payload should be a string");
+        assert_eq!(msg, "solve failed on node 7");
+    }
+
+    #[test]
+    fn heterogeneous_chunk_panic_propagates_once_and_pool_survives() {
+        // One chunk out of many panics mid-batch: the panic must surface
+        // exactly once on the caller, the latch must not deadlock, and the
+        // remaining chunks must still all have run (other workers drain the
+        // queue) so the pool is reusable with no poisoned state.
+        let pool = Pool::with_workers(3);
+        let n = 64;
+        let done = (0..n).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.for_each_chunk(n, |c| {
+                if c == 17 {
+                    panic!("chunk 17 is poisoned");
+                }
+                done[c].fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        let payload = result.expect_err("chunk panic must propagate");
+        assert_eq!(payload.downcast_ref::<&str>().copied(), Some("chunk 17 is poisoned"));
+        for (c, d) in done.iter().enumerate() {
+            let hits = d.load(Ordering::Relaxed);
+            if c == 17 {
+                assert_eq!(hits, 0);
+            } else {
+                assert_eq!(hits, 1, "chunk {c} ran {hits} times");
+            }
+        }
+        // No poisoned reuse: the same pool keeps serving fresh batches.
+        let ok = AtomicUsize::new(0);
+        pool.for_each_chunk(10, |_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 10);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The virtual-time event loop.
 
+use dpr_linalg::pool::{Pool, SharedSlice};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -61,6 +62,16 @@ pub trait Actor {
 
     /// Called once at simulation start (schedule the first wake here).
     fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// The pure-compute slice of a wake. The engine calls this exactly
+    /// once immediately before every [`Actor::on_wake`], on both the
+    /// sequential and the batched path; the batched path may run the
+    /// thinks of several same-window wakes concurrently and out of order.
+    /// Implementations must therefore touch **only this actor's own
+    /// state** — no context, no RNG, no sends — and leave everything
+    /// order-sensitive to `on_wake`. Default: no-op (all work in
+    /// `on_wake`, which forfeits engine parallelism but stays correct).
+    fn think(&mut self, _now: f64) {}
 
     /// Called when a previously scheduled wake fires.
     fn on_wake(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
@@ -209,6 +220,14 @@ pub struct Simulation<A: Actor> {
     kernel: Kernel<A::Msg>,
     now: f64,
     started: bool,
+    /// Reusable batch buffer: `(time, seq, actor)` of the wakes pulled
+    /// into the current lookahead window (no per-batch allocation).
+    batch: Vec<(f64, u64, usize)>,
+    /// Reusable membership mask over actor indices for batch extraction.
+    in_batch: Vec<bool>,
+    batches: u64,
+    max_batch: usize,
+    singleton_batches: u64,
 }
 
 impl<A: Actor> Simulation<A> {
@@ -250,6 +269,11 @@ impl<A: Actor> Simulation<A> {
             },
             now: 0.0,
             started: false,
+            batch: Vec::new(),
+            in_batch: Vec::new(),
+            batches: 0,
+            max_batch: 0,
+            singleton_batches: 0,
         }
     }
 
@@ -285,11 +309,16 @@ impl<A: Actor> Simulation<A> {
         self.kernel.stats
     }
 
-    /// Scheduler allocation counters (arena recycling observability;
-    /// never part of the replay contract).
+    /// Scheduler allocation counters plus the engine's batch-extraction
+    /// counters (arena recycling / parallelism observability; never part
+    /// of the replay contract).
     #[must_use]
     pub fn sched_stats(&self) -> SchedStats {
-        self.kernel.queue.stats()
+        let mut stats = self.kernel.queue.stats();
+        stats.batches = self.batches;
+        stats.max_batch = self.max_batch;
+        stats.singleton_batches = self.singleton_batches;
+        stats
     }
 
     /// Immutable view of the actors (for measurement between events).
@@ -332,6 +361,7 @@ impl<A: Actor> Simulation<A> {
         match kind {
             EventKind::Wake { actor } => {
                 self.kernel.stats.wakes += 1;
+                self.actors[actor].think(self.now);
                 let mut ctx = Ctx { now: self.now, me: actor, kernel: &mut self.kernel };
                 self.actors[actor].on_wake(&mut ctx);
             }
@@ -353,6 +383,103 @@ impl<A: Actor> Simulation<A> {
                 break;
             }
             self.step();
+        }
+        self.now = self.now.max(t_end);
+    }
+
+    /// [`Simulation::run_until`] with a deterministic parallel think
+    /// stage: consecutive queue-head wakes for **distinct** actors whose
+    /// times fall inside the safe lookahead window
+    /// `[t0, t0 + plan.min_send_latency()]` are extracted as a batch,
+    /// their [`Actor::think`] slices run concurrently on `pool`, and their
+    /// `on_wake`s then commit in canonical `(time, seq)` order.
+    ///
+    /// Bit-identical to [`Simulation::run_until`] at any worker count:
+    ///
+    /// * No pending delivery can alter a batch member's inputs — any
+    ///   message generated while committing arrives at
+    ///   `≥ t_commit + min_send_latency ≥` every member's time, and at
+    ///   equal time carries a larger `seq` than every member's wake (the
+    ///   wakes were queued earlier), so it sorts after them, exactly as it
+    ///   would sequentially.
+    /// * `think` touches only the actor's own state and draws no RNG, so
+    ///   running the batch's thinks early, concurrently, and in any order
+    ///   is unobservable; every order-sensitive effect (sends, RNG draws,
+    ///   counters) stays in the commit phase.
+    /// * A committed `on_wake` may schedule a near-zero-delay self-wake
+    ///   that lands *between* remaining members; the commit loop replays
+    ///   such interlopers inline at exactly their `(time, seq)` position.
+    pub fn run_until_pooled(&mut self, t_end: f64, pool: &Pool)
+    where
+        A: Send,
+    {
+        self.start_if_needed();
+        let d_min = self.kernel.plan.min_send_latency();
+        while let Some((t0, _)) = self.kernel.queue.peek_key() {
+            if t0 > t_end {
+                break;
+            }
+            // Extraction: pull consecutive head wakes of distinct actors
+            // within the window. Stop at the first delivery, repeated
+            // actor, or out-of-window time.
+            let window = (t0 + d_min).min(t_end);
+            if self.in_batch.len() < self.actors.len() {
+                self.in_batch.resize(self.actors.len(), false);
+            }
+            self.batch.clear();
+            while let Some((t, seq, kind)) = self.kernel.queue.peek() {
+                let EventKind::Wake { actor } = kind else { break };
+                let actor = *actor;
+                if t > window || self.in_batch[actor] {
+                    break;
+                }
+                self.in_batch[actor] = true;
+                self.batch.push((t, seq, actor));
+                self.kernel.queue.pop();
+            }
+            if self.batch.is_empty() {
+                // Head is a message delivery: process it normally.
+                self.step();
+                continue;
+            }
+            self.batches += 1;
+            self.max_batch = self.max_batch.max(self.batch.len());
+            if self.batch.len() == 1 {
+                self.singleton_batches += 1;
+                let (t, _seq, actor) = self.batch[0];
+                self.actors[actor].think(t);
+            } else {
+                // Think phase: fan the batch out over the pool. Distinct
+                // actor indices make the concurrent `&mut` carve-outs
+                // disjoint.
+                let batch = &self.batch;
+                let shared = SharedSlice::new(&mut self.actors);
+                pool.for_each_chunk(batch.len(), |i| {
+                    let (t, _seq, actor) = batch[i];
+                    // SAFETY: batch actors are pairwise distinct.
+                    let a = &mut unsafe { shared.slice_mut(actor, 1) }[0];
+                    a.think(t);
+                });
+            }
+            // Commit phase: replay members in (time, seq) order, stepping
+            // any interloper event that sorts before the next member at
+            // exactly the position the sequential engine would give it.
+            for i in 0..self.batch.len() {
+                let (t, seq, actor) = self.batch[i];
+                while let Some((ti, si)) = self.kernel.queue.peek_key() {
+                    if ti.total_cmp(&t).then(si.cmp(&seq)).is_lt() {
+                        self.step();
+                    } else {
+                        break;
+                    }
+                }
+                debug_assert!(t >= self.now, "batch commit went back in time");
+                self.now = t;
+                self.kernel.stats.wakes += 1;
+                let mut ctx = Ctx { now: t, me: actor, kernel: &mut self.kernel };
+                self.actors[actor].on_wake(&mut ctx);
+                self.in_batch[actor] = false;
+            }
         }
         self.now = self.now.max(t_end);
     }

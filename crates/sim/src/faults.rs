@@ -253,6 +253,17 @@ impl FaultPlan {
         self.latency * self.stragglers.get(&from).map_or(1.0, |s| s.latency_factor)
     }
 
+    /// Lower bound on the delay of **any** message sent under this plan:
+    /// straggler latency factors are ≥ 1, jitter samples are ≥ 0, and
+    /// multi-hop extra delay is ≥ 0, so no send can arrive earlier than
+    /// `now + min_send_latency()`. The batched engine uses this as its safe
+    /// lookahead window: wakes within it cannot be affected by messages the
+    /// batch itself generates.
+    #[must_use]
+    pub fn min_send_latency(&self) -> f64 {
+        self.latency
+    }
+
     /// Think-time multiplier for wakes scheduled by `node`.
     #[must_use]
     pub fn think_factor(&self, node: usize) -> f64 {

@@ -56,6 +56,14 @@ pub struct SchedStats {
     pub peak_queue_len: usize,
     /// Events currently queued.
     pub queue_len: usize,
+    /// Wake batches extracted by the batched engine (zero under the plain
+    /// sequential `run_until`). Like the allocation counters these are
+    /// observability, not part of the replay contract.
+    pub batches: u64,
+    /// Largest wake batch extracted.
+    pub max_batch: usize,
+    /// Batches that contained exactly one wake (no parallelism exposed).
+    pub singleton_batches: u64,
 }
 
 /// Heap entry: the full ordering key plus the arena slot holding the
@@ -144,6 +152,18 @@ impl<T> SlabScheduler<T> {
         self.heap.first().map(|e| (e.time, e.seq))
     }
 
+    /// Earliest queued event — key and a borrow of its payload — without
+    /// dequeuing it. The batched engine uses this to decide whether the
+    /// head is a wake it may pull into the current batch.
+    #[must_use]
+    pub fn peek(&self) -> Option<(f64, u64, &T)> {
+        self.heap.first().map(|e| {
+            let payload =
+                self.arena[e.slot as usize].as_ref().expect("queued slot holds a payload");
+            (e.time, e.seq, payload)
+        })
+    }
+
     /// Dequeues the earliest event, returning `(time, payload)` and
     /// recycling its arena slot.
     pub fn pop(&mut self) -> Option<(f64, T)> {
@@ -166,6 +186,7 @@ impl<T> SlabScheduler<T> {
             arena_slots: self.arena.len(),
             peak_queue_len: self.peak,
             queue_len: self.heap.len(),
+            ..SchedStats::default()
         }
     }
 
@@ -265,6 +286,27 @@ impl<T> EventQueue<T> {
         }
     }
 
+    /// Earliest queued `(time, seq)`, if any.
+    #[must_use]
+    pub fn peek_key(&self) -> Option<(f64, u64)> {
+        match self {
+            EventQueue::Slab(s) => s.peek_key(),
+            EventQueue::Heap { queue, .. } => queue.peek().map(|Reverse(e)| (e.time, e.seq)),
+        }
+    }
+
+    /// Earliest queued event with a borrow of its payload, without
+    /// dequeuing.
+    #[must_use]
+    pub fn peek(&self) -> Option<(f64, u64, &T)> {
+        match self {
+            EventQueue::Slab(s) => s.peek(),
+            EventQueue::Heap { queue, .. } => {
+                queue.peek().map(|Reverse(e)| (e.time, e.seq, &e.payload))
+            }
+        }
+    }
+
     /// Dequeues the earliest event as `(time, payload)`.
     pub fn pop(&mut self) -> Option<(f64, T)> {
         match self {
@@ -283,6 +325,7 @@ impl<T> EventQueue<T> {
                 arena_slots: *peak,
                 peak_queue_len: *peak,
                 queue_len: queue.len(),
+                ..SchedStats::default()
             },
         }
     }
