@@ -44,9 +44,14 @@ COMMANDS:
             [--crash T:NODE[,T:NODE...]] [--join T:SEED[,T:SEED...]]
             [--partition T1:T2:LO-HI] [--no-coalesce] [--no-route-cache]
             [--heap-scheduler] [--no-ext-cache] [--engine-workers W]
+            [--replicas K] [--checkpoint-every T] [--suspect-after N]
             --reliable turns on ack/retry/dedup delivery; --crash departs
             nodes (state lost), --join adds nodes (graceful handoff),
             --partition severs nodes LO..=HI from the rest during [T1,T2);
+            --replicas K ships group checkpoints to K overlay replicas
+            every --checkpoint-every T time units; a replica re-hosts a
+            crashed owner's groups warm after N missed checkpoints
+            (--suspect-after); 0 replicas = the exact baseline;
             --no-coalesce / --no-route-cache disable the fast message
             path (per-destination merging, memoized overlay lookups);
             --heap-scheduler / --no-ext-cache fall back to the legacy
@@ -290,6 +295,9 @@ fn simulate_net(args: &Args, g: &WebGraph, variant: DprVariant) -> CmdResult {
             dpr_sim::SchedulerKind::Slab
         },
         ext_cache: !args.flag("no-ext-cache"),
+        replication: args.get("replicas", 0usize),
+        checkpoint_every: args.get("checkpoint-every", NetRunConfig::default().checkpoint_every),
+        suspect_after: args.get("suspect-after", NetRunConfig::default().suspect_after),
         engine_workers: args.get("engine-workers", dpr_linalg::pool::Pool::host_threads()),
         ..NetRunConfig::default()
     };
@@ -316,11 +324,21 @@ fn simulate_net(args: &Args, g: &WebGraph, variant: DprVariant) -> CmdResult {
     );
     if res.counters.acks > 0 || res.counters.retries > 0 {
         println!(
-            "reliability: {} acks, {} retries, {} duplicates suppressed, {} abandoned",
+            "reliability: {} acks, {} retries, {} duplicates suppressed, {} abandoned ({} updates gave up)",
             res.counters.acks,
             res.counters.retries,
             res.counters.duplicates_suppressed,
-            res.counters.retry_exhausted
+            res.counters.retry_exhausted,
+            res.counters.gave_up
+        );
+    }
+    if res.counters.checkpoints_sent > 0 || res.counters.takeovers_cold > 0 {
+        println!(
+            "replication: {} checkpoints ({:.1} MB), {} warm takeovers, {} cold takeovers",
+            res.counters.checkpoints_sent,
+            res.counters.checkpoint_bytes as f64 / 1e6,
+            res.counters.takeovers_warm,
+            res.counters.takeovers_cold
         );
     }
     let s = res.sim_stats;

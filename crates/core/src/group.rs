@@ -525,6 +525,17 @@ impl AfferentState {
         self.received.len()
     }
 
+    /// Copies out the per-source contributions, in ascending source order —
+    /// the checkpoint payload the replication protocol ships. Replaying the
+    /// snapshot through [`AfferentState::set`] in this order reproduces `X`
+    /// bit-identically on a fresh instance: `received` is a `BTreeMap`, so
+    /// both the original and the restored state sum rows in the same
+    /// ascending source order.
+    #[must_use]
+    pub fn snapshot_received(&self) -> Vec<(GroupId, Vec<(u32, f64)>)> {
+        self.received.iter().map(|(&g, v)| (g, v.clone())).collect()
+    }
+
     /// Total rows recomputed across all refreshes (a full rebuild counts
     /// every row) — the work the dirty-row cache is there to avoid.
     #[must_use]
@@ -571,6 +582,30 @@ mod tests {
         st.set(5, vec![(1, 4.0)]);
         assert_eq!(st.refresh(), &[0.0, 4.0]);
         assert_eq!(st.refresh(), &[0.0, 4.0]);
+    }
+
+    #[test]
+    fn afferent_snapshot_replays_bit_identically() {
+        // The checkpoint/restore contract the takeover protocol relies on:
+        // replaying a snapshot through `set` on a fresh instance rebuilds
+        // the exact bits of `X`, in both caching modes.
+        let mut st = AfferentState::new(5);
+        st.set(3, vec![(0, 0.125), (4, 1.0 / 3.0)]);
+        st.set(0, vec![(0, 0.7), (2, 1e-9)]);
+        st.merge(3, &[(1, 0.2)]);
+        st.set(9, vec![(3, 0.55)]);
+        let x_before: Vec<u64> = st.refresh().iter().map(|v| v.to_bits()).collect();
+        let snap = st.snapshot_received();
+        assert_eq!(snap.len(), 3);
+        assert!(snap.windows(2).all(|w| w[0].0 < w[1].0), "ascending source order");
+        for fresh in [AfferentState::new(5), AfferentState::new_full_rebuild(5)] {
+            let mut fresh = fresh;
+            for (src, entries) in &snap {
+                fresh.set(*src, entries.clone());
+            }
+            let x_after: Vec<u64> = fresh.refresh().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(x_before, x_after);
+        }
     }
 
     fn split_cycle() -> (WebGraph, Vec<GroupContext>) {

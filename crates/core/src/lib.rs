@@ -56,8 +56,8 @@ pub use dpr::{DprVariant, RankerNode, YMessage};
 pub use dpr_overlay::RouteCacheStats;
 pub use group::{AfferentState, GroupContext};
 pub use netrun::{
-    try_run_over_network, ChurnUnsupported, NetCounters, NetRunConfig, NetRunResult, OverlayKind,
-    Reliability, Transmission,
+    group_owners, try_run_over_network, ChurnUnsupported, GroupSnapshot, NetCounters, NetRunConfig,
+    NetRunError, NetRunResult, OverlayKind, Reliability, Transmission,
 };
 pub use query::{distributed_top_k, Hit};
 pub use run::{run_distributed, DistributedRun, DistributedRunConfig, RunResult};

@@ -73,6 +73,7 @@ pub struct RouteCache {
     generation: u64,
     next_hops: HashMap<(NodeIndex, u128), Option<NodeIndex>>,
     routes: HashMap<(NodeIndex, u128), Arc<[NodeIndex]>>,
+    replica_sets: HashMap<(u128, usize), Arc<[NodeIndex]>>,
     stats: RouteCacheStats,
     /// When set, nothing is stored and every lookup counts as a miss —
     /// the "cache off" configuration with identical bookkeeping.
@@ -105,9 +106,13 @@ impl RouteCache {
         let gen = net.generation();
         if gen != self.generation {
             self.generation = gen;
-            if !(self.next_hops.is_empty() && self.routes.is_empty()) {
+            if !(self.next_hops.is_empty()
+                && self.routes.is_empty()
+                && self.replica_sets.is_empty())
+            {
                 self.next_hops.clear();
                 self.routes.clear();
+                self.replica_sets.clear();
                 self.stats.invalidations += 1;
             }
         }
@@ -154,16 +159,36 @@ impl RouteCache {
         self.route(net, src, key).len()
     }
 
+    /// Memoized [`Overlay::replicas`], shared without copying the handle
+    /// vector. Replica sets depend only on the key and the membership, so
+    /// they ride the same generation-stamped invalidation as routes: a
+    /// cached set can never outlive the membership that produced it.
+    pub fn replicas(&mut self, net: &dyn Overlay, key: u128, k: usize) -> Arc<[NodeIndex]> {
+        if self.bypass {
+            self.stats.misses += 1;
+            return net.replicas(key, k).into();
+        }
+        self.sync(net);
+        if let Some(set) = self.replica_sets.get(&(key, k)) {
+            self.stats.hits += 1;
+            return Arc::clone(set);
+        }
+        self.stats.misses += 1;
+        let set: Arc<[NodeIndex]> = net.replicas(key, k).into();
+        self.replica_sets.insert((key, k), Arc::clone(&set));
+        set
+    }
+
     /// Counters accumulated so far.
     #[must_use]
     pub fn stats(&self) -> RouteCacheStats {
         self.stats
     }
 
-    /// Number of memoized entries (next-hop plus full-route).
+    /// Number of memoized entries (next-hop, full-route and replica-set).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.next_hops.len() + self.routes.len()
+        self.next_hops.len() + self.routes.len() + self.replica_sets.len()
     }
 
     /// Whether the cache currently holds no entries.
@@ -245,6 +270,36 @@ mod tests {
         assert_eq!(cache.stats().misses, 3);
         assert_eq!(cache.stats().hits, 0);
         assert_eq!(cache.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn cached_replicas_match_fresh_and_flush_on_churn() {
+        let mut net = ChordNetwork::with_nodes(24, 13);
+        let mut cache = RouteCache::new();
+        let key = key_from_u64(3);
+        let first = cache.replicas(&net, key, 2);
+        assert_eq!(first.as_ref(), net.replicas(key, 2).as_slice());
+        let again = cache.replicas(&net, key, 2);
+        assert!(Arc::ptr_eq(&first, &again), "repeat lookups share the allocation");
+        assert_eq!(cache.stats().hits, 1);
+        // Churn must invalidate: the promoted heir leaves the set.
+        net.depart(net.responsible(key));
+        let fresh = cache.replicas(&net, key, 2);
+        assert_eq!(fresh.as_ref(), net.replicas(key, 2).as_slice());
+        assert_eq!(cache.stats().invalidations, 1);
+        assert_ne!(first.as_ref(), fresh.as_ref());
+    }
+
+    #[test]
+    fn bypassed_replicas_store_nothing() {
+        let net = PastryNetwork::with_nodes(16, 3);
+        let mut cache = RouteCache::bypassed();
+        let key = key_from_u64(2);
+        for _ in 0..2 {
+            assert_eq!(cache.replicas(&net, key, 2).as_ref(), net.replicas(key, 2).as_slice());
+        }
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 2);
     }
 
     #[test]

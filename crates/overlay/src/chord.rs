@@ -242,6 +242,20 @@ impl Overlay for ChordNetwork {
     fn generation(&self) -> u64 {
         self.generation
     }
+
+    fn replicas(&self, key: u128, k: usize) -> Vec<NodeIndex> {
+        if k == 0 || self.order.len() <= 1 {
+            return Vec::new();
+        }
+        // The successor list of the key's owner: when the owner departs,
+        // `successor_handle` lands on the next clockwise node — replicas[0].
+        let pos = {
+            let folded = Self::fold(key);
+            self.order.partition_point(|&h| self.ids[h as usize] < folded) % self.order.len()
+        };
+        let k = k.min(self.order.len() - 1);
+        (1..=k).map(|i| self.order[(pos + i) % self.order.len()] as NodeIndex).collect()
+    }
 }
 
 #[cfg(test)]
@@ -366,5 +380,30 @@ mod tests {
         let mut net = ChordNetwork::from_ids(vec![10, 20]);
         net.depart(0);
         net.depart(1);
+    }
+
+    #[test]
+    fn replicas_are_the_successor_list() {
+        let net = ChordNetwork::from_ids(vec![100, 200, 300, 400]);
+        let key_at = |v: u64| u128::from(v) << 64;
+        // Owner of 150 is id 200; successors clockwise are 300, 400, 100.
+        let reps = net.replicas(key_at(150), 3);
+        let ids: Vec<u64> = reps.iter().map(|&h| net.id_of(h)).collect();
+        assert_eq!(ids, vec![300, 400, 100]);
+        // Clamped: a 4-ring has at most 3 distinct replicas.
+        assert_eq!(net.replicas(key_at(150), 10).len(), 3);
+        assert!(net.replicas(key_at(150), 0).is_empty());
+    }
+
+    #[test]
+    fn replica_succession_matches_departures() {
+        let mut net = ChordNetwork::with_nodes(32, 9);
+        let key = key_from_u64(5);
+        let reps = net.replicas(key, 2);
+        assert!(!reps.contains(&net.responsible(key)));
+        net.depart(net.responsible(key));
+        assert_eq!(net.responsible(key), reps[0]);
+        net.depart(net.responsible(key));
+        assert_eq!(net.responsible(key), reps[1]);
     }
 }

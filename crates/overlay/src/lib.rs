@@ -103,6 +103,22 @@ pub trait Overlay {
         0
     }
 
+    /// The `k` nodes that back up the owner of `key`: Pastry's numerically
+    /// adjacent leaves, Chord's successor list. The order is the succession
+    /// order — `replicas(key, k)[0]` is the node that becomes
+    /// [`Overlay::responsible`] for `key` if the current owner departs (the
+    /// *heir property* the takeover protocol in `dpr-core::netrun` relies
+    /// on), `[1]` the heir after two departures, and so on. The responsible
+    /// node itself is never included, and fewer than `k` handles come back
+    /// when the live membership is too small. Overlays without a
+    /// replica-set notion (CAN: a zone's heir depends on the merge order,
+    /// not on a static neighbor list) keep the default empty vector,
+    /// meaning replication is unsupported.
+    fn replicas(&self, key: u128, k: usize) -> Vec<NodeIndex> {
+        let _ = (key, k);
+        Vec::new()
+    }
+
     /// Mean neighbor-set size `g` over live nodes (the constant in
     /// `S_it = gN`, Eq 4.3).
     fn mean_neighbors(&self) -> f64 {

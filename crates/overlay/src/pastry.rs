@@ -606,6 +606,25 @@ impl Overlay for PastryNetwork {
         self.generation
     }
 
+    fn replicas(&self, key: u128, k: usize) -> Vec<NodeIndex> {
+        if k == 0 || self.order.len() <= 1 {
+            return Vec::new();
+        }
+        // The k+1 numerically closest live nodes all sit within k+1 sorted
+        // positions of the key's insertion point, so a clamped window is
+        // enough — same non-wrapping shape as the leaf ranges.
+        let target = NodeId(key);
+        let pos = self.order.partition_point(|&h| self.nodes[h as usize].0 < key);
+        let lo = pos.saturating_sub(k + 1);
+        let hi = (pos + k + 1).min(self.order.len());
+        let mut cand: Vec<NodeIndex> = self.order[lo..hi].iter().map(|&h| h as NodeIndex).collect();
+        // (distance, id) is exactly `responsible`'s ordering, so cand[0] is
+        // the current owner and cand[1..] the succession order.
+        cand.sort_by_key(|&h| (self.nodes[h].distance(target), self.nodes[h].0));
+        debug_assert_eq!(cand[0], self.responsible(key));
+        cand.into_iter().skip(1).take(k).collect()
+    }
+
     fn neighbors(&self, idx: NodeIndex) -> Vec<NodeIndex> {
         let mut out = self.leaf_set(idx);
         for row in &self.tables[idx].rows {
@@ -856,5 +875,46 @@ mod tests {
     fn distance_is_zero_without_a_proximity_space() {
         let net = PastryNetwork::with_nodes(10, 5);
         assert_eq!(net.distance_between(0, 1), 0.0);
+    }
+
+    #[test]
+    fn replicas_are_the_closest_nodes_after_the_owner() {
+        let net = PastryNetwork::with_nodes(64, 3);
+        for k in 0..100u64 {
+            let key = key_from_u64(k);
+            let resp = net.responsible(key);
+            let reps = net.replicas(key, 3);
+            assert_eq!(reps.len(), 3);
+            assert!(!reps.contains(&resp), "owner must not replicate to itself");
+            // Brute-force ground truth: all nodes by (distance, id).
+            let mut all: Vec<usize> = (0..net.n_nodes()).collect();
+            all.sort_by_key(|&h| (net.id_of(h).distance(NodeId(key)), net.id_of(h).0));
+            assert_eq!(all[0], resp);
+            assert_eq!(&all[1..4], reps.as_slice(), "key {k}");
+        }
+    }
+
+    #[test]
+    fn replica_succession_matches_departures() {
+        // The heir property: departing the owner promotes replicas[0],
+        // departing the heir too promotes replicas[1].
+        let mut net = PastryNetwork::with_nodes(50, 19);
+        let key = key_from_u64(13);
+        let reps = net.replicas(key, 2);
+        net.depart(net.responsible(key));
+        assert_eq!(net.responsible(key), reps[0]);
+        net.depart(net.responsible(key));
+        assert_eq!(net.responsible(key), reps[1]);
+    }
+
+    #[test]
+    fn replicas_clamp_to_membership() {
+        let net = PastryNetwork::with_nodes(3, 7);
+        let key = key_from_u64(1);
+        let reps = net.replicas(key, 10);
+        assert_eq!(reps.len(), 2, "only the two non-owners exist");
+        assert!(net.replicas(key, 0).is_empty());
+        let single = PastryNetwork::with_nodes(1, 7);
+        assert!(single.replicas(key, 3).is_empty());
     }
 }

@@ -215,6 +215,24 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a crash from which `node` never restarts — the fail-stop model
+    /// the replication/takeover protocol is built against, as opposed to a
+    /// [`Self::with_crash`] window a node recovers from with its state
+    /// intact. Shorthand for `with_crash(node, start, f64::INFINITY)`.
+    #[must_use]
+    pub fn with_permanent_crash(self, node: usize, start: f64) -> Self {
+        self.with_crash(node, start, f64::INFINITY)
+    }
+
+    /// Whether `node` is inside a crash window it never exits — i.e. a
+    /// fail-stop failure rather than a crash/restart cycle. Recovery
+    /// drivers use this to distinguish "wait for the restart" from "the
+    /// state is gone, a replica must take over".
+    #[must_use]
+    pub fn is_permanently_crashed(&self, node: usize) -> bool {
+        self.crashes.iter().any(|c| c.node == node && c.end == f64::INFINITY)
+    }
+
     /// Effective success probability of a send `from → to` (loss processes
     /// compose multiplicatively).
     #[must_use]
@@ -383,5 +401,23 @@ mod tests {
         let exp = FaultPlan::new().with_jitter(Jitter::Exponential { mean: 0.2 });
         let mean: f64 = (0..5000).map(|_| exp.sample_jitter(&mut a)).sum::<f64>() / 5000.0;
         assert!((mean - 0.2).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn permanent_crash_never_restarts() {
+        let plan = FaultPlan::new().with_permanent_crash(3, 50.0).with_crash(7, 50.0, 80.0);
+        // Node 3 is fail-stop: down forever after 50.0.
+        assert!(!plan.is_crashed(3, 49.9));
+        assert!(plan.is_crashed(3, 50.0));
+        assert!(plan.is_crashed(3, 1e12));
+        assert!(plan.is_permanently_crashed(3));
+        // Node 7 restarts at 80.0 and is not permanent.
+        assert!(plan.is_crashed(7, 60.0));
+        assert!(!plan.is_crashed(7, 80.0));
+        assert!(!plan.is_permanently_crashed(7));
+        assert!(!plan.is_permanently_crashed(0));
+        // Both shapes block sends while down.
+        assert_eq!(plan.block_reason(3, 0, 100.0), Some(BlockReason::Crash));
+        assert_eq!(plan.block_reason(0, 7, 100.0), None);
     }
 }

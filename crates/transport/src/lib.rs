@@ -53,6 +53,7 @@ pub mod codec;
 pub mod compress;
 pub mod direct;
 pub mod indirect;
+pub mod snapshot;
 pub mod stats;
 
 pub use codec::{MeasuredSizeModel, PaperSizeModel, RankUpdate, SizeModel};

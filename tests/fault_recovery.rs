@@ -169,6 +169,12 @@ fn dead_network_exhausts_bounded_retry_budgets() {
     );
     assert_eq!(res.counters.acks, 0, "nothing arrives, so nothing is acked");
     assert!(res.counters.retry_exhausted > 0, "budgets must actually run out");
+    assert!(
+        res.counters.gave_up >= res.counters.retry_exhausted,
+        "every abandoned package carries at least one update: {} parts for {} packages",
+        res.counters.gave_up,
+        res.counters.retry_exhausted
+    );
     assert!(res.counters.retries > 0);
     let originals = res.counters.data_messages - res.counters.retries;
     assert!(
