@@ -1,0 +1,361 @@
+//! **QUERIES** — load test for the epoch-versioned [`RankStore`] serving
+//! path: converge a ranker fleet on an edu-domain crawl, publish per-slice
+//! epoch snapshots, then hammer the store from multiple reader threads
+//! while a background publisher keeps swapping epochs underneath them.
+//!
+//! The run has three phases:
+//!
+//! 1. **Converge + publish** — one `RankerNode` per group runs DPR1 under
+//!    the simulator; after every time slice the fleet's group vectors are
+//!    published, so the store sees a realistic stream of epoch bumps.
+//! 2. **Verify** (the smoke gate) — the store's top-k, candidate top-k,
+//!    point lookups and site aggregates are asserted **bit-identical** to
+//!    scatter-gather queries against the live rankers at the same epoch.
+//! 3. **Load** — for each reader count the workers of a
+//!    [`dpr_linalg::pool::Pool`] issue a fixed mix of queries (70% point
+//!    lookups, 20% top-k, 8% candidate top-k, 2% site aggregates), each
+//!    timed into a per-worker [`LatencyHistogram`], while a publisher
+//!    thread alternates the store between a mid-run and the converged
+//!    epoch — so the recorded throughput includes concurrent publication.
+//!
+//! `host_threads` is recorded next to the timings: on a 1-core host all
+//! reader counts share one core, so multi-reader rows certify the
+//! lock-free read path under contention, not scaling (same caveat as
+//! `BENCH_parallel.json`).
+//!
+//! Usage: `queries [--pages N] [--groups K] [--readers 1,2,4]
+//!         [--queries N] [--t-end T] [--topk-cap K] [--quick] [--out PATH]`
+//!
+//! `--quick` shrinks the graph and query count for CI smoke testing,
+//! still asserting bit-identity. `--out` writes the JSON payload (used to
+//! commit `BENCH_queries.json` at the repo root).
+
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dpr_bench::BenchArgs;
+use dpr_core::dpr::assemble_global;
+use dpr_core::group::GroupContext;
+use dpr_core::metrics::LatencyHistogram;
+use dpr_core::store::GroupRanks;
+use dpr_core::{
+    distributed_top_k, site_totals, DprVariant, GroupPublish, Hit, RankConfig, RankStore,
+    RankerNode,
+};
+use dpr_graph::generators::edu::{edu_domain, EduDomainConfig};
+use dpr_graph::PageId;
+use dpr_linalg::pool::{Pool, SharedSlice};
+use dpr_partition::{Partition, Strategy};
+use dpr_sim::{SimConfig, Simulation};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ReaderRow {
+    readers: usize,
+    total_queries: u64,
+    wall_secs: f64,
+    queries_per_sec: f64,
+    /// Quantiles are log2-bucket upper bounds (the top one clamps to the
+    /// exact maximum), nanoseconds per query.
+    p50_ns: u64,
+    p90_ns: u64,
+    p99_ns: u64,
+    max_ns: u64,
+    /// Per-bucket query counts; bucket `i` holds latencies in
+    /// `[2^(i-1), 2^i)` ns, trimmed at the last non-zero bucket.
+    histogram: Vec<u64>,
+    /// Epoch swaps the background publisher landed during this row.
+    publisher_publishes: u64,
+}
+
+#[derive(Serialize)]
+struct VerifyBlock {
+    /// Store answers matched live scatter-gather queries bit for bit.
+    bit_identical: bool,
+    store_version: u64,
+    publishes: u64,
+    group_updates: u64,
+    skipped_updates: u64,
+}
+
+#[derive(Serialize)]
+struct Payload {
+    /// `available_parallelism()` of the recording host. When 1, the
+    /// multi-reader rows measure the read path under contention on a
+    /// single core, not parallel speedup.
+    host_threads: usize,
+    quick: bool,
+    pages: usize,
+    sites: usize,
+    groups: usize,
+    topk_cap: usize,
+    t_end: f64,
+    converge_secs: f64,
+    /// Query mix, percent: point lookup / top-k / candidate top-k /
+    /// site aggregates.
+    mix: [u32; 4],
+    verify: VerifyBlock,
+    readers: Vec<usize>,
+    grid: Vec<ReaderRow>,
+}
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Owned handles to one whole-store state (every group's snapshot), kept
+/// alive by the `Arc`s so the publisher can republish it later.
+fn snapshot_state(store: &RankStore, groups: usize) -> Vec<Arc<GroupRanks>> {
+    let v = store.view();
+    (0..groups as u32).filter_map(|gid| v.group(gid).cloned()).collect()
+}
+
+fn assert_hits_bits_equal(a: &[Hit], b: &[Hit], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.page, y.page, "{what}: page order diverged");
+        assert_eq!(x.rank.to_bits(), y.rank.to_bits(), "{what}: rank bits differ on {}", x.page);
+    }
+}
+
+fn main() {
+    let args = BenchArgs::from_env("queries");
+    let quick = args.flag("quick");
+    let pages = args.get("pages", if quick { 20_000 } else { 100_000usize });
+    let sites = args.get("sites", if quick { 50 } else { 100usize });
+    let groups = args.get("groups", if quick { 32 } else { 64usize });
+    let readers: Vec<usize> = args.list("readers", if quick { "1,2" } else { "1,2,4" });
+    let total_queries = args.get("queries", if quick { 40_000 } else { 1_000_000u64 });
+    let t_end = args.get("t-end", 120.0f64);
+    let topk_cap = args.get("topk-cap", 128usize);
+    let host_threads = Pool::host_threads();
+    const MIX: [u32; 4] = [70, 20, 8, 2];
+
+    eprintln!(
+        "[queries] host_threads {host_threads}, {pages} pages / {groups} groups, \
+         readers {readers:?}, {total_queries} queries per row{}",
+        if host_threads == 1 { " (1-core host: rows contend on one core)" } else { "" }
+    );
+
+    // Phase 1: converge a ranker fleet, publishing after every slice so
+    // the store sees the same epoch stream `netrun` would feed it.
+    let g = edu_domain(&EduDomainConfig { n_pages: pages, n_sites: sites, ..Default::default() });
+    let site_of: Vec<u32> = (0..g.n_pages() as u32).map(|p| g.site(p)).collect();
+    let part = Partition::build(&g, &Strategy::HashBySite, groups, 0);
+    let nodes: Vec<RankerNode> = GroupContext::build_all(&g, &part, &RankConfig::default())
+        .into_iter()
+        .map(|c| RankerNode::new(c, DprVariant::Dpr1, 1.0))
+        .collect();
+    let mut sim = Simulation::new(nodes, SimConfig { seed: 7, ..SimConfig::default() });
+    let store = Arc::new(RankStore::new(topk_cap).with_sites(site_of.clone(), g.n_sites()));
+
+    let t0 = Instant::now();
+    const SLICES: u32 = 12;
+    let mut mid_state: Vec<Arc<GroupRanks>> = Vec::new();
+    for s in 1..=SLICES {
+        sim.run_until(t_end * f64::from(s) / f64::from(SLICES));
+        store.publish_rankers(sim.actors());
+        if s == 2 {
+            // An early, visibly-unconverged epoch the load-phase
+            // publisher will alternate with the converged one.
+            mid_state = snapshot_state(&store, groups);
+        }
+    }
+    let converge_secs = t0.elapsed().as_secs_f64();
+    let final_state = snapshot_state(&store, groups);
+    eprintln!(
+        "[queries] converged in {converge_secs:.2}s, store at version {}",
+        store.view().version()
+    );
+
+    // Phase 2 (the smoke gate): every query family must be bit-identical
+    // to scatter-gather over the live rankers at this epoch.
+    let v = store.view();
+    let nodes = sim.actors();
+    assert_hits_bits_equal(&v.top_k(100), &distributed_top_k(nodes, 100, None), "global top-k");
+    let cands: Vec<PageId> = (0..200u32).chain([7, 7, 13]).collect();
+    assert_hits_bits_equal(
+        &v.top_k_candidates(20, &cands),
+        &distributed_top_k(nodes, 20, Some(&cands)),
+        "candidate top-k",
+    );
+    let global = assemble_global(nodes, g.n_pages());
+    let mut seed = 0xC0FFEEu64;
+    for p in (0..64).map(|_| (splitmix64(&mut seed) % pages as u64) as u32) {
+        let l = v.lookup(p).expect("every page is owned");
+        assert_eq!(l.rank.to_bits(), global[p as usize].to_bits(), "point lookup page {p}");
+    }
+    let live_sites = site_totals(nodes, &site_of, g.n_sites());
+    let stored = v.site_totals().expect("store built with site info");
+    assert_eq!(stored.len(), live_sites.len());
+    for (s, (a, b)) in stored.iter().zip(&live_sites).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "site {s} aggregate bits differ");
+    }
+    let stats = store.stats();
+    let verify = VerifyBlock {
+        bit_identical: true,
+        store_version: v.version(),
+        publishes: stats.publishes,
+        group_updates: stats.group_updates,
+        skipped_updates: stats.skipped_updates,
+    };
+    drop(v);
+    eprintln!("[queries] verify: store bit-identical to live rankers ({stats:?})");
+
+    // Phase 3: the load grid. Per reader count, workers split the query
+    // budget and time each call into a private histogram while a
+    // publisher thread alternates the store between the mid-run and
+    // converged epochs — reads race real epoch swaps, as in serving.
+    let mut grid: Vec<ReaderRow> = Vec::new();
+    let mut epoch = t_end.ceil() as u64 + 1;
+    for &r in &readers {
+        let stop = Arc::new(AtomicBool::new(false));
+        let publisher = {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            let (mid, fin) = (mid_state.clone(), final_state.clone());
+            let mut publishes = 0u64;
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    epoch += 1;
+                    let state = if epoch.is_multiple_of(2) { &mid } else { &fin };
+                    store.publish(state.iter().map(|gr| GroupPublish {
+                        group: gr.group(),
+                        epoch,
+                        pages: gr.pages(),
+                        ranks: gr.ranks(),
+                    }));
+                    publishes += 1;
+                    // Paced: swapping whole epochs every publish forces a
+                    // full index rebuild, so back off enough that the
+                    // readers, not the publisher, own the core(s).
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                (publishes, epoch)
+            })
+        };
+
+        let mut hists: Vec<LatencyHistogram> = (0..r).map(|_| LatencyHistogram::new()).collect();
+        let shared = SharedSlice::new(&mut hists);
+        let pool = Pool::with_workers(r);
+        let store_ref = &store;
+        let n_pages = pages as u64;
+        let row_t0 = Instant::now();
+        pool.broadcast(|w| {
+            let quota = total_queries / r as u64 + u64::from((w as u64) < total_queries % r as u64);
+            // SAFETY: each worker writes only its own histogram slot.
+            let hist = &mut unsafe { shared.slice_mut(w, 1) }[0];
+            let mut rng = 0x9E37_0000_0000_0000u64 ^ ((w as u64) << 32) ^ r as u64;
+            let mut acc = 0u64; // fold answers so the queries can't be elided
+            for _ in 0..quota {
+                let draw = splitmix64(&mut rng);
+                let page = (draw >> 32) % n_pages;
+                let q0 = Instant::now();
+                match draw % 100 {
+                    x if x < u64::from(MIX[0]) => {
+                        acc ^= store_ref.lookup(page as u32).expect("owned page").rank.to_bits();
+                    }
+                    x if x < u64::from(MIX[0] + MIX[1]) => {
+                        let top = store_ref.top_k(10);
+                        acc ^= top.last().map_or(0, |h| h.rank.to_bits());
+                    }
+                    x if x < u64::from(MIX[0] + MIX[1] + MIX[2]) => {
+                        let base = page as u32;
+                        let c: Vec<PageId> = (0..8u32)
+                            .map(|i| (base + i * 977) % n_pages as u32)
+                            .chain([base]) // a duplicate, to keep dedup hot
+                            .collect();
+                        let top = store_ref.top_k_candidates(5, &c);
+                        acc ^= top.first().map_or(0, |h| h.rank.to_bits());
+                    }
+                    _ => {
+                        let view = store_ref.view();
+                        let totals = view.site_totals().expect("sites configured");
+                        acc ^= totals[page as usize % totals.len()].to_bits();
+                    }
+                }
+                hist.record(q0.elapsed().as_nanos() as u64);
+            }
+            black_box(acc);
+        });
+        let wall = row_t0.elapsed().as_secs_f64();
+
+        stop.store(true, Ordering::Relaxed);
+        let (publisher_publishes, next_epoch) = publisher.join().expect("publisher panicked");
+        epoch = next_epoch;
+
+        let mut merged = LatencyHistogram::new();
+        for h in &hists {
+            merged.merge(h);
+        }
+        assert_eq!(merged.count(), total_queries, "workers dropped queries");
+        let row = ReaderRow {
+            readers: r,
+            total_queries,
+            wall_secs: wall,
+            queries_per_sec: total_queries as f64 / wall.max(1e-9),
+            p50_ns: merged.quantile_upper_ns(0.50),
+            p90_ns: merged.quantile_upper_ns(0.90),
+            p99_ns: merged.quantile_upper_ns(0.99),
+            max_ns: merged.max_ns(),
+            histogram: merged.counts(),
+            publisher_publishes,
+        };
+        eprintln!(
+            "[queries] {r} readers: {:.0} queries/s ({:.3}s), p50 ≤ {}ns, p99 ≤ {}ns, \
+             {} epoch swaps mid-flight",
+            row.queries_per_sec, row.wall_secs, row.p50_ns, row.p99_ns, row.publisher_publishes
+        );
+        grid.push(row);
+    }
+
+    println!(
+        "{:>7}  {:>10}  {:>9}  {:>12}  {:>9}  {:>9}  {:>9}",
+        "readers", "queries", "wall(s)", "queries/s", "p50(ns)", "p99(ns)", "swaps"
+    );
+    for row in &grid {
+        println!(
+            "{:>7}  {:>10}  {:>9.3}  {:>12.0}  {:>9}  {:>9}  {:>9}",
+            row.readers,
+            row.total_queries,
+            row.wall_secs,
+            row.queries_per_sec,
+            row.p50_ns,
+            row.p99_ns,
+            row.publisher_publishes
+        );
+    }
+    if host_threads == 1 {
+        println!("host_threads = 1: all reader counts share one core; rows certify the");
+        println!("read path under contention and concurrent publication, not scaling");
+    }
+
+    // Throughput gates: the full run must clear the issue's 100k
+    // queries/sec bar on the 100k-page graph; --quick keeps a lighter
+    // floor so CI still catches a serving-path collapse.
+    let best = grid.iter().map(|r| r.queries_per_sec).fold(0.0f64, f64::max);
+    let floor = if quick { 10_000.0 } else { 100_000.0 };
+    assert!(best >= floor, "best throughput {best:.0} queries/s is under the {floor:.0} floor");
+
+    let payload = Payload {
+        host_threads,
+        quick,
+        pages,
+        sites,
+        groups,
+        topk_cap,
+        t_end,
+        converge_secs,
+        mix: MIX,
+        verify,
+        readers,
+        grid,
+    };
+    args.emit(&payload).expect("write experiment json");
+}

@@ -45,6 +45,7 @@ COMMANDS:
             [--partition T1:T2:LO-HI] [--no-coalesce] [--no-route-cache]
             [--heap-scheduler] [--no-ext-cache] [--engine-workers W]
             [--replicas K] [--checkpoint-every T] [--suspect-after N]
+            [--store-topk K]
             --reliable turns on ack/retry/dedup delivery; --crash departs
             nodes (state lost), --join adds nodes (graceful handoff),
             --partition severs nodes LO..=HI from the rest during [T1,T2);
@@ -59,7 +60,11 @@ COMMANDS:
             rebuilds (bit-identical results, slower engine);
             --engine-workers W runs same-window node solves on W pool
             threads (default: all hardware threads; 1 = sequential;
-            results are bit-identical at any W).
+            results are bit-identical at any W);
+            --store-topk K publishes epoch-versioned rank snapshots into
+            the concurrent serving store after every sample slice and
+            prints the store-served top K (bit-identical to the live
+            final ranks by construction).
   top       FILE --ranks RANKS [--k K] [--site S]
             Top pages from a saved rank file (optionally one site only).
   analyze   FILE [--sinks-only]
@@ -224,7 +229,7 @@ fn parse_partition(spec: &str) -> Result<(f64, f64, Vec<usize>), String> {
 /// The `--net` branch of `dpr simulate`: the whole-system simulator with
 /// overlay routing, fault injection and optional reliable delivery.
 fn simulate_net(args: &Args, g: &WebGraph, variant: DprVariant) -> CmdResult {
-    use dpr_core::{try_run_over_network, NetRunConfig, OverlayKind, Reliability, Transmission};
+    use dpr_core::{NetRunConfig, OverlayKind, Reliability, Transmission};
     use dpr_sim::FaultPlan;
 
     let k = args.get("k", 64usize);
@@ -302,7 +307,13 @@ fn simulate_net(args: &Args, g: &WebGraph, variant: DprVariant) -> CmdResult {
         ..NetRunConfig::default()
     };
     let engine_workers = cfg.engine_workers;
-    let res = try_run_over_network(g, cfg).map_err(|e| e.to_string())?;
+    let store_topk = args.get("store-topk", 0usize);
+    let store = (store_topk > 0).then(|| {
+        let site_of: Vec<u32> = (0..g.n_pages() as u32).map(|p| g.site(p)).collect();
+        dpr_core::RankStore::new(store_topk).with_sites(site_of, g.n_sites())
+    });
+    let res = dpr_core::netrun::try_run_over_network_with_store(g, cfg, store.as_ref())
+        .map_err(|e| e.to_string())?;
     println!(
         "whole-system run: {k} groups on {} {overlay:?} nodes, {transmission:?} transmission",
         args.get("nodes", k)
@@ -357,6 +368,24 @@ fn simulate_net(args: &Args, g: &WebGraph, variant: DprVariant) -> CmdResult {
     match res.rel_err.first_time_below(1e-3) {
         Some(t) => println!("reached 0.1% relative error at t = {t:.1}"),
         None => println!("did not reach 0.1% relative error within t = {t_end}"),
+    }
+    if let Some(store) = &store {
+        let v = store.view();
+        let stats = store.stats();
+        let hits = v.top_k(store_topk);
+        let identical = hits.len() == store_topk.min(g.n_pages())
+            && hits.iter().all(|h| h.rank.to_bits() == res.final_ranks[h.page as usize].to_bits());
+        println!(
+            "store: view v{} after {} publishes ({} group snapshots accepted, {} skipped as unchanged)",
+            v.version(),
+            stats.publishes,
+            stats.group_updates,
+            stats.skipped_updates
+        );
+        println!("store top ranks bit-identical to live final ranks: {identical}");
+        for h in hits.iter().take(store_topk.min(5)) {
+            println!("{:>12.5}  {}", h.rank, g.url_of(h.page));
+        }
     }
     Ok(())
 }

@@ -48,6 +48,7 @@ pub mod personalized;
 pub mod query;
 pub mod ranks_io;
 pub mod run;
+pub mod store;
 pub mod threaded;
 
 pub use centralized::{open_pagerank, open_pagerank_with_pool, pagerank, PageRankOutcome};
@@ -59,6 +60,7 @@ pub use netrun::{
     group_owners, try_run_over_network, ChurnUnsupported, GroupSnapshot, NetCounters, NetRunConfig,
     NetRunError, NetRunResult, OverlayKind, Reliability, Transmission,
 };
-pub use query::{distributed_top_k, Hit};
+pub use query::{distributed_top_k, query_cost, site_totals, Hit, QueryCost};
 pub use run::{run_distributed, DistributedRun, DistributedRunConfig, RunResult};
+pub use store::{GroupPublish, PointLookup, RankStore, StoreStats, StoreView};
 pub use threaded::{run_threaded, ThreadedRunConfig, ThreadedRunResult};

@@ -1295,6 +1295,28 @@ enum ChurnEvent {
 /// values (empty system, non-increasing churn schedules, replication on
 /// CAN, degenerate checkpoint/suspicion settings).
 pub fn try_run_over_network(g: &WebGraph, cfg: NetRunConfig) -> Result<NetRunResult, NetRunError> {
+    try_run_over_network_with_store(g, cfg, None)
+}
+
+/// [`try_run_over_network`] with a serving-side publication hook: after
+/// every sample slice (the same cadence as the convergence series) the
+/// driver publishes each hosted group's rank vector and outer epoch into
+/// `store`, so concurrent readers query a consistent, epoch-versioned
+/// picture of the run while the engine keeps committing. Publication
+/// happens outside the event loop and never mutates node state, so it is
+/// bit-neutral: results are identical with or without a store (and the
+/// store's converged-group skip logic keeps steady-state publishes cheap).
+///
+/// The final published view equals [`NetRunResult::final_ranks`] exactly —
+/// the last slice ends at `t_end`, where the result itself is assembled.
+///
+/// # Errors
+/// Same as [`try_run_over_network`].
+pub fn try_run_over_network_with_store(
+    g: &WebGraph,
+    cfg: NetRunConfig,
+    store: Option<&crate::store::RankStore>,
+) -> Result<NetRunResult, NetRunError> {
     let wall_start = std::time::Instant::now();
     cfg.rank.validate(g.n_pages());
     if cfg.k < 1 || cfg.n_nodes < 1 {
@@ -1498,6 +1520,20 @@ pub fn try_run_over_network(g: &WebGraph, cfg: NetRunConfig) -> Result<NetRunRes
             None => sim.run_until(next_t),
         }
         rel_err.push(next_t, vec_ops::relative_error(&assemble(sim.actors(), n_pages), &reference));
+        if let Some(store) = store {
+            // Group state is only read here: publication cannot perturb
+            // the run. Crashed/migrated groups publish from their current
+            // host; a group orphaned mid-takeover simply keeps its last
+            // published epoch until a survivor re-hosts it.
+            store.publish(sim.actors().iter().filter(|n| n.active).flat_map(|node| {
+                node.groups.iter().map(|gs| crate::store::GroupPublish {
+                    group: gs.ctx.group_id(),
+                    epoch: gs.outer_iterations,
+                    pages: gs.ctx.pages(),
+                    ranks: &gs.r,
+                })
+            }));
+        }
         t = next_t;
     }
 

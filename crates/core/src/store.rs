@@ -1,0 +1,670 @@
+//! Epoch-versioned, read-optimized rank store — ROADMAP item 2's serving
+//! layer for the paper's motivating search engine.
+//!
+//! The solve side ([`crate::netrun`], or a plain [`RankerNode`] simulation)
+//! *publishes* immutable per-group snapshots: the group's rank vector plus
+//! its outer-iteration epoch. The store assembles them into a [`StoreView`]
+//! — an immutable, internally consistent picture of the whole ranking with
+//! precomputed global top-k and per-site aggregates — and swaps it in
+//! behind an `Arc`. Readers clone the `Arc` under a read lock held for a
+//! pointer copy; the publisher rebuilds the next view entirely outside the
+//! lock and swaps it in under a write lock held for a pointer store. No
+//! reader ever blocks the solve/commit path, and no query ever observes a
+//! half-published epoch (§12 of DESIGN.md).
+//!
+//! Derived indices are cheap by construction:
+//!
+//! * per-group descending rank order, the global top-k, and the per-site
+//!   partial sums are rebuilt **only when a group's rank bits actually
+//!   change** — an epoch bump that re-publishes identical bits (a
+//!   converged group) reuses every index by `Arc` clone;
+//! * the global top-k merges each group's precomputed order prefix, so a
+//!   publish costs `O(changed pages · log)` not `O(total pages · log)`.
+//!
+//! Answers are **bit-identical** to the one-shot scatter-gather in
+//! [`crate::query`] at the same epoch: hits use the exact published rank
+//! bits and the same `(rank desc, page asc)` total order, and site
+//! aggregates fold per-group partials in the same canonical order as
+//! [`crate::query::site_totals`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use dpr_graph::PageId;
+use dpr_partition::GroupId;
+
+use crate::dpr::RankerNode;
+use crate::query::{sort_hits, Hit};
+
+/// Default number of precomputed global top-k entries.
+pub const DEFAULT_TOPK_CAP: usize = 128;
+
+/// One group's publication: what the solve side hands the store each time
+/// a group finishes an outer iteration (or a checkpoint interval).
+#[derive(Debug, Clone, Copy)]
+pub struct GroupPublish<'a> {
+    /// Which group this snapshot belongs to.
+    pub group: GroupId,
+    /// The group's outer-iteration epoch at snapshot time.
+    pub epoch: u64,
+    /// Global page ids owned by the group, in local order. Must be
+    /// identical on every publish of the same group (the partition is
+    /// fixed for a run).
+    pub pages: &'a [PageId],
+    /// Current rank of each owned page, parallel to `pages`.
+    pub ranks: &'a [f64],
+}
+
+/// One group's published state, immutable once built. Shared by `Arc`
+/// between consecutive views, so an unchanged group costs a pointer clone
+/// per publish.
+#[derive(Debug)]
+pub struct GroupRanks {
+    group: GroupId,
+    epoch: u64,
+    pages: Arc<Vec<PageId>>,
+    ranks: Arc<Vec<f64>>,
+    /// Local indices sorted by (rank desc, page asc) — the group's
+    /// contribution to any top-k is a prefix of this.
+    order: Arc<Vec<u32>>,
+    /// Per-site rank mass of this group's pages, accumulated in local page
+    /// order (present iff the store was built with site info).
+    site_partial: Option<Arc<Vec<f64>>>,
+}
+
+impl GroupRanks {
+    /// Group id.
+    #[must_use]
+    pub fn group(&self) -> GroupId {
+        self.group
+    }
+    /// Outer epoch this snapshot was published at.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+    /// Owned pages (local order).
+    #[must_use]
+    pub fn pages(&self) -> &[PageId] {
+        &self.pages
+    }
+    /// Published ranks (local order).
+    #[must_use]
+    pub fn ranks(&self) -> &[f64] {
+        &self.ranks
+    }
+}
+
+/// A point lookup's answer: the rank plus its provenance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointLookup {
+    /// The queried page.
+    pub page: PageId,
+    /// Its published rank (exact solve bits).
+    pub rank: f64,
+    /// The owning group.
+    pub group: GroupId,
+    /// The owning group's epoch at publication.
+    pub epoch: u64,
+}
+
+/// Publication counters (monotonic over the store's lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Views swapped in (`publish` calls that changed anything).
+    pub publishes: u64,
+    /// Group snapshots accepted (epoch moved and/or bits changed).
+    pub group_updates: u64,
+    /// Group snapshots skipped as identical (same epoch, same bits).
+    pub skipped_updates: u64,
+}
+
+/// An immutable snapshot of the whole ranking at one publication instant.
+///
+/// Cloning the `Arc<StoreView>` out of [`RankStore::view`] pins this
+/// epoch: every query on it is answered from the same consistent state no
+/// matter how many publishes happen concurrently.
+#[derive(Debug)]
+pub struct StoreView {
+    version: u64,
+    /// Indexed by group id; `None` for never-published ids.
+    groups: Vec<Option<Arc<GroupRanks>>>,
+    /// page → (owning group, local index). Built incrementally: groups
+    /// only add pages (the partition is fixed), so this is shared between
+    /// views once every group has published.
+    page_loc: Arc<HashMap<PageId, (GroupId, u32)>>,
+    /// Precomputed global top-`topk_cap` (rank desc, page asc).
+    topk: Vec<Hit>,
+    topk_cap: usize,
+    /// Precomputed per-site totals (present iff site info was supplied).
+    site_totals: Option<Arc<Vec<f64>>>,
+}
+
+impl StoreView {
+    fn empty(topk_cap: usize) -> Self {
+        Self {
+            version: 0,
+            groups: Vec::new(),
+            page_loc: Arc::new(HashMap::new()),
+            topk: Vec::new(),
+            topk_cap,
+            site_totals: None,
+        }
+    }
+
+    /// Monotone view version: bumps by one per accepted publish. Version 0
+    /// is the empty store.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The published epoch of one group, if it has published.
+    #[must_use]
+    pub fn group_epoch(&self, group: GroupId) -> Option<u64> {
+        self.groups.get(group as usize)?.as_ref().map(|g| g.epoch)
+    }
+
+    /// One group's published snapshot, if any.
+    #[must_use]
+    pub fn group(&self, group: GroupId) -> Option<&Arc<GroupRanks>> {
+        self.groups.get(group as usize)?.as_ref()
+    }
+
+    /// Total pages published so far.
+    #[must_use]
+    pub fn n_pages(&self) -> usize {
+        self.page_loc.len()
+    }
+
+    /// Global top-`k`: bit-identical to
+    /// [`crate::query::distributed_top_k`] over the live rankers at this
+    /// view's epochs. `k ≤ topk_cap` is answered from the precomputed
+    /// prefix (a memcpy); larger `k` falls back to merging the per-group
+    /// orders.
+    #[must_use]
+    pub fn top_k(&self, k: usize) -> Vec<Hit> {
+        if k <= self.topk_cap || self.topk.len() < self.topk_cap {
+            // The second disjunct: fewer total pages than the cap means the
+            // precomputed list already holds *every* page.
+            return self.topk[..k.min(self.topk.len())].to_vec();
+        }
+        let mut hits: Vec<Hit> = Vec::new();
+        for g in self.groups.iter().flatten() {
+            hits.extend(
+                g.order
+                    .iter()
+                    .take(k)
+                    .map(|&li| Hit { page: g.pages[li as usize], rank: g.ranks[li as usize] }),
+            );
+        }
+        sort_hits(&mut hits);
+        hits.truncate(k);
+        hits
+    }
+
+    /// Top-`k` restricted to a candidate set (duplicates count once):
+    /// bit-identical to the scatter-gather equivalent. Unowned candidates
+    /// are ignored.
+    #[must_use]
+    pub fn top_k_candidates(&self, k: usize, candidates: &[PageId]) -> Vec<Hit> {
+        let mut cands = candidates.to_vec();
+        cands.sort_unstable();
+        cands.dedup();
+        let mut hits: Vec<Hit> = cands
+            .into_iter()
+            .filter_map(|p| self.lookup(p).map(|l| Hit { page: p, rank: l.rank }))
+            .collect();
+        sort_hits(&mut hits);
+        hits.truncate(k);
+        hits
+    }
+
+    /// Point lookup: the page's exact published rank bits plus owning
+    /// group and epoch. `None` if no published group owns the page.
+    #[must_use]
+    pub fn lookup(&self, page: PageId) -> Option<PointLookup> {
+        let &(group, li) = self.page_loc.get(&page)?;
+        let g = self.groups[group as usize].as_ref()?;
+        Some(PointLookup { page, rank: g.ranks[li as usize], group, epoch: g.epoch })
+    }
+
+    /// Precomputed per-site rank totals, bit-identical to
+    /// [`crate::query::site_totals`] at this view's epochs. `None` when the
+    /// store was built without site info.
+    #[must_use]
+    pub fn site_totals(&self) -> Option<&[f64]> {
+        self.site_totals.as_deref().map(Vec::as_slice)
+    }
+}
+
+/// The concurrent rank store: one writer (the publishing engine), any
+/// number of readers. See the module docs for the swap discipline.
+pub struct RankStore {
+    current: RwLock<Arc<StoreView>>,
+    /// Serializes publishers; readers never touch it.
+    publish_lock: Mutex<()>,
+    topk_cap: usize,
+    /// page → site, for per-site aggregates (optional).
+    site_of: Option<Arc<Vec<u32>>>,
+    n_sites: usize,
+    publishes: AtomicU64,
+    group_updates: AtomicU64,
+    skipped_updates: AtomicU64,
+}
+
+impl std::fmt::Debug for RankStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let v = self.view();
+        f.debug_struct("RankStore")
+            .field("version", &v.version())
+            .field("n_pages", &v.n_pages())
+            .field("topk_cap", &self.topk_cap)
+            .finish()
+    }
+}
+
+impl RankStore {
+    /// A fresh store precomputing `topk_cap` global top entries.
+    #[must_use]
+    pub fn new(topk_cap: usize) -> Self {
+        Self {
+            current: RwLock::new(Arc::new(StoreView::empty(topk_cap))),
+            publish_lock: Mutex::new(()),
+            topk_cap,
+            site_of: None,
+            n_sites: 0,
+            publishes: AtomicU64::new(0),
+            group_updates: AtomicU64::new(0),
+            skipped_updates: AtomicU64::new(0),
+        }
+    }
+
+    /// Enables per-site aggregates (`site_of[page] → site id`). Must be
+    /// called before the first publish.
+    ///
+    /// # Panics
+    /// If anything has already been published.
+    #[must_use]
+    pub fn with_sites(mut self, site_of: Vec<u32>, n_sites: usize) -> Self {
+        assert_eq!(self.view().version(), 0, "with_sites must precede the first publish");
+        self.site_of = Some(Arc::new(site_of));
+        self.n_sites = n_sites;
+        self
+    }
+
+    /// The current immutable view. The read lock is held only for the
+    /// `Arc` clone; queries run lock-free on the returned view, which
+    /// stays valid (and unchanged) however many publishes follow.
+    #[must_use]
+    pub fn view(&self) -> Arc<StoreView> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// Publication counters.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            publishes: self.publishes.load(Ordering::Relaxed),
+            group_updates: self.group_updates.load(Ordering::Relaxed),
+            skipped_updates: self.skipped_updates.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Publishes a batch of group snapshots atomically: readers see either
+    /// the previous view or one containing the whole batch. Returns `true`
+    /// if a new view was swapped in (`false` = every snapshot was
+    /// identical to what the store already held).
+    ///
+    /// Unchanged groups (same epoch *and* same rank bits) are skipped;
+    /// epoch bumps with identical bits reuse every derived index; the
+    /// global top-k and site totals are rebuilt only when some group's
+    /// rank bits actually changed.
+    ///
+    /// # Panics
+    /// If a group republishes with a different page count, or two groups
+    /// claim the same page.
+    pub fn publish<'a, I>(&self, updates: I) -> bool
+    where
+        I: IntoIterator<Item = GroupPublish<'a>>,
+    {
+        let _serial = self.publish_lock.lock();
+        let old = self.view();
+
+        let mut groups = old.groups.clone();
+        let mut new_pages: Vec<(GroupId, Arc<Vec<PageId>>)> = Vec::new();
+        let mut any_change = false;
+        let mut ranks_changed = false;
+        let mut accepted = 0u64;
+        let mut skipped = 0u64;
+
+        for u in updates {
+            let gi = u.group as usize;
+            if gi >= groups.len() {
+                groups.resize(gi + 1, None);
+            }
+            let prev = groups[gi].take();
+            let bits_same = prev.as_ref().is_some_and(|g| rank_bits_equal(&g.ranks, u.ranks));
+            if let Some(g) = &prev {
+                if g.epoch == u.epoch && bits_same {
+                    skipped += 1;
+                    groups[gi] = prev;
+                    continue;
+                }
+            }
+            accepted += 1;
+            any_change = true;
+            let pages = match &prev {
+                Some(g) => {
+                    assert_eq!(
+                        g.pages.len(),
+                        u.ranks.len(),
+                        "group {} republished with a different page count",
+                        u.group
+                    );
+                    Arc::clone(&g.pages)
+                }
+                None => {
+                    assert_eq!(
+                        u.pages.len(),
+                        u.ranks.len(),
+                        "group {} pages/ranks length mismatch",
+                        u.group
+                    );
+                    let p = Arc::new(u.pages.to_vec());
+                    new_pages.push((u.group, Arc::clone(&p)));
+                    p
+                }
+            };
+            let (ranks, order, site_partial) = if bits_same {
+                // Epoch moved, bits did not (a converged group keeps
+                // iterating): every derived index is still valid.
+                let g = prev.as_ref().unwrap();
+                (Arc::clone(&g.ranks), Arc::clone(&g.order), g.site_partial.clone())
+            } else {
+                ranks_changed = true;
+                let ranks = Arc::new(u.ranks.to_vec());
+                let order = Arc::new(build_order(&pages, &ranks));
+                let partial = self
+                    .site_of
+                    .as_ref()
+                    .map(|so| Arc::new(build_site_partial(&pages, &ranks, so, self.n_sites)));
+                (ranks, order, partial)
+            };
+            groups[gi] = Some(Arc::new(GroupRanks {
+                group: u.group,
+                epoch: u.epoch,
+                pages,
+                ranks,
+                order,
+                site_partial,
+            }));
+        }
+
+        self.group_updates.fetch_add(accepted, Ordering::Relaxed);
+        self.skipped_updates.fetch_add(skipped, Ordering::Relaxed);
+        if !any_change {
+            return false;
+        }
+
+        let page_loc = if new_pages.is_empty() {
+            Arc::clone(&old.page_loc)
+        } else {
+            let mut m = (*old.page_loc).clone();
+            for (gid, pages) in &new_pages {
+                for (li, &p) in pages.iter().enumerate() {
+                    let clash = m.insert(p, (*gid, li as u32));
+                    assert!(clash.is_none(), "page {p} published by two groups");
+                }
+            }
+            Arc::new(m)
+        };
+
+        let (topk, site_totals) = if ranks_changed {
+            let topk = build_topk(&groups, self.topk_cap);
+            let totals =
+                self.site_of.as_ref().map(|_| Arc::new(fold_site_totals(&groups, self.n_sites)));
+            (topk, totals)
+        } else {
+            // Only epochs moved: the ranking itself is unchanged.
+            (old.topk.clone(), old.site_totals.clone())
+        };
+
+        let next = Arc::new(StoreView {
+            version: old.version + 1,
+            groups,
+            page_loc,
+            topk,
+            topk_cap: self.topk_cap,
+            site_totals,
+        });
+        // The entire rebuild above ran without the write lock; the swap is
+        // a pointer store, so a concurrent reader blocks for at most that.
+        *self.current.write() = next;
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Publishes every ranker's current state (group, outer epoch, exact
+    /// rank bits) — the simulation-side hook.
+    pub fn publish_rankers(&self, nodes: &[RankerNode]) -> bool {
+        self.publish(nodes.iter().map(|n| GroupPublish {
+            group: n.group().group_id(),
+            epoch: n.outer_iterations,
+            pages: n.group().pages(),
+            ranks: n.ranks(),
+        }))
+    }
+
+    /// Convenience: [`StoreView::top_k`] on the current view.
+    #[must_use]
+    pub fn top_k(&self, k: usize) -> Vec<Hit> {
+        self.view().top_k(k)
+    }
+
+    /// Convenience: [`StoreView::top_k_candidates`] on the current view.
+    #[must_use]
+    pub fn top_k_candidates(&self, k: usize, candidates: &[PageId]) -> Vec<Hit> {
+        self.view().top_k_candidates(k, candidates)
+    }
+
+    /// Convenience: [`StoreView::lookup`] on the current view.
+    #[must_use]
+    pub fn lookup(&self, page: PageId) -> Option<PointLookup> {
+        self.view().lookup(page)
+    }
+}
+
+fn rank_bits_equal(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn build_order(pages: &[PageId], ranks: &[f64]) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..ranks.len() as u32).collect();
+    order.sort_unstable_by(|&a, &b| {
+        ranks[b as usize]
+            .total_cmp(&ranks[a as usize])
+            .then(pages[a as usize].cmp(&pages[b as usize]))
+    });
+    order
+}
+
+fn build_site_partial(
+    pages: &[PageId],
+    ranks: &[f64],
+    site_of: &[u32],
+    n_sites: usize,
+) -> Vec<f64> {
+    let mut partial = vec![0.0; n_sites];
+    for (li, &p) in pages.iter().enumerate() {
+        partial[site_of[p as usize] as usize] += ranks[li];
+    }
+    partial
+}
+
+fn build_topk(groups: &[Option<Arc<GroupRanks>>], cap: usize) -> Vec<Hit> {
+    let mut hits: Vec<Hit> = Vec::new();
+    for g in groups.iter().flatten() {
+        hits.extend(
+            g.order
+                .iter()
+                .take(cap)
+                .map(|&li| Hit { page: g.pages[li as usize], rank: g.ranks[li as usize] }),
+        );
+    }
+    sort_hits(&mut hits);
+    hits.truncate(cap);
+    hits
+}
+
+/// Folds per-group site partials into global totals in ascending group id
+/// — the same canonical order as [`crate::query::site_totals`], so the
+/// precomputed aggregate is bit-identical to the live reference.
+fn fold_site_totals(groups: &[Option<Arc<GroupRanks>>], n_sites: usize) -> Vec<f64> {
+    let mut totals = vec![0.0; n_sites];
+    for g in groups.iter().flatten() {
+        if let Some(p) = &g.site_partial {
+            for (t, v) in totals.iter_mut().zip(p.iter()) {
+                *t += *v;
+            }
+        }
+    }
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn publish_two_groups(store: &RankStore) {
+        // Group 0 owns pages {0, 2, 4}, group 1 owns {1, 3}.
+        assert!(store.publish([
+            GroupPublish { group: 0, epoch: 1, pages: &[0, 2, 4], ranks: &[0.5, 0.1, 0.9] },
+            GroupPublish { group: 1, epoch: 1, pages: &[1, 3], ranks: &[0.7, 0.2] },
+        ]));
+    }
+
+    #[test]
+    fn topk_merges_across_groups() {
+        let store = RankStore::new(2);
+        assert_eq!(store.view().version(), 0);
+        assert!(store.top_k(3).is_empty(), "empty store answers empty");
+        publish_two_groups(&store);
+        let v = store.view();
+        assert_eq!(v.version(), 1);
+        assert_eq!(v.n_pages(), 5);
+        // Precomputed prefix (cap = 2)...
+        assert_eq!(v.top_k(2), vec![Hit { page: 4, rank: 0.9 }, Hit { page: 1, rank: 0.7 }]);
+        // ...and the beyond-cap fallback merge.
+        let all = v.top_k(10);
+        assert_eq!(all.len(), 5);
+        assert_eq!(
+            all.iter().map(|h| h.page).collect::<Vec<_>>(),
+            vec![4, 1, 0, 3, 2],
+            "full descending order across both groups"
+        );
+        assert_eq!(v.group_epoch(0), Some(1));
+        assert_eq!(v.group_epoch(7), None);
+    }
+
+    #[test]
+    fn candidates_dedup_and_ignore_unowned() {
+        let store = RankStore::new(8);
+        publish_two_groups(&store);
+        let hits = store.top_k_candidates(4, &[3, 99, 3, 3, 0, 4_000_000]);
+        assert_eq!(hits, vec![Hit { page: 0, rank: 0.5 }, Hit { page: 3, rank: 0.2 }]);
+        assert!(store.top_k_candidates(0, &[0, 1, 2]).is_empty(), "k = 0 answers empty");
+        assert!(store.lookup(99).is_none());
+        let l = store.lookup(3).unwrap();
+        assert_eq!((l.group, l.epoch, l.rank), (1, 1, 0.2));
+    }
+
+    #[test]
+    fn identical_republish_is_skipped_and_epoch_bump_reuses_indices() {
+        let store = RankStore::new(4);
+        publish_two_groups(&store);
+        let v1 = store.view();
+
+        // Same epoch, same bits: no new view.
+        assert!(!store.publish([GroupPublish {
+            group: 0,
+            epoch: 1,
+            pages: &[0, 2, 4],
+            ranks: &[0.5, 0.1, 0.9],
+        }]));
+        assert_eq!(store.view().version(), 1);
+        assert_eq!(store.stats().skipped_updates, 1);
+
+        // Epoch moved, bits identical: new view, derived indices shared.
+        assert!(store.publish([GroupPublish {
+            group: 0,
+            epoch: 5,
+            pages: &[0, 2, 4],
+            ranks: &[0.5, 0.1, 0.9],
+        }]));
+        let v2 = store.view();
+        assert_eq!(v2.version(), 2);
+        assert_eq!(v2.group_epoch(0), Some(5));
+        let (g1, g2) = (v1.group(0).unwrap(), v2.group(0).unwrap());
+        assert!(Arc::ptr_eq(&g1.order, &g2.order), "order index must be reused");
+        assert!(Arc::ptr_eq(&g1.ranks, &g2.ranks), "rank vector must be reused");
+        assert_eq!(v1.top_k(4), v2.top_k(4));
+
+        // Bits changed: indices rebuilt, topk reflects the new ranking.
+        assert!(store.publish([GroupPublish {
+            group: 0,
+            epoch: 6,
+            pages: &[0, 2, 4],
+            ranks: &[0.5, 2.0, 0.9],
+        }]));
+        assert_eq!(store.top_k(1), vec![Hit { page: 2, rank: 2.0 }]);
+        assert_eq!(store.stats().publishes, 3);
+        assert_eq!(store.stats().group_updates, 4); // 2 initial + bump + change
+    }
+
+    #[test]
+    fn old_views_stay_frozen_after_publish() {
+        let store = RankStore::new(4);
+        publish_two_groups(&store);
+        let pinned = store.view();
+        assert!(store.publish([GroupPublish {
+            group: 1,
+            epoch: 9,
+            pages: &[1, 3],
+            ranks: &[9.0, 9.0],
+        }]));
+        // The pinned view still answers from its own epoch...
+        assert_eq!(pinned.top_k(1), vec![Hit { page: 4, rank: 0.9 }]);
+        assert_eq!(pinned.lookup(1).unwrap().rank, 0.7);
+        // ...while the store serves the new one.
+        assert_eq!(store.top_k(1), vec![Hit { page: 1, rank: 9.0 }]);
+    }
+
+    #[test]
+    fn site_totals_fold_in_group_order() {
+        // site 0 = {0, 1}, site 1 = {2, 3, 4}.
+        let store = RankStore::new(4).with_sites(vec![0, 0, 1, 1, 1], 2);
+        publish_two_groups(&store);
+        let v = store.view();
+        let totals = v.site_totals().unwrap();
+        assert_eq!(totals.len(), 2);
+        // Exact reference: group 0 partial then group 1 partial.
+        let g0: [f64; 2] = [0.5 + 0.0, 0.1 + 0.9]; // pages 0→s0, 2→s1, 4→s1
+        let g1: [f64; 2] = [0.7, 0.2]; // pages 1→s0, 3→s1
+        assert_eq!(totals[0].to_bits(), (g0[0] + g1[0]).to_bits());
+        assert_eq!(totals[1].to_bits(), (g0[1] + g1[1]).to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "published by two groups")]
+    fn page_ownership_clash_panics() {
+        let store = RankStore::new(4);
+        let _ = store.publish([
+            GroupPublish { group: 0, epoch: 1, pages: &[0, 1], ranks: &[0.1, 0.2] },
+            GroupPublish { group: 1, epoch: 1, pages: &[1], ranks: &[0.3] },
+        ]);
+    }
+}

@@ -9,6 +9,23 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+/// §4.5's `l`: bytes per uncompressed `<url_from, url_to, score>` record
+/// (two ≈ 40-byte URLs plus framing and the score).
+pub const PAPER_RECORD_BYTES: usize = 100;
+
+/// Bytes per DHT lookup message (request or response hop). The paper never
+/// pins this; a node id + key + addressing info fits in ~50 bytes.
+pub const PAPER_LOOKUP_BYTES: usize = 50;
+
+/// Fixed per-message framing overhead (headers, destination key).
+pub const PAPER_HEADER_BYTES: usize = 40;
+
+/// Bytes per id-form record (`u32 from | u32 to | f64 score`): what a
+/// record costs once both endpoints are known page ids instead of URLs —
+/// the first compression idea in [`crate::compress`], which shrinks a
+/// record from ~100 to 16 bytes.
+pub const ID_RECORD_BYTES: usize = 16;
+
 /// A single rank-transfer record: page `from_page` (in the sending group)
 /// confers rank `score` on `to_page` (in the receiving group) through a
 /// hyperlink.
@@ -161,13 +178,13 @@ pub struct PaperSizeModel;
 
 impl SizeModel for PaperSizeModel {
     fn update_size(&self, _u: &RankUpdate) -> usize {
-        100
+        PAPER_RECORD_BYTES
     }
     fn lookup_size(&self) -> usize {
-        50
+        PAPER_LOOKUP_BYTES
     }
     fn header_size(&self) -> usize {
-        40
+        PAPER_HEADER_BYTES
     }
 }
 
@@ -188,10 +205,10 @@ impl<F: Fn(u32) -> String> SizeModel for MeasuredSizeModel<F> {
         2 + (self.resolver)(u.from_page).len() + 2 + (self.resolver)(u.to_page).len() + 8
     }
     fn lookup_size(&self) -> usize {
-        50
+        PAPER_LOOKUP_BYTES
     }
     fn header_size(&self) -> usize {
-        40
+        PAPER_HEADER_BYTES
     }
 }
 
@@ -275,8 +292,11 @@ mod tests {
     fn paper_model_constants() {
         let m = PaperSizeModel;
         let u = RankUpdate { from_page: 0, to_page: 0, score: 0.0 };
-        assert_eq!(m.update_size(&u), 100);
-        assert_eq!(m.lookup_size(), 50);
+        assert_eq!(m.update_size(&u), PAPER_RECORD_BYTES);
+        assert_eq!(m.lookup_size(), PAPER_LOOKUP_BYTES);
+        assert_eq!(m.header_size(), PAPER_HEADER_BYTES);
+        // The id-form record is exactly two u32 ids plus the f64 score.
+        assert_eq!(ID_RECORD_BYTES, std::mem::size_of::<u32>() * 2 + std::mem::size_of::<f64>());
     }
 
     #[test]

@@ -13,10 +13,11 @@
 use dpr::core::hits::{hits, HitsConfig};
 use dpr::core::metrics::{sampled_order_agreement, top_k, top_k_overlap};
 use dpr::core::personalized::{personalized_pagerank, site_biased_e};
-use dpr::core::{run_distributed, DistributedRunConfig, RankConfig};
+use dpr::core::{query_cost, run_distributed, DistributedRunConfig, RankConfig};
 use dpr::graph::generators::edu::{edu_domain, EduDomainConfig};
 use dpr::graph::GraphStats;
 use dpr::partition::Strategy;
+use dpr::transport::codec;
 
 fn main() {
     let cfg = EduDomainConfig { n_pages: 30_000, n_sites: 100, ..EduDomainConfig::default() };
@@ -54,6 +55,21 @@ fn main() {
     for p in top_k(&result.final_ranks, 5) {
         println!("  {:>8.3}  {}", result.final_ranks[p as usize], graph.url_of(p));
     }
+
+    // Why ranking must live *with* the pages: a scatter-gather top-20
+    // query moves 100 small responses (priced from the same
+    // `dpr-transport::codec` record sizes as §4.5 rank-update traffic),
+    // versus centralizing every rank on a coordinator first.
+    let cost = query_cost(100, 20);
+    let centralize = (graph.n_pages() * codec::ID_RECORD_BYTES) as f64;
+    println!(
+        "\nscatter-gather top-20 query: {:.1} KB on the wire ({:.1} KB with id-form records); \
+         centralizing all {} ranks first would move {:.0} KB per refresh",
+        cost.uncompressed as f64 / 1e3,
+        cost.compressed as f64 / 1e3,
+        graph.n_pages(),
+        centralize / 1e3
+    );
 
     // HITS baseline on the same crawl.
     println!("\n=== HITS authorities (centralized baseline) ===");
