@@ -52,6 +52,9 @@ struct WorkerRow {
     batches: u64,
     max_batch: usize,
     singleton_batches: u64,
+    /// Deliveries committed through a held batch instead of breaking
+    /// extraction (the amortized-scan engine; 0 when sequential).
+    held_deliveries: u64,
     wakes: u64,
     deliveries: u64,
     /// Rank bits and `SimStats` matched the sequential reference exactly.
@@ -167,6 +170,7 @@ fn main() {
                 batches: res.sched_stats.batches,
                 max_batch: res.sched_stats.max_batch,
                 singleton_batches: res.sched_stats.singleton_batches,
+                held_deliveries: res.sched_stats.held_deliveries,
                 wakes: res.sim_stats.wakes,
                 deliveries: res.sim_stats.deliveries,
                 bit_identical: true,

@@ -20,8 +20,11 @@ dpr — distributed page ranking in structured P2P networks
 USAGE: dpr <command> [args]
 
 COMMANDS:
-  generate  --pages N --sites S [--seed X] --out FILE
-            Synthesize an edu-domain crawl dataset.
+  generate  --pages N --sites S [--seed X] [--binary] --out FILE
+            Synthesize an edu-domain crawl dataset. --binary streams the
+            graph to the compact snapshot format without materializing
+            the edge list (use it for 10M-page graphs); every command
+            reads both formats transparently.
   crawl     --web-pages N --sites S [--agents A] [--mode firewall|crossover|exchange]
             [--budget B] --out FILE
             Crawl a synthetic hidden web with parallel agents.
@@ -45,7 +48,7 @@ COMMANDS:
             [--partition T1:T2:LO-HI] [--no-coalesce] [--no-route-cache]
             [--heap-scheduler] [--no-ext-cache] [--engine-workers W]
             [--replicas K] [--checkpoint-every T] [--suspect-after N]
-            [--store-topk K]
+            [--store-topk K] [--explicit-matrix] [--unrolled-spmv]
             --reliable turns on ack/retry/dedup delivery; --crash departs
             nodes (state lost), --join adds nodes (graceful handoff),
             --partition severs nodes LO..=HI from the rest during [T1,T2);
@@ -64,7 +67,12 @@ COMMANDS:
             --store-topk K publishes epoch-versioned rank snapshots into
             the concurrent serving store after every sample slice and
             prints the store-served top K (bit-identical to the live
-            final ranks by construction).
+            final ranks by construction);
+            --explicit-matrix stores link-matrix values explicitly
+            instead of the default bandwidth-lean implicit layout
+            (both solve bit-identically); --unrolled-spmv opts in to
+            the 4-wide unrolled gather kernel (different fp fold order,
+            still deterministic at every worker count).
   top       FILE --ranks RANKS [--k K] [--site S]
             Top pages from a saved rank file (optionally one site only).
   analyze   FILE [--sinks-only]
@@ -75,8 +83,20 @@ COMMANDS:
 
 type CmdResult = Result<(), String>;
 
+/// Loads a graph in either format, sniffing the binary snapshot magic.
 fn load_graph(path: &str) -> Result<WebGraph, String> {
-    dpr_graph::io::load(path).map_err(|e| format!("cannot read graph {path}: {e}"))
+    use std::io::Read;
+    let mut magic = [0u8; 6];
+    let is_snapshot = std::fs::File::open(path)
+        .map_err(|e| format!("cannot read graph {path}: {e}"))?
+        .read_exact(&mut magic)
+        .is_ok()
+        && &magic == dpr_graph::io::SNAPSHOT_MAGIC;
+    if is_snapshot {
+        dpr_graph::io::load_snapshot(path).map_err(|e| format!("cannot read graph {path}: {e}"))
+    } else {
+        dpr_graph::io::load(path).map_err(|e| format!("cannot read graph {path}: {e}"))
+    }
 }
 
 fn parse_strategy(name: &str) -> Result<Strategy, String> {
@@ -100,6 +120,14 @@ pub fn generate(args: &Args) -> CmdResult {
         seed: args.get("seed", EduDomainConfig::default().seed),
         ..EduDomainConfig::default()
     };
+    if args.flag("binary") {
+        // Stream rows straight to the compact snapshot — the edge list is
+        // never materialized in memory, so 10M-page graphs are fine.
+        dpr_graph::generators::edu_domain_to_snapshot_path(&cfg, out)
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("streamed {} pages to binary snapshot {out}", cfg.n_pages);
+        return Ok(());
+    }
     let g = edu_domain(&cfg);
     dpr_graph::io::save(&g, out).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("wrote {} pages / {} links to {out}", g.n_pages(), g.n_internal_links());
@@ -304,6 +332,8 @@ fn simulate_net(args: &Args, g: &WebGraph, variant: DprVariant) -> CmdResult {
         checkpoint_every: args.get("checkpoint-every", NetRunConfig::default().checkpoint_every),
         suspect_after: args.get("suspect-after", NetRunConfig::default().suspect_after),
         engine_workers: args.get("engine-workers", dpr_linalg::pool::Pool::host_threads()),
+        explicit_matrix: args.flag("explicit-matrix"),
+        unrolled_spmv: args.flag("unrolled-spmv"),
         ..NetRunConfig::default()
     };
     let engine_workers = cfg.engine_workers;

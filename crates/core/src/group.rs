@@ -19,10 +19,90 @@ use std::collections::HashMap;
 
 use dpr_graph::{PageId, WebGraph};
 use dpr_linalg::pool::SharedSlice;
-use dpr_linalg::{Csr, FixedPointSolver, Pool, SolveReport, TripletMatrix};
+use dpr_linalg::{column_scale, Csr, CsrImplicit, FixedPointSolver, Pool, SolveReport, SpMatVec};
 use dpr_partition::{GroupId, Partition};
 
 use crate::config::RankConfig;
+
+/// Which in-memory layout a group's local matrix uses. The implicit-value
+/// layout is the default everywhere: it streams ≤ 8 bytes per non-zero
+/// instead of 12+ and is bit-identical to the explicit layout by
+/// construction (see `dpr_linalg::CsrImplicit`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatrixLayout {
+    /// Implicit per-column values (`α/d(u)`), `u32` gather kernel.
+    #[default]
+    Implicit,
+    /// Implicit values with the 4-wide unrolled accumulator. The unroll
+    /// re-associates per-row sums, so results can differ from the other
+    /// two layouts in the low bits — a documented opt-in.
+    ImplicitUnrolled,
+    /// Explicit per-entry `f64` values (the legacy layout, kept for
+    /// benchmarking the bandwidth win).
+    Explicit,
+}
+
+/// A group's local propagation matrix in its chosen layout. Both variants
+/// hold the *same entries* — the explicit form is materialized from the
+/// implicit one (`values[k] = scale[col_idx[k]]`) — so plain-kernel solves
+/// are bit-identical across layouts.
+#[derive(Debug, Clone)]
+pub enum GroupMatrix {
+    /// Explicit-value CSR.
+    Explicit(Csr),
+    /// Implicit-value (bandwidth-lean) CSR.
+    Implicit(CsrImplicit),
+}
+
+impl GroupMatrix {
+    /// Number of stored entries.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        match self {
+            GroupMatrix::Explicit(m) => m.nnz(),
+            GroupMatrix::Implicit(m) => m.nnz(),
+        }
+    }
+
+    /// Heap bytes held by the matrix arrays.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            GroupMatrix::Explicit(m) => m.heap_bytes(),
+            GroupMatrix::Implicit(m) => m.heap_bytes(),
+        }
+    }
+}
+
+impl SpMatVec for GroupMatrix {
+    fn n_rows(&self) -> usize {
+        match self {
+            GroupMatrix::Explicit(m) => m.n_rows(),
+            GroupMatrix::Implicit(m) => m.n_rows(),
+        }
+    }
+    fn n_cols(&self) -> usize {
+        match self {
+            GroupMatrix::Explicit(m) => m.n_cols(),
+            GroupMatrix::Implicit(m) => m.n_cols(),
+        }
+    }
+    fn nnz(&self) -> usize {
+        GroupMatrix::nnz(self)
+    }
+    fn mul_into(&self, x: &[f64], y: &mut [f64], ws: &mut Vec<f64>, pool: &Pool) {
+        match self {
+            GroupMatrix::Explicit(m) => m.mul_into(x, y, ws, pool),
+            GroupMatrix::Implicit(m) => m.mul_into(x, y, ws, pool),
+        }
+    }
+    fn contraction_norm(&self) -> f64 {
+        match self {
+            GroupMatrix::Explicit(m) => m.contraction_norm(),
+            GroupMatrix::Implicit(m) => m.contraction_norm(),
+        }
+    }
+}
 
 /// One efferent edge: `(local source index, α/d(source), global destination
 /// page)`.
@@ -43,8 +123,9 @@ pub struct GroupContext {
     /// Global ids of the pages in this group, sorted ascending; local index
     /// `i` refers to `pages[i]`.
     pages: Vec<PageId>,
-    /// Local propagation matrix (inner links only).
-    a: Csr,
+    /// Local propagation matrix (inner links only), in the layout chosen
+    /// at build time (implicit-value by default).
+    a: GroupMatrix,
     /// `βE` restricted to this group's pages.
     beta_e: Vec<f64>,
     /// Outgoing rank routes, one batch per destination group.
@@ -53,9 +134,22 @@ pub struct GroupContext {
 
 impl GroupContext {
     /// Builds the contexts of **all** groups of a partition in one pass over
-    /// the graph (O(pages + links)).
+    /// the graph (O(pages + links)), using the default bandwidth-lean
+    /// [`MatrixLayout::Implicit`] local matrices.
     #[must_use]
     pub fn build_all(g: &WebGraph, partition: &Partition, cfg: &RankConfig) -> Vec<GroupContext> {
+        Self::build_all_with_layout(g, partition, cfg, MatrixLayout::default())
+    }
+
+    /// [`GroupContext::build_all`] with an explicit choice of local-matrix
+    /// layout.
+    #[must_use]
+    pub fn build_all_with_layout(
+        g: &WebGraph,
+        partition: &Partition,
+        cfg: &RankConfig,
+        layout: MatrixLayout,
+    ) -> Vec<GroupContext> {
         cfg.validate(g.n_pages());
         assert_eq!(partition.n_pages(), g.n_pages());
         let k = partition.k();
@@ -69,8 +163,10 @@ impl GroupContext {
             }
         }
 
-        let mut triplets: Vec<TripletMatrix> =
-            group_pages.iter().map(|pages| TripletMatrix::new(pages.len(), pages.len())).collect();
+        // Inner links as local (row, col) = (dest, src) pairs; the entry
+        // value is implicit (`α/d(src)`, a function of the column alone),
+        // so nothing else needs collecting.
+        let mut inner: Vec<Vec<(u32, u32)>> = vec![Vec::new(); k];
         let mut efferent_maps: Vec<HashMap<GroupId, Vec<EfferentEdge>>> = vec![HashMap::new(); k];
 
         for u in 0..g.n_pages() as u32 {
@@ -84,7 +180,7 @@ impl GroupContext {
             for &v in g.out_links(u) {
                 let gv = partition.group_of(v);
                 if gv == gu {
-                    triplets[gu as usize].push(local_of[v as usize] as usize, lu as usize, w);
+                    inner[gu as usize].push((local_of[v as usize], lu));
                 } else {
                     efferent_maps[gu as usize].entry(gv).or_default().push((lu, w, v));
                 }
@@ -107,7 +203,7 @@ impl GroupContext {
             let pages_slots = SharedSlice::new(&mut pages_in);
             let eff_slots = SharedSlice::new(&mut efferent_maps);
             let out_slots = SharedSlice::new(&mut out);
-            let triplets = &triplets;
+            let inner = &inner;
             pool.for_each_chunk(k, |gid| {
                 // SAFETY (all three): each `gid` is claimed by exactly one
                 // chunk, so the slot accesses are disjoint.
@@ -121,10 +217,11 @@ impl GroupContext {
                     })
                     .collect();
                 efferent.sort_unstable_by_key(|b| b.dest);
+                let a = Self::assemble_matrix(g, cfg, &pages, &inner[gid], layout);
                 let ctx = GroupContext {
                     group_id: gid as GroupId,
                     beta_e: cfg.beta_e_for(&pages),
-                    a: triplets[gid].to_csr(),
+                    a,
                     pages,
                     efferent,
                 };
@@ -132,6 +229,54 @@ impl GroupContext {
             });
         }
         out.into_iter().map(|c| c.expect("every group built")).collect()
+    }
+
+    /// Assembles one group's local matrix from its inner-link pairs:
+    /// counting-sort by destination row, per-row column sort, per-column
+    /// scale `α/d(u)` (exactly `0.0` for dangling pages — see
+    /// `dpr_linalg::column_scale`). Parallel inner links stay as separate
+    /// entries in *every* layout — the explicit form is materialized from
+    /// the implicit one — so layouts share identical entry structure and
+    /// plain-kernel solves match bit for bit.
+    fn assemble_matrix(
+        g: &WebGraph,
+        cfg: &RankConfig,
+        pages: &[PageId],
+        pairs: &[(u32, u32)],
+        layout: MatrixLayout,
+    ) -> GroupMatrix {
+        let n = pages.len();
+        let degrees: Vec<u32> = pages.iter().map(|&p| g.out_degree(p)).collect();
+        let scale = column_scale(cfg.alpha, &degrees);
+        let mut row_ptr = vec![0u64; n + 1];
+        for &(lv, _) in pairs {
+            row_ptr[lv as usize + 1] += 1;
+        }
+        for r in 0..n {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        let mut cursor: Vec<u64> = row_ptr.clone();
+        let mut col_idx = vec![0u32; pairs.len()];
+        for &(lv, lu) in pairs {
+            let slot = cursor[lv as usize] as usize;
+            col_idx[slot] = lu;
+            cursor[lv as usize] += 1;
+        }
+        for r in 0..n {
+            col_idx[row_ptr[r] as usize..row_ptr[r + 1] as usize].sort_unstable();
+        }
+        let m = CsrImplicit::from_raw_parts(n, n, row_ptr, col_idx, scale);
+        match layout {
+            MatrixLayout::Implicit => GroupMatrix::Implicit(m),
+            MatrixLayout::ImplicitUnrolled => GroupMatrix::Implicit(m.with_unrolled(true)),
+            MatrixLayout::Explicit => GroupMatrix::Explicit(m.to_explicit()),
+        }
+    }
+
+    /// The group's local propagation matrix.
+    #[must_use]
+    pub fn matrix(&self) -> &GroupMatrix {
+        &self.a
     }
 
     /// This group's id.
@@ -205,9 +350,9 @@ impl GroupContext {
 
     /// [`GroupContext::group_pagerank`] with a *prepared* right-hand side:
     /// the caller passes `f = βE + X` directly (maintained incrementally
-    /// across think steps) plus a reusable solve buffer, so the hot path
-    /// allocates nothing. Bit-identical to the allocating variant for equal
-    /// `f`.
+    /// across think steps) plus reusable solve and multiply-workspace
+    /// buffers, so the hot path allocates nothing. Bit-identical to the
+    /// allocating variant for equal `f`.
     pub fn group_pagerank_prepared(
         &self,
         r: &mut Vec<f64>,
@@ -215,11 +360,12 @@ impl GroupContext {
         epsilon: f64,
         max_iters: usize,
         scratch: &mut Vec<f64>,
+        ws: &mut Vec<f64>,
     ) -> SolveReport {
         assert_eq!(r.len(), self.n_local());
         assert_eq!(f.len(), self.n_local());
         FixedPointSolver { tolerance: epsilon, max_iters, pool: Pool::sequential() }
-            .solve_with_scratch(&self.a, f, r, scratch)
+            .solve_with_scratch(&self.a, f, r, scratch, ws)
     }
 
     /// One iteration `R ← A·R + βE + X` (the DPR2 node body). Returns the
@@ -237,12 +383,18 @@ impl GroupContext {
         FixedPointSolver::default().with_pool(pool.clone()).step(&self.a, &f, r, 1)
     }
 
-    /// [`GroupContext::step`] with a prepared `f = βE + X` and a reusable
-    /// double buffer (the allocation-free DPR2 think step).
-    pub fn step_prepared(&self, r: &mut Vec<f64>, f: &[f64], scratch: &mut Vec<f64>) -> f64 {
+    /// [`GroupContext::step`] with a prepared `f = βE + X` and reusable
+    /// double/workspace buffers (the allocation-free DPR2 think step).
+    pub fn step_prepared(
+        &self,
+        r: &mut Vec<f64>,
+        f: &[f64],
+        scratch: &mut Vec<f64>,
+        ws: &mut Vec<f64>,
+    ) -> f64 {
         assert_eq!(r.len(), self.n_local());
         assert_eq!(f.len(), self.n_local());
-        FixedPointSolver::default().step_with_scratch(&self.a, f, r, 1, scratch)
+        FixedPointSolver::default().step_with_scratch(&self.a, f, r, 1, scratch, ws)
     }
 
     /// Computes the outgoing rank `Y` for every destination group:
@@ -627,6 +779,38 @@ mod tests {
         // Alternating cycle: no inner links at all.
         assert_eq!(ctxs[0].a.nnz(), 0);
         assert_eq!(ctxs[0].efferent_groups().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn matrix_layouts_solve_bit_identically() {
+        // Implicit (default) and explicit layouts hold the same entries, so
+        // a GroupPageRank solve must produce the same rank bits; the
+        // unrolled opt-in re-associates sums and only matches within
+        // round-off.
+        let g = toy::complete(10);
+        let assignment = (0..10u32).map(|p| p % 2).collect();
+        let partition = Partition::from_assignment(2, assignment);
+        let cfg = RankConfig::default();
+        let build = |layout| GroupContext::build_all_with_layout(&g, &partition, &cfg, layout);
+        let implicit = build(MatrixLayout::Implicit);
+        let explicit = build(MatrixLayout::Explicit);
+        let unrolled = build(MatrixLayout::ImplicitUnrolled);
+        assert!(matches!(implicit[0].matrix(), GroupMatrix::Implicit(_)));
+        assert!(matches!(explicit[0].matrix(), GroupMatrix::Explicit(_)));
+        assert_eq!(implicit[0].matrix().nnz(), explicit[0].matrix().nnz());
+        assert!(implicit[0].matrix().heap_bytes() < explicit[0].matrix().heap_bytes());
+        let x = vec![0.01; implicit[0].n_local()];
+        let solve = |ctxs: &[GroupContext]| {
+            let mut r = vec![0.0; ctxs[0].n_local()];
+            let report = ctxs[0].group_pagerank(&mut r, &x, 1e-12, 1000);
+            assert!(report.converged);
+            r
+        };
+        let r_i = solve(&implicit);
+        let r_e = solve(&explicit);
+        let r_u = solve(&unrolled);
+        assert!(r_i.iter().zip(&r_e).all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert!(r_i.iter().zip(&r_u).all(|(a, b)| (a - b).abs() < 1e-12));
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub use centralized::{open_pagerank, open_pagerank_with_pool, pagerank, PageRank
 pub use config::RankConfig;
 pub use dpr::{DprVariant, RankerNode, YMessage};
 pub use dpr_overlay::RouteCacheStats;
-pub use group::{AfferentState, GroupContext};
+pub use group::{AfferentState, GroupContext, GroupMatrix, MatrixLayout};
 pub use netrun::{
     group_owners, try_run_over_network, ChurnUnsupported, GroupSnapshot, NetCounters, NetRunConfig,
     NetRunError, NetRunResult, OverlayKind, Reliability, Transmission,

@@ -340,6 +340,16 @@ pub struct NetRunConfig {
     /// with `coalesce: true`; the legacy non-coalesce wake path dispatches
     /// relay traffic before its solves, so those stay inline.
     pub engine_workers: usize,
+    /// Use the legacy explicit-value CSR layout for the group matrices
+    /// instead of the default bandwidth-lean implicit layout. Both layouts
+    /// hold identical entries and the plain kernels are bit-identical, so
+    /// this is a pure performance A/B switch.
+    pub explicit_matrix: bool,
+    /// Opt into the 4-wide unrolled SpMV accumulator (implicit layout
+    /// only). The unroll re-associates per-row sums, so ranks may differ
+    /// from the default kernel in the low bits — a documented opt-in per
+    /// the bit-identity contract. Ignored when `explicit_matrix` is set.
+    pub unrolled_spmv: bool,
 }
 
 impl Default for NetRunConfig {
@@ -375,6 +385,8 @@ impl Default for NetRunConfig {
             checkpoint_every: 4.0,
             suspect_after: 2,
             engine_workers: 1,
+            explicit_matrix: false,
+            unrolled_spmv: false,
         }
     }
 }
@@ -532,6 +544,10 @@ struct GroupState {
     f_buf: Vec<f64>,
     /// Reusable solve double buffer.
     scratch: Vec<f64>,
+    /// Reusable multiply workspace: the implicit-value matrix pre-scales
+    /// the iterate into it once per SpMV (stays empty for the explicit
+    /// layout).
+    ws: Vec<f64>,
     /// Worklist of `X` rows the last refresh recomputed.
     touched: Vec<u32>,
     /// Final successive difference of the last solve that actually ran.
@@ -568,6 +584,7 @@ impl GroupState {
             afferent,
             f_buf,
             scratch: vec![0.0; n],
+            ws: Vec::new(),
             touched: Vec::new(),
             last_delta: f64::INFINITY,
             y_cache: None,
@@ -926,6 +943,7 @@ impl NetNode {
                                 1e-10,
                                 10_000,
                                 &mut gs.scratch,
+                                &mut gs.ws,
                             );
                             // A multi-iteration solve moved `r` even if its
                             // final step didn't.
@@ -935,7 +953,12 @@ impl NetNode {
                             )
                         }
                         DprVariant::Dpr2 => {
-                            let delta = gs.ctx.step_prepared(&mut gs.r, &gs.f_buf, &mut gs.scratch);
+                            let delta = gs.ctx.step_prepared(
+                                &mut gs.r,
+                                &gs.f_buf,
+                                &mut gs.scratch,
+                                &mut gs.ws,
+                            );
                             (delta, delta == 0.0)
                         }
                     };
@@ -1407,9 +1430,16 @@ pub fn try_run_over_network_with_store(
     // Run-wide context directory, indexed by group id and shared with
     // every node: static group structure is rebuilt from here (never
     // shipped) when a replica takes over an orphaned group.
+    let layout = if cfg.explicit_matrix {
+        crate::group::MatrixLayout::Explicit
+    } else if cfg.unrolled_spmv {
+        crate::group::MatrixLayout::ImplicitUnrolled
+    } else {
+        crate::group::MatrixLayout::Implicit
+    };
     let contexts: Arc<Vec<Arc<GroupContext>>> = {
         let mut dir: Vec<Option<Arc<GroupContext>>> = (0..cfg.k).map(|_| None).collect();
-        for c in GroupContext::build_all(g, &partition, &cfg.rank) {
+        for c in GroupContext::build_all_with_layout(g, &partition, &cfg.rank, layout) {
             let gid = c.group_id() as usize;
             dir[gid] = Some(Arc::new(c));
         }

@@ -16,12 +16,15 @@
 //!   (Cho & Garcia-Molina \[16\]; the §4.1 partitioning argument),
 //! * heavy-tailed in-degrees via the copy model.
 
+use std::io::{self, Seek, Write};
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, Poisson};
 
 use crate::builder::GraphBuilder;
 use crate::graph::WebGraph;
+use crate::io::SnapshotWriter;
 use crate::urls;
 
 /// Parameters of the edu-domain synthesizer.
@@ -78,6 +81,80 @@ impl EduDomainConfig {
     }
 }
 
+/// Receives generated page rows, one per page in ascending id order.
+///
+/// The generator itself never materializes the edge list: each page's
+/// destinations are handed over row by row, and the sink decides whether to
+/// accumulate them in memory ([`edu_domain`]) or stream them to disk
+/// ([`edu_domain_to_snapshot`]).
+pub trait PageRowSink {
+    /// Called once before any rows with the site host names and the number
+    /// of pages on each site (pages occupy contiguous id blocks in site
+    /// order, so this fixes every page's site up front).
+    ///
+    /// # Errors
+    /// Sinks backed by I/O may fail.
+    fn sites(&mut self, names: &[String], sizes: &[usize]) -> io::Result<()>;
+    /// One page row: its site, external out-link count, and **sorted**
+    /// internal destination list.
+    ///
+    /// # Errors
+    /// Sinks backed by I/O may fail.
+    fn page(&mut self, site: u32, ext_out: u32, dsts: &[u32]) -> io::Result<()>;
+}
+
+/// In-memory sink accumulating rows into a [`GraphBuilder`].
+struct BuilderSink {
+    b: GraphBuilder,
+    next_page: u32,
+}
+
+impl PageRowSink for BuilderSink {
+    fn sites(&mut self, names: &[String], sizes: &[usize]) -> io::Result<()> {
+        // Pre-register every page so rows may link forward to pages whose
+        // rows have not been emitted yet.
+        for (name, &sz) in names.iter().zip(sizes) {
+            let site = self.b.add_site(name.clone());
+            for _ in 0..sz {
+                self.b.add_page(site);
+            }
+        }
+        Ok(())
+    }
+
+    fn page(&mut self, site: u32, ext_out: u32, dsts: &[u32]) -> io::Result<()> {
+        let p = self.next_page;
+        self.next_page += 1;
+        let _ = site; // fixed already by the pre-registration in `sites`
+        if ext_out > 0 {
+            self.b.add_external_links(p, ext_out);
+        }
+        for &v in dsts {
+            self.b.add_link(p, v);
+        }
+        Ok(())
+    }
+}
+
+/// Streaming sink writing rows straight to a binary snapshot.
+struct SnapshotSink<W: Write + Seek> {
+    w: Option<SnapshotWriter<W>>,
+    raw: Option<W>,
+    n_pages: usize,
+}
+
+impl<W: Write + Seek> PageRowSink for SnapshotSink<W> {
+    fn sites(&mut self, names: &[String], _sizes: &[usize]) -> io::Result<()> {
+        let raw = self.raw.take().expect("sites called once");
+        self.w = Some(SnapshotWriter::new(raw, names, self.n_pages)?);
+        Ok(())
+    }
+
+    fn page(&mut self, site: u32, ext_out: u32, dsts: &[u32]) -> io::Result<()> {
+        self.w.as_mut().expect("sites before pages").page(site, ext_out, dsts)
+    }
+}
+
 /// Generates the synthetic edu-domain graph described by `cfg`.
 ///
 /// Pages of a site occupy a contiguous id block (crawls are typically
@@ -89,6 +166,51 @@ impl EduDomainConfig {
 /// `[0, 1]`).
 #[must_use]
 pub fn edu_domain(cfg: &EduDomainConfig) -> WebGraph {
+    let mut sink = BuilderSink {
+        b: GraphBuilder::with_capacity(
+            cfg.n_pages,
+            (cfg.n_pages as f64 * cfg.mean_out_degree * cfg.internal_fraction) as usize,
+        ),
+        next_page: 0,
+    };
+    generate_rows(cfg, &mut sink).expect("in-memory sink cannot fail");
+    sink.b.build()
+}
+
+/// Generates the edu-domain graph and streams it directly to a binary
+/// snapshot, never materializing the edge list in memory (only the copy
+/// lists driving destination choice are kept). Loading the snapshot with
+/// [`crate::io::read_snapshot`] yields a graph equal to
+/// [`edu_domain`]`(cfg)` — the row stream is identical.
+///
+/// # Errors
+/// Propagates I/O failures from the underlying writer.
+///
+/// # Panics
+/// On degenerate configurations, as [`edu_domain`].
+pub fn edu_domain_to_snapshot<W: Write + Seek>(cfg: &EduDomainConfig, w: W) -> io::Result<()> {
+    let mut sink = SnapshotSink { w: None, raw: Some(w), n_pages: cfg.n_pages };
+    generate_rows(cfg, &mut sink)?;
+    sink.w.expect("sites emitted").finish()?;
+    Ok(())
+}
+
+/// Generates the edu-domain graph as a binary snapshot file at `path`.
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn edu_domain_to_snapshot_path(
+    cfg: &EduDomainConfig,
+    path: impl AsRef<std::path::Path>,
+) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    edu_domain_to_snapshot(cfg, io::BufWriter::new(f))
+}
+
+/// The generator core: emits one row per page into `sink`. RNG consumption
+/// is independent of the sink, so every sink observes the same rows for a
+/// given seed.
+fn generate_rows<S: PageRowSink>(cfg: &EduDomainConfig, sink: &mut S) -> io::Result<()> {
     assert!(cfg.n_sites >= 1);
     assert!(cfg.n_pages >= cfg.n_sites, "need at least one page per site");
     assert!((0.0..=1.0).contains(&cfg.internal_fraction));
@@ -115,19 +237,12 @@ pub fn edu_domain(cfg: &EduDomainConfig) -> WebGraph {
     }
 
     // --- Pages: contiguous block per site. --------------------------------
-    let mut b = GraphBuilder::with_capacity(
-        cfg.n_pages,
-        (cfg.n_pages as f64 * cfg.mean_out_degree * cfg.internal_fraction) as usize,
-    );
+    let names: Vec<String> = (0..cfg.n_sites as u32).map(urls::site_host).collect();
+    sink.sites(&names, &sizes)?;
     let mut site_range = Vec::with_capacity(cfg.n_sites); // (first_page, size)
     let mut next = 0u32;
-    for (s, &sz) in sizes.iter().enumerate() {
-        let site = b.add_site(urls::site_host(s as u32));
+    for &sz in &sizes {
         site_range.push((next, sz as u32));
-        for _ in 0..sz {
-            let p = b.add_page(site);
-            debug_assert_eq!(p, next + (p - next));
-        }
         next += sz as u32;
     }
     debug_assert_eq!(next as usize, cfg.n_pages);
@@ -137,13 +252,16 @@ pub fn edu_domain(cfg: &EduDomainConfig) -> WebGraph {
     // Copy lists: destinations of already-created links.
     let mut global_dests: Vec<u32> = Vec::new();
     let mut site_dests: Vec<Vec<u32>> = vec![Vec::new(); cfg.n_sites];
+    let mut row: Vec<u32> = Vec::new();
 
     for (s, &(first, sz)) in site_range.iter().enumerate() {
         for p in first..first + sz {
             let d = poisson.sample(&mut rng) as usize;
+            row.clear();
+            let mut ext = 0u32;
             for _ in 0..d {
                 if !rng.gen_bool(cfg.internal_fraction) {
-                    b.add_external_links(p, 1);
+                    ext += 1;
                     continue;
                 }
                 let v = if rng.gen_bool(cfg.intra_site_fraction) {
@@ -164,17 +282,21 @@ pub fn edu_domain(cfg: &EduDomainConfig) -> WebGraph {
                 };
                 if v == p {
                     // Treat would-be self links as external, preserving d(u).
-                    b.add_external_links(p, 1);
+                    ext += 1;
                     continue;
                 }
-                b.add_link(p, v);
+                row.push(v);
                 global_dests.push(v);
                 let vs = site_of_page(&site_range, v);
                 site_dests[vs].push(v);
             }
+            // Snapshot rows carry sorted destination lists; the builder path
+            // would sort them at `build()` time anyway.
+            row.sort_unstable();
+            sink.page(s as u32, ext, &row)?;
         }
     }
-    b.build()
+    Ok(())
 }
 
 /// Binary-search the contiguous site blocks for the site of page `v`.
@@ -245,6 +367,15 @@ mod tests {
     fn no_self_links() {
         let g = edu_domain(&EduDomainConfig::small());
         assert!(g.links().all(|(u, v)| u != v));
+    }
+
+    #[test]
+    fn streamed_snapshot_equals_in_memory_generation() {
+        let cfg = EduDomainConfig::small();
+        let mut cur = io::Cursor::new(Vec::new());
+        edu_domain_to_snapshot(&cfg, &mut cur).unwrap();
+        let streamed = crate::io::read_snapshot(cur.into_inner().as_slice()).unwrap();
+        assert_eq!(streamed, edu_domain(&cfg));
     }
 
     #[test]

@@ -9,5 +9,7 @@ pub mod edu;
 pub mod random;
 pub mod toy;
 
-pub use edu::{edu_domain, EduDomainConfig};
+pub use edu::{
+    edu_domain, edu_domain_to_snapshot, edu_domain_to_snapshot_path, EduDomainConfig, PageRowSink,
+};
 pub use random::{copy_model, erdos_renyi};

@@ -16,7 +16,7 @@
 //!   convergence: the contraction property of `x ← Ax + f` pulls any
 //!   starting point to the unique fixed point.
 
-use crate::csr::Csr;
+use crate::csr::SpMatVec;
 use crate::pool::Pool;
 use crate::solver::{FixedPointSolver, SolveReport};
 use crate::vec_ops;
@@ -47,8 +47,9 @@ impl Default for AitkenSolver {
 impl AitkenSolver {
     /// Solves `x = A·x + f` in place with periodic Aitken Δ² extrapolation.
     /// Iteration counts include the plain steps used to gather the three
-    /// iterates (extrapolation itself is free of matrix products).
-    pub fn solve(&self, a: &Csr, f: &[f64], x: &mut Vec<f64>) -> SolveReport {
+    /// iterates (extrapolation itself is free of matrix products). Generic
+    /// over [`SpMatVec`], so it accepts either CSR layout.
+    pub fn solve<M: SpMatVec>(&self, a: &M, f: &[f64], x: &mut Vec<f64>) -> SolveReport {
         assert!(self.period >= 2, "Aitken needs at least two steps between extrapolations");
         let n = a.n_rows();
         assert_eq!(a.n_cols(), n);
@@ -94,10 +95,7 @@ impl AitkenSolver {
             iterations: iters,
             final_delta: delta,
             converged: delta <= self.tolerance,
-            error_bound: crate::theory::contraction_error_bound(
-                a.inf_norm().min(a.one_norm()),
-                delta,
-            ),
+            error_bound: crate::theory::contraction_error_bound(a.contraction_norm(), delta),
         }
     }
 }
@@ -105,7 +103,7 @@ impl AitkenSolver {
 /// Convenience comparison: iterations of the plain vs Aitken-accelerated
 /// solver on the same system (used by the acceleration ablation bench).
 #[must_use]
-pub fn iteration_savings(a: &Csr, f: &[f64], tolerance: f64) -> (usize, usize) {
+pub fn iteration_savings<M: SpMatVec>(a: &M, f: &[f64], tolerance: f64) -> (usize, usize) {
     let mut x_plain = vec![0.0; f.len()];
     let plain = FixedPointSolver { tolerance, max_iters: 100_000, ..Default::default() }.solve(
         a,
@@ -122,6 +120,7 @@ pub fn iteration_savings(a: &Csr, f: &[f64], tolerance: f64) -> (usize, usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::csr::Csr;
     use crate::triplet::TripletMatrix;
 
     /// A slow contraction: x = 0.98·x + 1 componentwise ⇒ x* = 50, plain

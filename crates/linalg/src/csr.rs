@@ -6,19 +6,173 @@
 //! indexed per row through `row_ptr`. All PageRank variants in this
 //! repository iterate `R ← A·R + f`, which is a single sparse
 //! matrix–vector product (SpMV) per step.
+//!
+//! # Two layouts
+//!
+//! [`Csr`] stores an explicit `f64` per non-zero (12+ bytes/nnz streamed).
+//! The ranking matrices have a special structure: every stored value is
+//! `α / d(u)`, a function of the *column* alone. [`CsrImplicit`] exploits
+//! that by dropping the values array entirely and keeping one `scale[u]`
+//! per column; each solve step pre-scales the input once
+//! (`ws[u] = scale[u] · x[u]`) and the inner loop becomes a pure
+//! `u32`-index gather-sum (≤ 8 bytes/nnz). Each product is computed exactly
+//! once from the same two operands and the per-row addition order is
+//! unchanged, so the implicit kernel is **bit-identical by construction**
+//! to the explicit kernel over the same entries — see
+//! `implicit_matches_explicit_bitwise` in the tests for the proptest.
 
 use crate::pool::{Pool, SharedSlice};
 
-/// Row count above which [`Csr::mul_vec_pool`] actually splits across the
-/// worker pool; tiny matrices stay sequential.
+/// Row count above which the pooled SpMV kernels split across the worker
+/// pool even when the matrix is sparse.
 const PAR_ROWS_THRESHOLD: usize = 1 << 12;
 
-/// Fixed row-chunk width for the pooled SpMV. Boundaries are independent of
-/// the worker count, so every output element is produced by the identical
-/// per-row dot product regardless of parallelism (rows are independent, so
-/// SpMV is bit-deterministic by construction; the fixed width keeps the
-/// schedule cache-friendly and the work queue short).
-const SPMV_CHUNK_ROWS: usize = 1024;
+/// Non-zero count above which the pooled SpMV kernels split across the
+/// worker pool regardless of row count. Group matrices in a netrun are
+/// short (a few thousand rows) but carry tens of thousands of non-zeros;
+/// gating on rows alone left them sequential.
+const PAR_NNZ_THRESHOLD: usize = 1 << 14;
+
+/// Upper bound on rows per chunk for the pooled SpMV (the old fixed width).
+const MAX_CHUNK_ROWS: usize = 1024;
+
+/// Target non-zeros per chunk for the pooled SpMV. The chunk plan aims for
+/// this many entries per work item so that short-but-dense matrices still
+/// produce enough chunks to feed every worker.
+const TARGET_CHUNK_NNZ: usize = 4096;
+
+/// Fixed element-chunk width for the pooled pre-scale pass of
+/// [`CsrImplicit`]. The pass is element-wise (no reduction), so chunking
+/// cannot change any result bit; the width only balances handoff overhead.
+const PRESCALE_CHUNK: usize = 4096;
+
+/// Rows per chunk for the pooled SpMV, as a pure function of the matrix
+/// shape `(n_rows, nnz)` — **never** of the worker count, which is what
+/// keeps chunk boundaries (and therefore results) identical across pools.
+///
+/// The plan targets [`TARGET_CHUNK_NNZ`] non-zeros per chunk at the
+/// matrix's average degree, clamped to `[1, MAX_CHUNK_ROWS]`. A 1.5k-row /
+/// 22k-nnz group matrix used to yield 2 chunks of 1024 rows (starving all
+/// but two workers); under this plan it yields ~6.
+#[must_use]
+pub(crate) fn spmv_chunk_rows(n_rows: usize, nnz: usize) -> usize {
+    if n_rows == 0 {
+        return 1;
+    }
+    // rows/chunk ≈ TARGET / avg_degree = TARGET · n_rows / nnz.
+    (TARGET_CHUNK_NNZ.saturating_mul(n_rows) / nnz.max(1)).clamp(1, MAX_CHUNK_ROWS)
+}
+
+/// Whether a matrix of this shape is worth fanning out on `pool`.
+#[inline]
+fn spmv_parallel(pool: &Pool, n_rows: usize, nnz: usize) -> bool {
+    pool.is_parallel() && (n_rows >= PAR_ROWS_THRESHOLD || nnz >= PAR_NNZ_THRESHOLD)
+}
+
+/// Validates the raw arrays shared by both CSR layouts.
+///
+/// # Panics
+/// On any structural inconsistency; each check has its own message so
+/// callers (and should_panic tests) can tell them apart.
+fn validate_raw_parts(n_rows: usize, n_cols: usize, row_ptr: &[u64], col_idx: &[u32], nnz: usize) {
+    assert_eq!(row_ptr.len(), n_rows + 1, "row_ptr must have n_rows + 1 entries");
+    assert_eq!(*row_ptr.last().unwrap_or(&0) as usize, nnz, "row_ptr must end at nnz");
+    // Every interior pointer must stay inside the entry arrays. Checked
+    // explicitly (not just via monotonicity + the last-entry check) so an
+    // out-of-bounds interior pointer gets its own message instead of
+    // masquerading as a "non-decreasing" violation.
+    assert!(row_ptr.iter().all(|&p| p as usize <= nnz), "row_ptr entry exceeds nnz");
+    assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]), "row_ptr must be non-decreasing");
+    assert!(col_idx.iter().all(|&c| (c as usize) < n_cols), "column index out of range");
+}
+
+/// Per-column scale factors `α / d(u)` for the implicit-value layout.
+///
+/// Zero out-degree (dangling) columns get a scale of exactly `0.0` — never
+/// `inf` or `NaN` — so a dangling page contributes nothing through the
+/// gather, matching the paper's treatment of dangling rank mass.
+#[must_use]
+pub fn column_scale(alpha: f64, degrees: &[u32]) -> Vec<f64> {
+    degrees.iter().map(|&d| if d == 0 { 0.0 } else { alpha / f64::from(d) }).collect()
+}
+
+/// Row-pointer array for either CSR layout, auto-narrowed to `u32` when
+/// the entry count permits. Narrowing halves the pointer traffic of the
+/// SpMV inner loop; the `u64` form remains for ≥ 4G-entry matrices and for
+/// benchmarking the wide layout explicitly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RowPtr {
+    /// Narrow pointers — valid whenever `nnz < u32::MAX`.
+    U32(Vec<u32>),
+    /// Wide pointers.
+    U64(Vec<u64>),
+}
+
+impl RowPtr {
+    /// Narrows a wide pointer array when every entry fits in `u32`.
+    #[must_use]
+    fn from_wide(row_ptr: Vec<u64>) -> Self {
+        match row_ptr.last() {
+            Some(&last) if last < u64::from(u32::MAX) => {
+                RowPtr::U32(row_ptr.into_iter().map(|p| p as u32).collect())
+            }
+            _ => RowPtr::U64(row_ptr),
+        }
+    }
+
+    /// Whether the narrow (`u32`) representation is in use.
+    #[must_use]
+    pub fn is_narrow(&self) -> bool {
+        matches!(self, RowPtr::U32(_))
+    }
+
+    /// The `[start, end)` entry range of row `r`.
+    #[inline]
+    #[must_use]
+    fn bounds(&self, r: usize) -> (usize, usize) {
+        match self {
+            RowPtr::U32(p) => (p[r] as usize, p[r + 1] as usize),
+            RowPtr::U64(p) => (p[r] as usize, p[r + 1] as usize),
+        }
+    }
+
+    /// Heap bytes held by the pointer array.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            RowPtr::U32(p) => p.len() * 4,
+            RowPtr::U64(p) => p.len() * 8,
+        }
+    }
+
+    /// The pointer array widened back to `u64`.
+    #[must_use]
+    fn to_wide(&self) -> Vec<u64> {
+        match self {
+            RowPtr::U32(p) => p.iter().map(|&v| u64::from(v)).collect(),
+            RowPtr::U64(p) => p.clone(),
+        }
+    }
+}
+
+/// A sparse matrix layout the fixed-point solvers can drive. Implemented by
+/// the explicit-value [`Csr`] and the bandwidth-lean [`CsrImplicit`]; the
+/// solvers are generic over this trait so netruns can pick the layout
+/// without duplicating iteration logic.
+pub trait SpMatVec {
+    /// Number of rows.
+    fn n_rows(&self) -> usize;
+    /// Number of columns.
+    fn n_cols(&self) -> usize;
+    /// Number of stored entries.
+    fn nnz(&self) -> usize;
+    /// `y ← A·x` on `pool`, bit-identical at every worker count. `ws` is a
+    /// reusable workspace; layouts that need none leave it untouched.
+    fn mul_into(&self, x: &[f64], y: &mut [f64], ws: &mut Vec<f64>, pool: &Pool);
+    /// The contraction bound `min(‖A‖∞, ‖A‖₁)` used for solver error
+    /// bounds (Theorem 3.2: any norm bounds the spectral radius).
+    fn contraction_norm(&self) -> f64;
+}
 
 /// An immutable sparse matrix in compressed sparse row format.
 ///
@@ -41,8 +195,8 @@ impl Csr {
     ///
     /// # Panics
     /// If the arrays are structurally inconsistent (wrong `row_ptr` length,
-    /// non-monotonic `row_ptr`, mismatched `col_idx`/`values` lengths, or a
-    /// column index out of range).
+    /// non-monotonic or out-of-bounds `row_ptr`, mismatched
+    /// `col_idx`/`values` lengths, or a column index out of range).
     #[must_use]
     pub fn from_raw_parts(
         n_rows: usize,
@@ -51,15 +205,8 @@ impl Csr {
         col_idx: Vec<u32>,
         values: Vec<f64>,
     ) -> Self {
-        assert_eq!(row_ptr.len(), n_rows + 1, "row_ptr must have n_rows + 1 entries");
         assert_eq!(col_idx.len(), values.len(), "col_idx and values must match");
-        assert_eq!(
-            *row_ptr.last().unwrap_or(&0) as usize,
-            col_idx.len(),
-            "row_ptr must end at nnz"
-        );
-        assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]), "row_ptr must be non-decreasing");
-        assert!(col_idx.iter().all(|&c| (c as usize) < n_cols), "column index out of range");
+        validate_raw_parts(n_rows, n_cols, &row_ptr, &col_idx, col_idx.len());
         Self { n_rows, n_cols, row_ptr, col_idx, values }
     }
 
@@ -91,6 +238,13 @@ impl Csr {
     #[must_use]
     pub fn nnz(&self) -> usize {
         self.values.len()
+    }
+
+    /// Heap bytes held by the matrix arrays (`row_ptr` + `col_idx` +
+    /// `values`). The bandwidth benchmarks divide this by nnz.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.row_ptr.len() * 8 + self.col_idx.len() * 4 + self.values.len() * 8
     }
 
     /// The `(col, value)` pairs of row `r`.
@@ -130,18 +284,20 @@ impl Csr {
     /// same per-row dot product as [`Csr::mul_vec`], so the result is
     /// bit-identical to the sequential kernel at every worker count. Falls
     /// back to the sequential kernel for small matrices or a sequential
-    /// pool.
+    /// pool; chunk boundaries come from [`spmv_chunk_rows`], a pure
+    /// function of the matrix shape.
     pub fn mul_vec_pool(&self, x: &[f64], y: &mut [f64], pool: &Pool) {
         assert_eq!(x.len(), self.n_cols);
         assert_eq!(y.len(), self.n_rows);
-        if !pool.is_parallel() || self.n_rows < PAR_ROWS_THRESHOLD {
+        if !spmv_parallel(pool, self.n_rows, self.nnz()) {
             return self.mul_vec(x, y);
         }
-        let n_chunks = self.n_rows.div_ceil(SPMV_CHUNK_ROWS);
+        let chunk_rows = spmv_chunk_rows(self.n_rows, self.nnz());
+        let n_chunks = self.n_rows.div_ceil(chunk_rows);
         let out = SharedSlice::new(y);
         pool.for_each_chunk(n_chunks, |c| {
-            let base = c * SPMV_CHUNK_ROWS;
-            let len = SPMV_CHUNK_ROWS.min(self.n_rows - base);
+            let base = c * chunk_rows;
+            let len = chunk_rows.min(self.n_rows - base);
             // SAFETY: chunk `c` covers rows `[base, base + len)` and chunks
             // are pairwise disjoint.
             let ys = unsafe { out.slice_mut(base, len) };
@@ -260,10 +416,400 @@ impl Csr {
     }
 }
 
+impl SpMatVec for Csr {
+    fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+    fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+    fn nnz(&self) -> usize {
+        self.values.len()
+    }
+    fn mul_into(&self, x: &[f64], y: &mut [f64], _ws: &mut Vec<f64>, pool: &Pool) {
+        self.mul_vec_pool(x, y, pool);
+    }
+    fn contraction_norm(&self) -> f64 {
+        self.inf_norm().min(self.one_norm())
+    }
+}
+
+/// Row-pointer word: lets the gather kernel monomorphize over narrow and
+/// wide pointers instead of matching per row.
+trait PtrWord: Copy + Sync {
+    /// The pointer as a `usize` index.
+    fn idx(self) -> usize;
+}
+impl PtrWord for u32 {
+    #[inline]
+    fn idx(self) -> usize {
+        self as usize
+    }
+}
+impl PtrWord for u64 {
+    #[inline]
+    fn idx(self) -> usize {
+        self as usize
+    }
+}
+
+/// Single-accumulator gather: the reference fold order shared with the
+/// explicit kernel (`acc += term_k` left to right).
+///
+/// # Safety
+/// Every element of `cols` must be `< ws.len()`. [`gather_span`] asserts
+/// this once per multiply from the constructor invariant
+/// (`validate_raw_parts` bounds every column index by `n_cols`, and both
+/// `mul_vec` paths fill `ws` to exactly `n_cols`), which lets the inner
+/// loop skip the per-entry bounds check the explicit kernel pays.
+#[inline]
+unsafe fn gather_row_plain(cols: &[u32], ws: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &c in cols {
+        // SAFETY: `c < ws.len()` per the function contract.
+        acc += unsafe { *ws.get_unchecked(c as usize) };
+    }
+    acc
+}
+
+/// 4-wide unrolled gather. The four running sums re-associate the per-row
+/// addition, so this fold order **differs** from the reference kernel —
+/// bit identity forces it behind the explicit
+/// [`CsrImplicit::with_unrolled`] opt-in (see ROADMAP: "bit identity
+/// forces a documented opt-in").
+///
+/// # Safety
+/// Same contract as [`gather_row_plain`]: every element of `cols` must be
+/// `< ws.len()`.
+#[inline]
+unsafe fn gather_row_unrolled(cols: &[u32], ws: &[f64]) -> f64 {
+    let mut quads = cols.chunks_exact(4);
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0_f64, 0.0_f64, 0.0_f64, 0.0_f64);
+    for q in quads.by_ref() {
+        // SAFETY: every column index is `< ws.len()` per the contract.
+        unsafe {
+            a0 += *ws.get_unchecked(q[0] as usize);
+            a1 += *ws.get_unchecked(q[1] as usize);
+            a2 += *ws.get_unchecked(q[2] as usize);
+            a3 += *ws.get_unchecked(q[3] as usize);
+        }
+    }
+    let mut acc = (a0 + a1) + (a2 + a3);
+    for &c in quads.remainder() {
+        // SAFETY: as above.
+        acc += unsafe { *ws.get_unchecked(c as usize) };
+    }
+    acc
+}
+
+/// Gathers rows `[base, base + ys.len())` of the implicit layout into `ys`.
+///
+/// # Safety
+/// Every element of `col_idx` must be `< ws.len()`. Both callers satisfy
+/// this structurally: `validate_raw_parts` bounds every column index by
+/// `n_cols` at construction, and `mul_vec`/`mul_vec_pool` fill `ws` to
+/// exactly `n_cols` before gathering.
+#[inline]
+unsafe fn gather_span<P: PtrWord>(
+    row_ptr: &[P],
+    col_idx: &[u32],
+    ws: &[f64],
+    base: usize,
+    ys: &mut [f64],
+    unrolled: bool,
+) {
+    let ptrs = &row_ptr[base..base + ys.len() + 1];
+    for (yr, w) in ys.iter_mut().zip(ptrs.windows(2)) {
+        let (lo, hi) = (w[0].idx(), w[1].idx());
+        // SAFETY: `validate_raw_parts` proved `row_ptr` monotone with every
+        // entry `≤ col_idx.len()`, so `lo..hi` is in bounds; the column
+        // contract is forwarded from this function's contract.
+        *yr = unsafe {
+            let cols = col_idx.get_unchecked(lo..hi);
+            if unrolled {
+                gather_row_unrolled(cols, ws)
+            } else {
+                gather_row_plain(cols, ws)
+            }
+        };
+    }
+}
+
+/// The bandwidth-lean, implicit-value CSR layout.
+///
+/// Stores no per-entry values: entry `(v, u)` implicitly holds `scale[u]`
+/// (in the ranking matrices, `α / d(u)`). One pre-scale pass per multiply
+/// (`ws[u] = scale[u] · x[u]`) turns the inner loop into a `u32` gather-sum
+/// that streams 4 bytes of column index per non-zero instead of 12 — plus a
+/// row pointer that auto-narrows to `u32` via [`RowPtr`].
+///
+/// The multiply is bit-identical to [`Csr::mul_vec`] over the same entries:
+/// each product `scale[u] · x[u]` is one f64 multiply of the same operands
+/// the explicit kernel uses (`values[k] ≡ scale[col_idx[k]]`), computed
+/// exactly once, and the per-row fold order is unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrImplicit {
+    n_rows: usize,
+    n_cols: usize,
+    row_ptr: RowPtr,
+    col_idx: Vec<u32>,
+    /// `scale[u]` — the implicit value of every entry in column `u`.
+    /// Exactly `0.0` for dangling (zero out-degree) columns.
+    scale: Vec<f64>,
+    /// Opt-in 4-wide unrolled accumulator (different fold order; see
+    /// [`CsrImplicit::with_unrolled`]).
+    unrolled: bool,
+}
+
+impl CsrImplicit {
+    /// Builds an implicit-value CSR matrix from its raw arrays. The row
+    /// pointer auto-narrows to `u32` when `nnz` permits.
+    ///
+    /// # Panics
+    /// On structurally inconsistent arrays (same checks as
+    /// [`Csr::from_raw_parts`]), a `scale` length other than `n_cols`, or a
+    /// non-finite scale factor (a dangling column must be `0.0`, not
+    /// `inf`/`NaN` — use [`column_scale`]).
+    #[must_use]
+    pub fn from_raw_parts(
+        n_rows: usize,
+        n_cols: usize,
+        row_ptr: Vec<u64>,
+        col_idx: Vec<u32>,
+        scale: Vec<f64>,
+    ) -> Self {
+        validate_raw_parts(n_rows, n_cols, &row_ptr, &col_idx, col_idx.len());
+        assert_eq!(scale.len(), n_cols, "scale must have one factor per column");
+        assert!(scale.iter().all(|s| s.is_finite()), "scale factors must be finite");
+        Self {
+            n_rows,
+            n_cols,
+            row_ptr: RowPtr::from_wide(row_ptr),
+            col_idx,
+            scale,
+            unrolled: false,
+        }
+    }
+
+    /// An `n_rows × n_cols` matrix with no stored entries (all scales 0).
+    #[must_use]
+    pub fn zero(n_rows: usize, n_cols: usize) -> Self {
+        Self::from_raw_parts(n_rows, n_cols, vec![0; n_rows + 1], Vec::new(), vec![0.0; n_cols])
+    }
+
+    /// Opts into the 4-wide unrolled accumulator. The unrolled fold order
+    /// differs from the reference kernel (four running sums combined at row
+    /// end), so results are *not* bit-identical to the plain kernel —
+    /// low-order bits may differ. Off by default; per ROADMAP, bit identity
+    /// forces this to be a documented opt-in.
+    #[must_use]
+    pub fn with_unrolled(mut self, unrolled: bool) -> Self {
+        self.unrolled = unrolled;
+        self
+    }
+
+    /// Forces the wide (`u64`) row pointer, undoing the automatic
+    /// narrowing. Exists so benchmarks can measure the narrow-pointer win
+    /// in isolation.
+    #[must_use]
+    pub fn with_wide_row_ptr(mut self) -> Self {
+        self.row_ptr = RowPtr::U64(self.row_ptr.to_wide());
+        self
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored entries.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Whether the row pointer narrowed to `u32`.
+    #[must_use]
+    pub fn row_ptr_is_narrow(&self) -> bool {
+        self.row_ptr.is_narrow()
+    }
+
+    /// Whether the 4-wide unrolled accumulator is enabled.
+    #[must_use]
+    pub fn is_unrolled(&self) -> bool {
+        self.unrolled
+    }
+
+    /// The per-column scale factors.
+    #[must_use]
+    pub fn scale(&self) -> &[f64] {
+        &self.scale
+    }
+
+    /// Heap bytes held by the matrix arrays (`row_ptr` + `col_idx` +
+    /// `scale`). The bandwidth benchmarks divide this by nnz: ≤ 8 bytes per
+    /// non-zero for the narrow layout versus 12+ for [`Csr`].
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.row_ptr.heap_bytes() + self.col_idx.len() * 4 + self.scale.len() * 8
+    }
+
+    /// Materializes the explicit twin: a [`Csr`] with the identical entry
+    /// structure and `values[k] = scale[col_idx[k]]`. The twin's
+    /// [`Csr::mul_vec`] is the bit-identity reference for this layout.
+    #[must_use]
+    pub fn to_explicit(&self) -> Csr {
+        let values = self.col_idx.iter().map(|&c| self.scale[c as usize]).collect();
+        Csr::from_raw_parts(
+            self.n_rows,
+            self.n_cols,
+            self.row_ptr.to_wide(),
+            self.col_idx.clone(),
+            values,
+        )
+    }
+
+    /// Pre-scale pass: `ws[u] = scale[u] · x[u]`. Element-wise, so chunking
+    /// cannot affect bits.
+    fn prescale(&self, x: &[f64], ws: &mut Vec<f64>) {
+        crate::vec_ops::hadamard_into(&self.scale, x, ws);
+    }
+
+    /// Sequential SpMV: `y ← A·x`, with `ws` as the pre-scale workspace
+    /// (resized to `n_cols`; reuse it across calls to avoid reallocation).
+    ///
+    /// # Panics
+    /// If `x.len() != n_cols` or `y.len() != n_rows`.
+    pub fn mul_vec(&self, x: &[f64], y: &mut [f64], ws: &mut Vec<f64>) {
+        assert_eq!(x.len(), self.n_cols);
+        assert_eq!(y.len(), self.n_rows);
+        self.prescale(x, ws);
+        debug_assert_eq!(ws.len(), self.n_cols);
+        // SAFETY: `validate_raw_parts` bounded every column index by
+        // `n_cols` at construction and `prescale` filled `ws` to `n_cols`.
+        unsafe {
+            match &self.row_ptr {
+                RowPtr::U32(p) => gather_span(p, &self.col_idx, ws, 0, y, self.unrolled),
+                RowPtr::U64(p) => gather_span(p, &self.col_idx, ws, 0, y, self.unrolled),
+            }
+        }
+    }
+
+    /// Pool-parallel SpMV: `y ← A·x`. Bit-identical to
+    /// [`CsrImplicit::mul_vec`] at every worker count: the pre-scale pass
+    /// is element-wise and the gather uses the same fixed chunk plan
+    /// ([`spmv_chunk_rows`]) as the explicit kernel.
+    pub fn mul_vec_pool(&self, x: &[f64], y: &mut [f64], ws: &mut Vec<f64>, pool: &Pool) {
+        assert_eq!(x.len(), self.n_cols);
+        assert_eq!(y.len(), self.n_rows);
+        if !spmv_parallel(pool, self.n_rows, self.nnz()) {
+            return self.mul_vec(x, y, ws);
+        }
+        ws.resize(self.n_cols, 0.0);
+        {
+            let shared_ws = SharedSlice::new(ws.as_mut_slice());
+            let n_chunks = self.n_cols.div_ceil(PRESCALE_CHUNK);
+            pool.for_each_chunk(n_chunks, |c| {
+                let base = c * PRESCALE_CHUNK;
+                let len = PRESCALE_CHUNK.min(self.n_cols - base);
+                // SAFETY: chunk `c` covers elements `[base, base + len)`
+                // and chunks are pairwise disjoint.
+                let out = unsafe { shared_ws.slice_mut(base, len) };
+                for (i, w) in out.iter_mut().enumerate() {
+                    let u = base + i;
+                    *w = self.scale[u] * x[u];
+                }
+            });
+        }
+        let chunk_rows = spmv_chunk_rows(self.n_rows, self.nnz());
+        let n_chunks = self.n_rows.div_ceil(chunk_rows);
+        let out = SharedSlice::new(y);
+        let ws_ref: &[f64] = ws;
+        pool.for_each_chunk(n_chunks, |c| {
+            let base = c * chunk_rows;
+            let len = chunk_rows.min(self.n_rows - base);
+            // SAFETY: chunk `c` covers rows `[base, base + len)` and chunks
+            // are pairwise disjoint.
+            let ys = unsafe { out.slice_mut(base, len) };
+            // SAFETY: `validate_raw_parts` bounded every column index by
+            // `n_cols` at construction and `ws` was resized to `n_cols`.
+            unsafe {
+                match &self.row_ptr {
+                    RowPtr::U32(p) => {
+                        gather_span(p, &self.col_idx, ws_ref, base, ys, self.unrolled)
+                    }
+                    RowPtr::U64(p) => {
+                        gather_span(p, &self.col_idx, ws_ref, base, ys, self.unrolled)
+                    }
+                }
+            }
+        });
+    }
+
+    /// The infinity norm `‖A‖∞` — computed in the same per-row, in-order
+    /// summation as [`Csr::inf_norm`] on the explicit twin, so the bounds
+    /// match bit for bit.
+    #[must_use]
+    pub fn inf_norm(&self) -> f64 {
+        (0..self.n_rows)
+            .map(|r| {
+                let (lo, hi) = self.row_ptr.bounds(r);
+                self.col_idx[lo..hi].iter().map(|&c| self.scale[c as usize].abs()).sum::<f64>()
+            })
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// The 1-norm `‖A‖₁` — same accumulation order as [`Csr::one_norm`] on
+    /// the explicit twin.
+    #[must_use]
+    pub fn one_norm(&self) -> f64 {
+        let mut col_sums = vec![0.0_f64; self.n_cols];
+        for &c in &self.col_idx {
+            col_sums[c as usize] += self.scale[c as usize].abs();
+        }
+        col_sums.into_iter().fold(0.0_f64, f64::max)
+    }
+
+    /// Whether every implicit value is ≥ 0.
+    #[must_use]
+    pub fn is_nonneg(&self) -> bool {
+        // An entry's value is its column's scale; columns without entries
+        // don't contribute values at all.
+        self.col_idx.iter().all(|&c| self.scale[c as usize] >= 0.0)
+    }
+}
+
+impl SpMatVec for CsrImplicit {
+    fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+    fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+    fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+    fn mul_into(&self, x: &[f64], y: &mut [f64], ws: &mut Vec<f64>, pool: &Pool) {
+        self.mul_vec_pool(x, y, ws, pool);
+    }
+    fn contraction_norm(&self) -> f64 {
+        self.inf_norm().min(self.one_norm())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::triplet::TripletMatrix;
+    use proptest::prelude::*;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
 
     fn sample() -> Csr {
         // [ 0  0.5 0 ]
@@ -274,6 +820,33 @@ mod tests {
         t.push(1, 0, 1.0);
         t.push(1, 2, 2.0);
         t.to_csr()
+    }
+
+    /// Builds a random pull-oriented ranking matrix in implicit form:
+    /// `n` pages, per-column out-degrees in `0..=max_deg` (0 ⇒ dangling),
+    /// entries sorted by (row, col) with duplicates allowed.
+    fn random_implicit(n: usize, max_deg: u32, alpha: f64, seed: u64) -> CsrImplicit {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut degrees = vec![0u32; n];
+        let mut entries: Vec<(u32, u32)> = Vec::new();
+        for (u, deg) in degrees.iter_mut().enumerate() {
+            let d = rng.gen_range(0..=max_deg);
+            *deg = d;
+            for _ in 0..d {
+                let v = rng.gen_range(0..n) as u32;
+                entries.push((v, u as u32));
+            }
+        }
+        entries.sort_unstable();
+        let mut row_ptr = vec![0u64; n + 1];
+        for &(v, _) in &entries {
+            row_ptr[v as usize + 1] += 1;
+        }
+        for r in 0..n {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        let col_idx = entries.iter().map(|&(_, u)| u).collect();
+        CsrImplicit::from_raw_parts(n, n, row_ptr, col_idx, column_scale(alpha, &degrees))
     }
 
     #[test]
@@ -298,9 +871,8 @@ mod tests {
 
     #[test]
     fn mul_vec_par_matches_sequential_large() {
-        use rand::{Rng, SeedableRng};
         let n = PAR_ROWS_THRESHOLD + 123;
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let mut rng = SmallRng::seed_from_u64(7);
         let mut t = TripletMatrix::new(n, n);
         for _ in 0..n * 4 {
             t.push(rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(-1.0..1.0));
@@ -318,10 +890,8 @@ mod tests {
 
     #[test]
     fn mul_vec_pool_bit_identical_across_worker_counts() {
-        use crate::pool::Pool;
-        use rand::{Rng, SeedableRng};
         let n = PAR_ROWS_THRESHOLD + 777;
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+        let mut rng = SmallRng::seed_from_u64(11);
         let mut t = TripletMatrix::new(n, n);
         for _ in 0..n * 6 {
             t.push(rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(-1.0..1.0));
@@ -339,6 +909,36 @@ mod tests {
                 "pooled SpMV diverged at {workers} workers"
             );
         }
+    }
+
+    #[test]
+    fn chunk_plan_is_a_pure_function_of_shape() {
+        // A short-but-dense group matrix must yield more than a couple of
+        // chunks (the old fixed 1024-row width starved the pool)...
+        let rows = 1536;
+        let nnz = 1536 * 15;
+        let per = spmv_chunk_rows(rows, nnz);
+        assert!(per < rows / 4, "chunk plan too coarse: {per} rows/chunk");
+        assert!(rows.div_ceil(per) >= 4, "plan yields too few chunks");
+        // ...while huge sparse matrices keep the old cap.
+        assert_eq!(spmv_chunk_rows(10_000_000, 10_000_000), MAX_CHUNK_ROWS);
+        // The plan depends only on (rows, nnz): constant across calls.
+        assert_eq!(spmv_chunk_rows(rows, nnz), per);
+        // Degenerate shapes stay sane.
+        assert_eq!(spmv_chunk_rows(0, 0), 1);
+        assert!(spmv_chunk_rows(5, 0) >= 1);
+        // Empty rows don't zero the width.
+        assert!(spmv_chunk_rows(100, 1_000_000) >= 1);
+    }
+
+    #[test]
+    fn nnz_gate_parallelizes_short_dense_matrices() {
+        // 1.5k rows is below the row threshold but 22k non-zeros crosses
+        // the nnz threshold: the widened gate must fan out.
+        let pool = Pool::with_workers(2);
+        assert!(spmv_parallel(&pool, 1536, 23_000));
+        assert!(!spmv_parallel(&pool, 1536, 1_000));
+        assert!(!spmv_parallel(&Pool::sequential(), 1_000_000, 15_000_000));
     }
 
     #[test]
@@ -392,10 +992,195 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "row_ptr entry exceeds nnz")]
+    fn interior_row_ptr_out_of_bounds_panics() {
+        // Ends at nnz = 1 but the interior pointer 5 points past the entry
+        // arrays; before the explicit interior check this was only caught
+        // incidentally (and misreported) by the monotonicity assert.
+        let _ = Csr::from_raw_parts(2, 1, vec![0, 5, 1], vec![0], vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row_ptr entry exceeds nnz")]
+    fn implicit_interior_row_ptr_out_of_bounds_panics() {
+        let _ = CsrImplicit::from_raw_parts(2, 1, vec![0, 5, 1], vec![0], vec![0.85]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factors must be finite")]
+    fn implicit_rejects_non_finite_scale() {
+        let _ = CsrImplicit::from_raw_parts(1, 1, vec![0, 0], vec![], vec![f64::INFINITY]);
+    }
+
+    #[test]
     fn nonneg_detection() {
         assert!(sample().is_nonneg());
         let mut t = TripletMatrix::new(1, 1);
         t.push(0, 0, -1.0);
         assert!(!t.to_csr().is_nonneg());
+    }
+
+    #[test]
+    fn column_scale_zeroes_dangling_columns() {
+        let s = column_scale(0.85, &[0, 1, 4, 0]);
+        assert_eq!(s[0], 0.0);
+        assert_eq!(s[0].to_bits(), 0u64); // +0.0, not -0.0
+        assert_eq!(s[1], 0.85);
+        assert_eq!(s[2], 0.85 / 4.0);
+        assert_eq!(s[3], 0.0);
+        assert!(s.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn implicit_matches_explicit_on_toy_matrix() {
+        // 3 pages: 0 → {1, 2}, 1 → {2}, 2 dangling.
+        let degrees = [2u32, 1, 0];
+        let m = CsrImplicit::from_raw_parts(
+            3,
+            3,
+            vec![0, 0, 1, 3],
+            vec![0, 0, 1],
+            column_scale(0.85, &degrees),
+        );
+        assert!(m.row_ptr_is_narrow());
+        let twin = m.to_explicit();
+        let x = [0.3, 0.5, 0.2];
+        let mut y_i = [0.0; 3];
+        let mut y_e = [0.0; 3];
+        let mut ws = Vec::new();
+        m.mul_vec(&x, &mut y_i, &mut ws);
+        twin.mul_vec(&x, &mut y_e);
+        assert_eq!(y_i.map(f64::to_bits), y_e.map(f64::to_bits));
+        assert_eq!(m.inf_norm().to_bits(), twin.inf_norm().to_bits());
+        assert_eq!(m.one_norm().to_bits(), twin.one_norm().to_bits());
+        assert!(m.is_nonneg());
+        assert_eq!(m.nnz(), 3);
+        assert!(m.heap_bytes() < twin.heap_bytes());
+    }
+
+    #[test]
+    fn implicit_dangling_columns_and_empty_rows_stay_finite() {
+        // Every page dangling: no entries, all scales exactly 0.0.
+        let m = CsrImplicit::from_raw_parts(
+            4,
+            4,
+            vec![0, 0, 0, 0, 0],
+            vec![],
+            column_scale(0.85, &[0, 0, 0, 0]),
+        );
+        let mut y = [f64::NAN; 4];
+        let mut ws = Vec::new();
+        m.mul_vec(&[1.0, 2.0, 3.0, 4.0], &mut y, &mut ws);
+        assert_eq!(y, [0.0; 4]);
+        assert!(ws.iter().all(|v| v.to_bits() == 0));
+        assert_eq!(m.inf_norm(), 0.0);
+        assert_eq!(m.one_norm(), 0.0);
+        assert_eq!(m.contraction_norm(), 0.0);
+    }
+
+    #[test]
+    fn wide_row_ptr_is_bit_identical_to_narrow() {
+        let m = random_implicit(500, 8, 0.85, 99);
+        assert!(m.row_ptr_is_narrow());
+        let wide = m.clone().with_wide_row_ptr();
+        assert!(!wide.row_ptr_is_narrow());
+        let x: Vec<f64> = (0..500).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let (mut y1, mut y2) = (vec![0.0; 500], vec![0.0; 500]);
+        let (mut w1, mut w2) = (Vec::new(), Vec::new());
+        m.mul_vec(&x, &mut y1, &mut w1);
+        wide.mul_vec(&x, &mut y2, &mut w2);
+        assert!(y1.iter().zip(&y2).all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert!(wide.heap_bytes() > m.heap_bytes());
+    }
+
+    #[test]
+    fn unrolled_gather_matches_plain_within_tolerance() {
+        let m = random_implicit(800, 12, 0.85, 5);
+        let fast = m.clone().with_unrolled(true);
+        assert!(fast.is_unrolled() && !m.is_unrolled());
+        let x: Vec<f64> = (0..800).map(|i| ((i as f64) * 0.37).sin().abs()).collect();
+        let (mut y1, mut y2) = (vec![0.0; 800], vec![0.0; 800]);
+        let (mut w1, mut w2) = (Vec::new(), Vec::new());
+        m.mul_vec(&x, &mut y1, &mut w1);
+        fast.mul_vec(&x, &mut y2, &mut w2);
+        // Different fold order: equal within round-off, not necessarily
+        // bit-identical — which is exactly why it's opt-in.
+        for (a, b) in y1.iter().zip(&y2) {
+            assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn unrolled_pooled_is_bit_identical_across_worker_counts() {
+        // The opt-in changes the fold order vs the plain kernel, but it is
+        // still deterministic across worker counts (fixed chunk plan).
+        let m = random_implicit(3200, 12, 0.85, 21).with_unrolled(true);
+        assert!(m.nnz() >= PAR_NNZ_THRESHOLD, "test matrix must cross the nnz gate");
+        let x: Vec<f64> = (0..3200).map(|i| ((i as f64) * 0.11).cos().abs()).collect();
+        let mut seq = vec![0.0; 3200];
+        let mut ws = Vec::new();
+        m.mul_vec(&x, &mut seq, &mut ws);
+        for workers in [1, 2, 8] {
+            let pool = Pool::with_workers(workers);
+            let mut y = vec![f64::NAN; 3200];
+            let mut w = Vec::new();
+            m.mul_vec_pool(&x, &mut y, &mut w, &pool);
+            assert!(
+                seq.iter().zip(&y).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "unrolled pooled gather diverged at {workers} workers"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+        /// The tentpole proof: over random ranking matrices — including
+        /// dangling columns and empty rows — the implicit kernel matches
+        /// the explicit twin bit for bit at 1, 2, and 8 workers, both of
+        /// them matching the sequential explicit reference. Sizes are drawn
+        /// so some cases cross the nnz parallel gate and genuinely fan out.
+        #[test]
+        fn implicit_matches_explicit_bitwise(seed in 0u64..1u64 << 32, n in 1usize..2500) {
+            let m = random_implicit(n, 12, 0.85, seed);
+            let twin = m.to_explicit();
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xD15E);
+            let x: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let mut reference = vec![0.0; n];
+            twin.mul_vec(&x, &mut reference);
+            prop_assert!(reference.iter().all(|v| v.is_finite()));
+            prop_assert_eq!(m.inf_norm().to_bits(), twin.inf_norm().to_bits());
+            prop_assert_eq!(m.one_norm().to_bits(), twin.one_norm().to_bits());
+            for workers in [1usize, 2, 8] {
+                let pool = Pool::with_workers(workers);
+                let mut y_i = vec![f64::NAN; n];
+                let mut y_e = vec![f64::NAN; n];
+                let mut ws = Vec::new();
+                m.mul_vec_pool(&x, &mut y_i, &mut ws, &pool);
+                twin.mul_vec_pool(&x, &mut y_e, &pool);
+                for r in 0..n {
+                    prop_assert_eq!(
+                        y_i[r].to_bits(), reference[r].to_bits(),
+                        "implicit row {} diverged at {} workers", r, workers
+                    );
+                    prop_assert_eq!(y_e[r].to_bits(), reference[r].to_bits());
+                }
+            }
+        }
+
+        /// Dangling columns never leak a non-finite scale into the result,
+        /// whatever the graph shape (satellite: dangling/empty-row
+        /// coverage through the implicit path).
+        #[test]
+        fn implicit_dangling_never_produces_non_finite(seed in 0u64..1u64 << 32) {
+            let m = random_implicit(64, 2, 0.85, seed); // max_deg 2 ⇒ many dangling
+            prop_assert!(m.scale().iter().all(|s| s.is_finite()));
+            let x: Vec<f64> = (0..64).map(|i| (i as f64) + 0.5).collect();
+            let mut y = vec![f64::NAN; 64];
+            let mut ws = Vec::new();
+            m.mul_vec(&x, &mut y, &mut ws);
+            prop_assert!(y.iter().all(|v| v.is_finite()));
+            prop_assert!(ws.iter().all(|v| v.is_finite()));
+        }
     }
 }

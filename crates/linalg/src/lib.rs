@@ -50,7 +50,7 @@ pub mod triplet;
 pub mod vec_ops;
 
 pub use accel::AitkenSolver;
-pub use csr::Csr;
+pub use csr::{column_scale, Csr, CsrImplicit, RowPtr, SpMatVec};
 pub use gauss_seidel::GaussSeidelSolver;
 pub use pool::Pool;
 pub use solver::{FixedPointSolver, SolveReport};

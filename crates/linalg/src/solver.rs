@@ -7,7 +7,7 @@
 //! `‖A‖∞ < 1`, and Theorem 3.3 turns the successive difference into a bound
 //! on the true error — which is why the stopping rule is sound.
 
-use crate::csr::Csr;
+use crate::csr::SpMatVec;
 use crate::pool::Pool;
 use crate::theory;
 use crate::vec_ops;
@@ -61,17 +61,23 @@ impl FixedPointSolver {
 
     /// Solves `x = A·x + f` in place, starting from the current contents of
     /// `x`. `scratch` must be the same length as `x` and is used as the
-    /// double buffer (callers in hot loops reuse it across solves to avoid
-    /// reallocation).
+    /// double buffer; `ws` is the matrix layout's multiply workspace (an
+    /// implicit-value matrix pre-scales into it; the explicit layout leaves
+    /// it untouched). Callers in hot loops reuse both across solves to
+    /// avoid reallocation.
+    ///
+    /// Generic over [`SpMatVec`] so the same iteration drives the explicit
+    /// [`crate::Csr`] and the bandwidth-lean [`crate::CsrImplicit`].
     ///
     /// # Panics
     /// If dimensions are inconsistent.
-    pub fn solve_with_scratch(
+    pub fn solve_with_scratch<M: SpMatVec>(
         &self,
-        a: &Csr,
+        a: &M,
         f: &[f64],
         x: &mut Vec<f64>,
         scratch: &mut Vec<f64>,
+        ws: &mut Vec<f64>,
     ) -> SolveReport {
         let n = a.n_rows();
         assert_eq!(a.n_cols(), n, "fixed-point iteration needs a square matrix");
@@ -82,12 +88,12 @@ impl FixedPointSolver {
         // Any matrix norm certifies the contraction (Thm 3.2); take the
         // tighter of the two cheap ones — ranking matrices in pull
         // orientation are bounded in the column norm, not the row norm.
-        let norm = a.inf_norm().min(a.one_norm());
+        let norm = a.contraction_norm();
         let mut delta = f64::INFINITY;
         let mut iters = 0;
         while iters < self.max_iters {
             // scratch ← A·x + f
-            a.mul_vec_pool(x, scratch, &self.pool);
+            a.mul_into(x, scratch, ws, &self.pool);
             for (s, fi) in scratch.iter_mut().zip(f.iter()) {
                 *s += fi;
             }
@@ -107,31 +113,34 @@ impl FixedPointSolver {
     }
 
     /// Convenience wrapper around [`Self::solve_with_scratch`] that allocates
-    /// its own scratch buffer.
-    pub fn solve(&self, a: &Csr, f: &[f64], x: &mut Vec<f64>) -> SolveReport {
+    /// its own scratch and workspace buffers.
+    pub fn solve<M: SpMatVec>(&self, a: &M, f: &[f64], x: &mut Vec<f64>) -> SolveReport {
         let mut scratch = vec![0.0; x.len()];
-        self.solve_with_scratch(a, f, x, &mut scratch)
+        let mut ws = Vec::new();
+        self.solve_with_scratch(a, f, x, &mut scratch, &mut ws)
     }
 
     /// Performs exactly `steps` applications of `x ← A·x + f` (the DPR2 node
     /// body does a single step per outer loop), returning the last successive
     /// difference.
-    pub fn step(&self, a: &Csr, f: &[f64], x: &mut Vec<f64>, steps: usize) -> f64 {
+    pub fn step<M: SpMatVec>(&self, a: &M, f: &[f64], x: &mut Vec<f64>, steps: usize) -> f64 {
         let mut scratch = vec![0.0; x.len()];
-        self.step_with_scratch(a, f, x, steps, &mut scratch)
+        let mut ws = Vec::new();
+        self.step_with_scratch(a, f, x, steps, &mut scratch, &mut ws)
     }
 
-    /// [`Self::step`] with a caller-provided double buffer, so per-wake hot
-    /// loops (one step per think time, thousands of think times per run)
-    /// never reallocate. The scratch contents are irrelevant on entry — the
-    /// SpMV overwrites every element.
-    pub fn step_with_scratch(
+    /// [`Self::step`] with caller-provided double and workspace buffers, so
+    /// per-wake hot loops (one step per think time, thousands of think
+    /// times per run) never reallocate. The scratch contents are irrelevant
+    /// on entry — the SpMV overwrites every element.
+    pub fn step_with_scratch<M: SpMatVec>(
         &self,
-        a: &Csr,
+        a: &M,
         f: &[f64],
         x: &mut Vec<f64>,
         steps: usize,
         scratch: &mut Vec<f64>,
+        ws: &mut Vec<f64>,
     ) -> f64 {
         let n = a.n_rows();
         assert_eq!(a.n_cols(), n);
@@ -140,7 +149,7 @@ impl FixedPointSolver {
         scratch.resize(n, 0.0);
         let mut delta = 0.0;
         for _ in 0..steps {
-            a.mul_vec_pool(x, scratch, &self.pool);
+            a.mul_into(x, scratch, ws, &self.pool);
             for (s, fi) in scratch.iter_mut().zip(f.iter()) {
                 *s += fi;
             }
@@ -154,6 +163,7 @@ impl FixedPointSolver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::csr::{column_scale, Csr, CsrImplicit};
     use crate::triplet::TripletMatrix;
 
     /// 2×2 contraction with known fixed point:
@@ -244,5 +254,31 @@ mod tests {
         let mut x: Vec<f64> = vec![];
         let report = FixedPointSolver::default().solve(&a, &[], &mut x);
         assert!(report.converged);
+    }
+
+    #[test]
+    fn implicit_solve_is_bit_identical_to_explicit_twin() {
+        // A 4-page ranking system: 0 → {1, 2}, 1 → {2, 3}, 2 → {0}, 3
+        // dangling. Solving through the implicit layout must reproduce the
+        // explicit twin's iterates bit for bit, including the error bound.
+        let degrees = [2u32, 2, 1, 0];
+        let m = CsrImplicit::from_raw_parts(
+            4,
+            4,
+            vec![0, 1, 2, 4, 5],
+            vec![2, 0, 0, 1, 1],
+            column_scale(0.85, &degrees),
+        );
+        let twin = m.to_explicit();
+        let f = vec![0.15 / 4.0; 4];
+        let solver = FixedPointSolver::new(1e-12);
+        let mut x_i = vec![0.25; 4];
+        let mut x_e = vec![0.25; 4];
+        let r_i = solver.solve(&m, &f, &mut x_i);
+        let r_e = solver.solve(&twin, &f, &mut x_e);
+        assert!(r_i.converged && r_e.converged);
+        assert_eq!(r_i.iterations, r_e.iterations);
+        assert_eq!(r_i.final_delta.to_bits(), r_e.final_delta.to_bits());
+        assert!(x_i.iter().zip(&x_e).all(|(a, b)| a.to_bits() == b.to_bits()));
     }
 }

@@ -169,6 +169,15 @@ pub fn add_scalar(a: f64, x: &mut [f64]) {
     }
 }
 
+/// Element-wise product `out ← a ⊙ b`, clearing and refilling `out` (the
+/// implicit-value SpMV's pre-scale pass `ws[u] = scale[u]·x[u]`).
+/// Element-wise, so chunking cannot affect bits.
+pub fn hadamard_into(a: &[f64], b: &[f64], out: &mut Vec<f64>) {
+    debug_assert_eq!(a.len(), b.len());
+    out.clear();
+    out.extend(a.iter().zip(b).map(|(&ai, &bi)| ai * bi));
+}
+
 /// Element-wise `x ≥ y` (the partial order `r₁ ≥ r₂` of the appendix).
 #[must_use]
 pub fn ge_elementwise(x: &[f64], y: &[f64]) -> bool {
@@ -301,6 +310,15 @@ mod tests {
         assert!(ge_elementwise(&[1.0, 2.0], &[1.0, 1.5]));
         assert!(!ge_elementwise(&[1.0, 1.0], &[1.0, 1.5]));
         assert!(ge_elementwise_tol(&[1.0, 1.0], &[1.0, 1.0 + 1e-13], 1e-12));
+    }
+
+    #[test]
+    fn hadamard_into_refills_and_matches() {
+        let mut out = vec![99.0; 7];
+        hadamard_into(&[2.0, -3.0, 0.5], &[4.0, 1.0, 8.0], &mut out);
+        assert_eq!(out, vec![8.0, -3.0, 4.0]);
+        hadamard_into(&[], &[], &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -152,6 +152,21 @@ enum EventKind<M> {
     Message { src: usize, dst: usize, msg: M },
 }
 
+/// An event pulled out of the queue by batch extraction, waiting to commit
+/// in canonical `(time, seq)` order.
+enum HeldEvent<M> {
+    Wake { t: f64, seq: u64, actor: usize },
+    Msg { t: f64, seq: u64, src: usize, dst: usize, msg: M },
+}
+
+impl<M> HeldEvent<M> {
+    fn key(&self) -> (f64, u64) {
+        match self {
+            HeldEvent::Wake { t, seq, .. } | HeldEvent::Msg { t, seq, .. } => (*t, *seq),
+        }
+    }
+}
+
 struct Kernel<M> {
     // Dequeue order is by (time, seq): earliest time first, FIFO
     // (sequence) among equal times — identical under either scheduler.
@@ -225,9 +240,16 @@ pub struct Simulation<A: Actor> {
     batch: Vec<(f64, u64, usize)>,
     /// Reusable membership mask over actor indices for batch extraction.
     in_batch: Vec<bool>,
+    /// Reusable commit buffer: every event (wakes *and* deliveries) pulled
+    /// from the queue head this window, in `(time, seq)` order.
+    held: Vec<HeldEvent<A::Msg>>,
+    /// `dirty[a]`: a held delivery targets actor `a`, so a later wake of
+    /// `a` must not be pre-thought (its `think` would miss the delivery).
+    dirty: Vec<bool>,
     batches: u64,
     max_batch: usize,
     singleton_batches: u64,
+    held_deliveries: u64,
 }
 
 impl<A: Actor> Simulation<A> {
@@ -271,9 +293,12 @@ impl<A: Actor> Simulation<A> {
             started: false,
             batch: Vec::new(),
             in_batch: Vec::new(),
+            held: Vec::new(),
+            dirty: Vec::new(),
             batches: 0,
             max_batch: 0,
             singleton_batches: 0,
+            held_deliveries: 0,
         }
     }
 
@@ -318,6 +343,7 @@ impl<A: Actor> Simulation<A> {
         stats.batches = self.batches;
         stats.max_batch = self.max_batch;
         stats.singleton_batches = self.singleton_batches;
+        stats.held_deliveries = self.held_deliveries;
         stats
     }
 
@@ -388,27 +414,40 @@ impl<A: Actor> Simulation<A> {
     }
 
     /// [`Simulation::run_until`] with a deterministic parallel think
-    /// stage: consecutive queue-head wakes for **distinct** actors whose
-    /// times fall inside the safe lookahead window
-    /// `[t0, t0 + plan.min_send_latency()]` are extracted as a batch,
-    /// their [`Actor::think`] slices run concurrently on `pool`, and their
-    /// `on_wake`s then commit in canonical `(time, seq)` order.
+    /// stage: the contiguous head of the event queue inside the safe
+    /// lookahead window `[t0, t0 + plan.min_send_latency()]` — wakes *and*
+    /// message deliveries — is extracted in one scan, the wakes'
+    /// [`Actor::think`] slices run concurrently on `pool`, and every held
+    /// event then commits in canonical `(time, seq)` order.
+    ///
+    /// Holding deliveries instead of stopping at them amortizes the
+    /// lookahead scan across consecutive windows: a delivery sitting
+    /// between two same-window wakes no longer ends the batch (it used to
+    /// force a fresh window computation and a singleton batch for the
+    /// trailing wake).
     ///
     /// Bit-identical to [`Simulation::run_until`] at any worker count:
     ///
-    /// * No pending delivery can alter a batch member's inputs — any
-    ///   message generated while committing arrives at
-    ///   `≥ t_commit + min_send_latency ≥` every member's time, and at
-    ///   equal time carries a larger `seq` than every member's wake (the
-    ///   wakes were queued earlier), so it sorts after them, exactly as it
-    ///   would sequentially.
+    /// * A held delivery commits at its exact `(time, seq)` position, so
+    ///   the sequential order of `on_wake`/`on_message` effects (sends,
+    ///   RNG draws, counters, `seq` assignment) is unchanged.
+    /// * A wake is only pre-thought when **no held delivery targets its
+    ///   actor** (the `dirty` mask): extraction stops at a wake whose
+    ///   actor has a pending held delivery, because that delivery commits
+    ///   first sequentially and may alter the state `think` reads. Any
+    ///   delivery *generated during commit* arrives at
+    ///   `≥ t_commit + min_send_latency ≥` every held event's time, and at
+    ///   equal time carries a larger `seq` (held events were queued
+    ///   earlier), so it sorts after the whole batch.
     /// * `think` touches only the actor's own state and draws no RNG, so
     ///   running the batch's thinks early, concurrently, and in any order
-    ///   is unobservable; every order-sensitive effect (sends, RNG draws,
-    ///   counters) stays in the commit phase.
-    /// * A committed `on_wake` may schedule a near-zero-delay self-wake
-    ///   that lands *between* remaining members; the commit loop replays
+    ///   is unobservable; every order-sensitive effect stays in the
+    ///   commit phase.
+    /// * A committed event may schedule a near-zero-delay self-wake that
+    ///   lands *between* remaining held events; the commit loop replays
     ///   such interlopers inline at exactly their `(time, seq)` position.
+    ///   An interloper is always a wake of an already-committed actor
+    ///   (only `ctx.me` can self-schedule), never a pre-thought one.
     pub fn run_until_pooled(&mut self, t_end: f64, pool: &Pool)
     where
         A: Send,
@@ -419,36 +458,52 @@ impl<A: Actor> Simulation<A> {
             if t0 > t_end {
                 break;
             }
-            // Extraction: pull consecutive head wakes of distinct actors
-            // within the window. Stop at the first delivery, repeated
-            // actor, or out-of-window time.
+            // Extraction: pull the contiguous queue head within the
+            // window. Stop at a repeated wake, a wake whose actor has a
+            // held delivery pending, or an out-of-window time.
             let window = (t0 + d_min).min(t_end);
             if self.in_batch.len() < self.actors.len() {
                 self.in_batch.resize(self.actors.len(), false);
             }
+            if self.dirty.len() < self.actors.len() {
+                self.dirty.resize(self.actors.len(), false);
+            }
             self.batch.clear();
             while let Some((t, seq, kind)) = self.kernel.queue.peek() {
-                let EventKind::Wake { actor } = kind else { break };
-                let actor = *actor;
-                if t > window || self.in_batch[actor] {
+                if t > window {
                     break;
                 }
-                self.in_batch[actor] = true;
-                self.batch.push((t, seq, actor));
-                self.kernel.queue.pop();
+                match kind {
+                    EventKind::Wake { actor } => {
+                        let actor = *actor;
+                        if self.in_batch[actor] || self.dirty[actor] {
+                            break;
+                        }
+                        self.in_batch[actor] = true;
+                        self.batch.push((t, seq, actor));
+                        self.held.push(HeldEvent::Wake { t, seq, actor });
+                        self.kernel.queue.pop();
+                    }
+                    EventKind::Message { .. } => {
+                        let Some((_, EventKind::Message { src, dst, msg })) =
+                            self.kernel.queue.pop()
+                        else {
+                            unreachable!("peeked event vanished");
+                        };
+                        self.dirty[dst] = true;
+                        self.held.push(HeldEvent::Msg { t, seq, src, dst, msg });
+                    }
+                }
             }
-            if self.batch.is_empty() {
-                // Head is a message delivery: process it normally.
-                self.step();
-                continue;
+            if !self.batch.is_empty() {
+                self.batches += 1;
+                self.max_batch = self.max_batch.max(self.batch.len());
             }
-            self.batches += 1;
-            self.max_batch = self.max_batch.max(self.batch.len());
             if self.batch.len() == 1 {
                 self.singleton_batches += 1;
                 let (t, _seq, actor) = self.batch[0];
                 self.actors[actor].think(t);
-            } else {
+            } else if self.batch.len() > 1 {
                 // Think phase: fan the batch out over the pool. Distinct
                 // actor indices make the concurrent `&mut` carve-outs
                 // disjoint.
@@ -461,11 +516,13 @@ impl<A: Actor> Simulation<A> {
                     a.think(t);
                 });
             }
-            // Commit phase: replay members in (time, seq) order, stepping
-            // any interloper event that sorts before the next member at
-            // exactly the position the sequential engine would give it.
-            for i in 0..self.batch.len() {
-                let (t, seq, actor) = self.batch[i];
+            // Commit phase: replay held events in (time, seq) order,
+            // stepping any interloper event that sorts before the next
+            // one at exactly the position the sequential engine would
+            // give it.
+            let mut held = std::mem::take(&mut self.held);
+            for ev in held.drain(..) {
+                let (t, seq) = ev.key();
                 while let Some((ti, si)) = self.kernel.queue.peek_key() {
                     if ti.total_cmp(&t).then(si.cmp(&seq)).is_lt() {
                         self.step();
@@ -475,11 +532,23 @@ impl<A: Actor> Simulation<A> {
                 }
                 debug_assert!(t >= self.now, "batch commit went back in time");
                 self.now = t;
-                self.kernel.stats.wakes += 1;
-                let mut ctx = Ctx { now: t, me: actor, kernel: &mut self.kernel };
-                self.actors[actor].on_wake(&mut ctx);
-                self.in_batch[actor] = false;
+                match ev {
+                    HeldEvent::Wake { actor, .. } => {
+                        self.kernel.stats.wakes += 1;
+                        let mut ctx = Ctx { now: t, me: actor, kernel: &mut self.kernel };
+                        self.actors[actor].on_wake(&mut ctx);
+                        self.in_batch[actor] = false;
+                    }
+                    HeldEvent::Msg { src, dst, msg, .. } => {
+                        self.kernel.stats.deliveries += 1;
+                        self.held_deliveries += 1;
+                        let mut ctx = Ctx { now: t, me: dst, kernel: &mut self.kernel };
+                        self.actors[dst].on_message(&mut ctx, src, msg);
+                        self.dirty[dst] = false;
+                    }
+                }
             }
+            self.held = held;
         }
         self.now = self.now.max(t_end);
     }
@@ -777,6 +846,77 @@ mod tests {
         sim.run_until(6.0);
         // The joiner started its own clock at t = 3 and ticked at 4, 5, 6.
         assert_eq!(sim.actors()[0].arrivals.len(), 6 + 3);
+    }
+
+    #[test]
+    fn pooled_run_is_bit_identical_with_interleaved_deliveries() {
+        // Tickers exchange messages every tick, so deliveries land between
+        // same-window wakes: the held-delivery path is exercised heavily.
+        let plan = || FaultPlan::new().with_latency(0.25).with_default_success(0.9);
+        let reference = {
+            let mut sim = Simulation::with_plan(ticker_pair(), 5, plan());
+            sim.run_until(50.0);
+            (sim.stats(), sim.actors()[0].arrivals.clone(), sim.actors()[1].arrivals.clone())
+        };
+        for workers in [1, 2, 4] {
+            let pool = Pool::with_workers(workers);
+            let mut sim = Simulation::with_plan(ticker_pair(), 5, plan());
+            sim.run_until_pooled(50.0, &pool);
+            assert_eq!(reference.0, sim.stats(), "stats diverged at {workers} workers");
+            assert_eq!(reference.1, sim.actors()[0].arrivals);
+            assert_eq!(reference.2, sim.actors()[1].arrivals);
+            let sched = sim.sched_stats();
+            assert!(
+                sched.held_deliveries > 0,
+                "deliveries between wakes should ride inside batches"
+            );
+        }
+    }
+
+    #[test]
+    fn dirty_actor_wake_is_not_pre_thought() {
+        // Actor 1's `think` snapshots state that a same-window delivery
+        // mutates. The delivery (t = 1.5) sorts before the wake (t = 1.6),
+        // so `think` must observe it — the dirty mask forces the wake out
+        // of the pre-think batch.
+        struct Snap {
+            inbox_sum: u64,
+            thought: Vec<u64>,
+        }
+        impl Actor for Snap {
+            type Msg = u64;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+                if ctx.me() == 0 {
+                    ctx.schedule_wake(1.0);
+                } else {
+                    ctx.schedule_wake(1.6);
+                }
+            }
+            fn think(&mut self, _now: f64) {
+                self.thought.push(self.inbox_sum);
+            }
+            fn on_wake(&mut self, ctx: &mut Ctx<'_, u64>) {
+                if ctx.me() == 0 {
+                    ctx.send(1, 7);
+                }
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<'_, u64>, _from: usize, msg: u64) {
+                self.inbox_sum += msg;
+            }
+        }
+        let actors =
+            || vec![Snap { inbox_sum: 0, thought: vec![] }, Snap { inbox_sum: 0, thought: vec![] }];
+        let plan = FaultPlan::new().with_latency(0.5);
+        for workers in [1, 4] {
+            let pool = Pool::with_workers(workers);
+            let mut sim = Simulation::with_plan(actors(), 0, plan.clone());
+            sim.run_until_pooled(3.0, &pool);
+            assert_eq!(
+                sim.actors()[1].thought,
+                vec![7],
+                "actor 1's think missed the earlier delivery at {workers} workers"
+            );
+        }
     }
 
     #[test]

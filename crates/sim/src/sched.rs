@@ -64,6 +64,10 @@ pub struct SchedStats {
     pub max_batch: usize,
     /// Batches that contained exactly one wake (no parallelism exposed).
     pub singleton_batches: u64,
+    /// Message deliveries committed through a held batch instead of
+    /// breaking extraction (the lookahead-amortization win: before held
+    /// deliveries existed, every one of these ended a batch early).
+    pub held_deliveries: u64,
 }
 
 /// Heap entry: the full ordering key plus the arena slot holding the
