@@ -45,6 +45,7 @@ COMMANDS:
             [--transmission indirect|direct]
             [--reliable] [--ack-timeout T] [--max-retries R]
             [--crash T:NODE[,T:NODE...]] [--join T:SEED[,T:SEED...]]
+            [--deltas T:CHURN[,T:CHURN...]] [--churn-rate R] [--churn-every T]
             [--partition T1:T2:LO-HI] [--no-coalesce] [--no-route-cache]
             [--heap-scheduler] [--no-ext-cache] [--engine-workers W]
             [--replicas K] [--checkpoint-every T] [--suspect-after N]
@@ -52,6 +53,11 @@ COMMANDS:
             --reliable turns on ack/retry/dedup delivery; --crash departs
             nodes (state lost), --join adds nodes (graceful handoff),
             --partition severs nodes LO..=HI from the rest during [T1,T2);
+            --deltas lands a crawl delta churning link fraction CHURN at
+            each time T (dirtied groups warm-restart from the previous
+            fixed point, everyone else stays converged); --churn-rate R
+            instead churns fraction R every --churn-every time units —
+            the continuous live-web scenario;
             --replicas K ships group checkpoints to K overlay replicas
             every --checkpoint-every T time units; a replica re-hosts a
             crashed owner's groups warm after N missed checkpoints
@@ -303,6 +309,48 @@ fn simulate_net(args: &Args, g: &WebGraph, variant: DprVariant) -> CmdResult {
         }
     };
     let t_end = args.get("t-end", 200.0f64);
+    let seed = args.get("seed", 0u64);
+    // Crawl-delta schedule: explicit (`--deltas T:CHURN,...`) or periodic
+    // (`--churn-rate R` every `--churn-every T`). Each entry churns the
+    // given link fraction; deltas are materialized sequentially against
+    // successive graph states, exactly as a continuous recrawl would
+    // produce them.
+    let mut delta_spec = match args.get_str("deltas", "") {
+        "" => Vec::new(),
+        spec => parse_schedule::<f64>(spec, "--deltas")?,
+    };
+    let churn_rate = args.get("churn-rate", 0.0f64);
+    if churn_rate > 0.0 {
+        if !delta_spec.is_empty() {
+            return Err("--churn-rate and --deltas are mutually exclusive".into());
+        }
+        let every = args.get("churn-every", 50.0f64);
+        if every <= 0.0 {
+            return Err(format!("--churn-every must be positive, got {every}"));
+        }
+        let mut t = every;
+        while t < t_end {
+            delta_spec.push((t, churn_rate));
+            t += every;
+        }
+    }
+    let deltas = if delta_spec.is_empty() {
+        Vec::new()
+    } else {
+        let mut live = g.clone();
+        let mut out = Vec::with_capacity(delta_spec.len());
+        for (i, &(t, frac)) in delta_spec.iter().enumerate() {
+            if !(0.0..=1.0).contains(&frac) {
+                return Err(format!("churn fraction must be in [0, 1], got {frac}"));
+            }
+            let d = dpr_graph::GraphDelta::link_churn(&live, frac, seed.wrapping_add(i as u64 + 1));
+            live = d.apply(&live);
+            out.push((t, d));
+        }
+        out
+    };
+    let n_deltas = deltas.len();
+    let last_delta_at = deltas.last().map(|&(t, _)| t);
     let cfg = NetRunConfig {
         k,
         n_nodes: args.get("nodes", k),
@@ -313,11 +361,12 @@ fn simulate_net(args: &Args, g: &WebGraph, variant: DprVariant) -> CmdResult {
         t1: args.get("t1", 0.5f64),
         t2: args.get("t2", 3.0f64),
         send_success_prob: p,
-        seed: args.get("seed", 0u64),
+        seed,
         t_end,
         sample_every: args.get("sample-every", 2.0f64),
         departures,
         joins,
+        deltas,
         reliability,
         faults,
         coalesce: !args.flag("no-coalesce"),
@@ -398,6 +447,22 @@ fn simulate_net(args: &Args, g: &WebGraph, variant: DprVariant) -> CmdResult {
     match res.rel_err.first_time_below(1e-3) {
         Some(t) => println!("reached 0.1% relative error at t = {t:.1}"),
         None => println!("did not reach 0.1% relative error within t = {t_end}"),
+    }
+    if n_deltas > 0 {
+        println!(
+            "crawl deltas: {n_deltas} applied, {} shipments, {:.1} KB on the wire",
+            res.counters.delta_messages,
+            res.counters.delta_bytes as f64 / 1e3
+        );
+        if let Some(t0) = last_delta_at {
+            match res.rel_err.first_time_below_after(t0, 1e-3) {
+                Some(t) => println!(
+                    "warm re-convergence: back under 0.1% at t = {t:.1} ({:.1} after the last delta)",
+                    t - t0
+                ),
+                None => println!("did not re-converge after the last delta within t = {t_end}"),
+            }
+        }
     }
     if let Some(store) = &store {
         let v = store.view();

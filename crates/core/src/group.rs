@@ -46,7 +46,7 @@ pub enum MatrixLayout {
 /// hold the *same entries* — the explicit form is materialized from the
 /// implicit one (`values[k] = scale[col_idx[k]]`) — so plain-kernel solves
 /// are bit-identical across layouts.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum GroupMatrix {
     /// Explicit-value CSR.
     Explicit(Csr),
@@ -70,6 +70,16 @@ impl GroupMatrix {
         match self {
             GroupMatrix::Explicit(m) => m.heap_bytes(),
             GroupMatrix::Implicit(m) => m.heap_bytes(),
+        }
+    }
+
+    /// The layout tag this matrix was built with.
+    #[must_use]
+    pub fn layout(&self) -> MatrixLayout {
+        match self {
+            GroupMatrix::Explicit(_) => MatrixLayout::Explicit,
+            GroupMatrix::Implicit(m) if m.is_unrolled() => MatrixLayout::ImplicitUnrolled,
+            GroupMatrix::Implicit(_) => MatrixLayout::Implicit,
         }
     }
 }
@@ -110,14 +120,14 @@ type EfferentEdge = (u32, f64, PageId);
 
 /// Efferent edges from one group to a single destination group, sorted by
 /// destination page so outgoing scores aggregate in one scan.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct EfferentBatch {
     dest: GroupId,
     edges: Vec<EfferentEdge>,
 }
 
 /// Everything one page ranker needs to run Algorithms 2–4 on its group.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GroupContext {
     group_id: GroupId,
     /// Global ids of the pages in this group, sorted ascending; local index
@@ -270,6 +280,89 @@ impl GroupContext {
             MatrixLayout::Implicit => GroupMatrix::Implicit(m),
             MatrixLayout::ImplicitUnrolled => GroupMatrix::Implicit(m.with_unrolled(true)),
             MatrixLayout::Explicit => GroupMatrix::Explicit(m.to_explicit()),
+        }
+    }
+
+    /// Rebuilds **one** group's context against a mutated graph — the
+    /// incremental-ranking path: a delta dirties a handful of groups, each
+    /// of which re-derives its matrix, efferent routes, and `βE` from the
+    /// new graph, while every untouched group keeps its existing context
+    /// untouched. Cost is one pass over the group's own rows, independent
+    /// of graph size.
+    ///
+    /// `pages` is the group's sorted page set in the new graph;
+    /// `assignment` maps every page of `g` to its owning group. Building
+    /// every group this way yields contexts identical to
+    /// [`GroupContext::build_all_with_layout`]: pairs and efferent edges
+    /// are collected in the same ascending-source order, so the assembled
+    /// arrays — and therefore all solve bits — match exactly.
+    ///
+    /// # Panics
+    /// If `pages` is not sorted-unique, contains a page outside `g` or not
+    /// assigned to `gid`, or `assignment` does not cover `g`.
+    #[must_use]
+    pub fn rebuild(
+        g: &WebGraph,
+        assignment: &[GroupId],
+        cfg: &RankConfig,
+        gid: GroupId,
+        pages: Vec<PageId>,
+        layout: MatrixLayout,
+    ) -> GroupContext {
+        cfg.validate(g.n_pages());
+        assert_eq!(assignment.len(), g.n_pages(), "assignment must cover the graph");
+        assert!(pages.windows(2).all(|w| w[0] < w[1]), "pages must be sorted unique");
+        let mut inner: Vec<(u32, u32)> = Vec::new();
+        let mut eff_map: HashMap<GroupId, Vec<EfferentEdge>> = HashMap::new();
+        for (lu, &u) in pages.iter().enumerate() {
+            assert_eq!(assignment[u as usize], gid, "page {u} is not assigned to group {gid}");
+            let d = g.out_degree(u);
+            if d == 0 {
+                continue;
+            }
+            let w = cfg.alpha / f64::from(d);
+            let lu = lu as u32;
+            for &v in g.out_links(u) {
+                if assignment[v as usize] == gid {
+                    let lv = pages.binary_search(&v).expect("inner destination owned") as u32;
+                    inner.push((lv, lu));
+                } else {
+                    eff_map.entry(assignment[v as usize]).or_default().push((lu, w, v));
+                }
+            }
+        }
+        let mut efferent: Vec<EfferentBatch> = eff_map
+            .into_iter()
+            .map(|(dest, mut edges)| {
+                edges.sort_unstable_by_key(|&(_, _, v)| v);
+                EfferentBatch { dest, edges }
+            })
+            .collect();
+        efferent.sort_unstable_by_key(|b| b.dest);
+        let a = Self::assemble_matrix(g, cfg, &pages, &inner, layout);
+        GroupContext { group_id: gid, beta_e: cfg.beta_e_for(&pages), a, pages, efferent }
+    }
+
+    /// Patches this context in place for a delta that changed out-degrees
+    /// **without touching the group's link structure** (external-out-degree
+    /// edits, including ones that leave a page dangling): recomputes the
+    /// per-column `α/d(u)` factors — exactly `0.0` for a newly dangling
+    /// page — and the efferent edge weights, reusing the matrix's entry
+    /// structure and allocations. Bit-identical to a full
+    /// [`GroupContext::rebuild`] whenever that structural precondition
+    /// holds; the caller is responsible for checking it (netrun derives it
+    /// from the delta report's ext-only page list).
+    pub fn rescale_in_place(&mut self, g: &WebGraph, cfg: &RankConfig) {
+        let degrees: Vec<u32> = self.pages.iter().map(|&p| g.out_degree(p)).collect();
+        let scale = column_scale(cfg.alpha, &degrees);
+        for batch in &mut self.efferent {
+            for (lu, w, _) in &mut batch.edges {
+                *w = cfg.alpha / f64::from(degrees[*lu as usize]);
+            }
+        }
+        match &mut self.a {
+            GroupMatrix::Implicit(m) => m.set_scale(scale),
+            GroupMatrix::Explicit(m) => m.rescale_columns(&scale),
         }
     }
 
@@ -907,6 +1000,97 @@ mod tests {
     }
 
     #[test]
+    fn rebuild_per_group_matches_build_all() {
+        // The incremental path's correctness anchor: rebuilding any single
+        // group against the same graph reproduces the batch-built context
+        // exactly (same arrays, same bits), in every layout.
+        let g = dpr_graph::generators::random::erdos_renyi(200, 5, 4.0, 3);
+        let partition = Partition::build(&g, &Strategy::HashBySite, 4, 0);
+        let cfg = RankConfig::default();
+        for layout in
+            [MatrixLayout::Implicit, MatrixLayout::Explicit, MatrixLayout::ImplicitUnrolled]
+        {
+            let all = GroupContext::build_all_with_layout(&g, &partition, &cfg, layout);
+            for ctx in &all {
+                let rebuilt = GroupContext::rebuild(
+                    &g,
+                    partition.assignment(),
+                    &cfg,
+                    ctx.group_id(),
+                    ctx.pages().to_vec(),
+                    layout,
+                );
+                assert_eq!(&rebuilt, ctx);
+                assert_eq!(rebuilt.matrix().layout(), layout);
+            }
+        }
+    }
+
+    #[test]
+    fn rescale_in_place_matches_rebuild_for_ext_only_delta() {
+        use dpr_graph::{DeltaOp, GraphDelta};
+        // p0→p1→p2→p0 plus external-only pages; the delta dangles p3
+        // (ext 4 → 0) and grows p5's external degree. No internal row
+        // changes, so every dirty group qualifies for the in-place rescale.
+        let mut b = dpr_graph::GraphBuilder::new();
+        let s = b.add_site("a.edu");
+        let pages: Vec<u32> = (0..6).map(|_| b.add_page(s)).collect();
+        b.add_link(pages[0], pages[1]);
+        b.add_link(pages[1], pages[2]);
+        b.add_link(pages[2], pages[0]);
+        b.add_link(pages[5], pages[0]);
+        b.add_external_links(pages[3], 4);
+        b.add_external_links(pages[4], 1);
+        b.add_external_links(pages[5], 2);
+        let g = b.build();
+        let delta = GraphDelta::new(vec![
+            DeltaOp::SetExternal { page: pages[3], ext_out: 0 },
+            DeltaOp::SetExternal { page: pages[5], ext_out: 7 },
+        ]);
+        let (g2, report) = delta.apply_report(&g);
+        assert_eq!(report.ext_only_pages, vec![pages[3], pages[5]]);
+        assert_eq!(report.touched_pages, report.ext_only_pages);
+
+        let assignment = vec![0u32, 0, 1, 1, 0, 1];
+        let partition = Partition::from_assignment(2, assignment.clone());
+        let cfg = RankConfig::default();
+        for layout in
+            [MatrixLayout::Implicit, MatrixLayout::Explicit, MatrixLayout::ImplicitUnrolled]
+        {
+            let old = GroupContext::build_all_with_layout(&g, &partition, &cfg, layout);
+            for ctx in &old {
+                let mut patched = ctx.clone();
+                patched.rescale_in_place(&g2, &cfg);
+                let rebuilt = GroupContext::rebuild(
+                    &g2,
+                    &assignment,
+                    &cfg,
+                    ctx.group_id(),
+                    ctx.pages().to_vec(),
+                    layout,
+                );
+                assert_eq!(patched, rebuilt, "layout {layout:?} group {}", ctx.group_id());
+            }
+        }
+        // The dangled page's column scale is exactly 0.0, not a residue.
+        let patched = {
+            let mut c = GroupContext::build_all(&g, &partition, &cfg)
+                .into_iter()
+                .find(|c| c.local_index(pages[3]).is_some())
+                .unwrap();
+            c.rescale_in_place(&g2, &cfg);
+            c
+        };
+        let li = patched.local_index(pages[3]).unwrap();
+        match patched.matrix() {
+            GroupMatrix::Implicit(m) => {
+                assert_eq!(m.scale()[li].to_bits(), 0.0f64.to_bits());
+            }
+            GroupMatrix::Explicit(_) => unreachable!("default layout is implicit"),
+        }
+    }
+
+    #[test]
     fn empty_group_is_harmless() {
         let g = toy::cycle(4);
         // Group 2 owns nothing.
@@ -917,5 +1101,47 @@ mod tests {
         let report = ctxs[2].group_pagerank(&mut r, &[], 1e-9, 10);
         assert!(report.converged);
         assert!(ctxs[2].compute_y(&r).is_empty());
+    }
+
+    proptest::proptest! {
+        /// Satellite contract: a re-crawl deletion that leaves some linker
+        /// with no surviving out-links must give that page a column scale
+        /// of **exactly** `0.0` in its group matrix — the same dangling
+        /// contract the static build pins — never a phantom `α/d` from the
+        /// pre-deletion degree.
+        #[test]
+        fn deletion_dangled_pages_get_exact_zero_column_scale(
+            n in 2usize..40,
+            sites in 1usize..4,
+            deg in 1.0f64..5.0,
+            change in 0.0f64..1.0,
+            delete in 0.05f64..0.6,
+            seed in 0u64..300,
+        ) {
+            use proptest::prelude::{prop_assert, prop_assert_eq, prop_assume};
+            let g = dpr_graph::generators::random::erdos_renyi(n, sites, deg, seed);
+            let (g2, report) =
+                dpr_graph::refresh::recrawl_with_deletions(&g, change, 0.1, delete, seed ^ 1);
+            prop_assume!(!report.deleted_pages.is_empty());
+            let partition = Partition::build(&g2, &Strategy::HashBySite, 3, 0);
+            let ctxs = GroupContext::build_all(&g2, &partition, &RankConfig::default());
+            for ctx in &ctxs {
+                let GroupMatrix::Implicit(m) = ctx.matrix() else {
+                    unreachable!("default layout is implicit")
+                };
+                for (li, &p) in ctx.pages().iter().enumerate() {
+                    if g2.out_degree(p) == 0 {
+                        prop_assert_eq!(
+                            m.scale()[li].to_bits(),
+                            0.0f64.to_bits(),
+                            "dangling page {} must scale to exactly 0.0",
+                            p
+                        );
+                    } else {
+                        prop_assert!(m.scale()[li] > 0.0);
+                    }
+                }
+            }
+        }
     }
 }

@@ -22,12 +22,12 @@
 //!   `h×` forwarded bytes) *while the ranks are converging*.
 
 use std::collections::hash_map::Entry;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use dpr_graph::{PageId, WebGraph};
+use dpr_graph::{GraphDelta, PageId, WebGraph};
 use dpr_linalg::vec_ops;
 use dpr_overlay::{
     CanNetwork, ChordNetwork, NodeIndex, Overlay, PastryNetwork, RouteCache, RouteCacheStats,
@@ -40,7 +40,7 @@ use dpr_transport::snapshot::paper_snapshot_bytes;
 use crate::centralized::open_pagerank;
 use crate::config::RankConfig;
 use crate::dpr::DprVariant;
-use crate::group::{AfferentState, GroupContext};
+use crate::group::{AfferentState, GroupContext, MatrixLayout};
 
 /// Which structured overlay carries the deployment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -277,6 +277,18 @@ pub struct NetRunConfig {
     /// `departures`, where state is lost). Requires
     /// [`OverlayKind::Pastry`]. Times must be strictly increasing.
     pub joins: Vec<(f64, u64)>,
+    /// Scheduled crawl deltas: at each `(time, delta)` the live graph is
+    /// patched in place and the affected groups re-rank *incrementally* —
+    /// each dirtied owner receives the delta as a priced message, patches
+    /// its group's matrix (a pure column rescale when only out-degrees
+    /// changed, a one-group rebuild otherwise), and warm-starts its solve
+    /// from the previous fixed point with ranks and afferent history
+    /// kept. Untouched converged groups never leave the stall
+    /// short-circuit, and when a [`RankStore`](crate::store::RankStore)
+    /// is attached it keeps serving each dirtied group's pre-delta epoch
+    /// until the group re-converges. Times must be strictly increasing;
+    /// an empty delta is bit-invisible. Works on every overlay.
+    pub deltas: Vec<(f64, GraphDelta)>,
     /// Optional ack/retry/dedup protocol on every data package. `None`
     /// keeps the paper's fire-and-forget model where lost `Y` vectors are
     /// simply absorbed by the next exchange.
@@ -375,6 +387,7 @@ impl Default for NetRunConfig {
             bottleneck_bytes_per_time: None,
             departures: Vec::new(),
             joins: Vec::new(),
+            deltas: Vec::new(),
             reliability: None,
             faults: None,
             coalesce: true,
@@ -525,6 +538,13 @@ pub struct NetCounters {
     /// Orphaned groups re-hosted *cold* (rank zero) because no checkpoint
     /// had arrived before the owner went silent — the liveness fallback.
     pub takeovers_cold: u64,
+    /// Crawl-delta shipments received: one per scheduled delta per node
+    /// that owned at least one dirtied group at delivery time.
+    pub delta_messages: u64,
+    /// Bytes of serialized crawl deltas (the `DPRG1` delta-record wire
+    /// form plus a per-message header; also included in `bytes`) — the
+    /// §4.5-style price of keeping ranks live against an evolving web.
+    pub delta_bytes: u64,
 }
 
 /// One group's ranking state hosted on a node. The `f_buf`/`scratch`/
@@ -629,8 +649,10 @@ pub struct NetNode {
     seen: HashSet<(usize, u64)>,
     /// Run-wide group-context directory indexed by group id: static group
     /// structure is never shipped, any node rebuilds it from here when it
-    /// takes over an orphaned group.
-    contexts: Arc<Vec<Arc<GroupContext>>>,
+    /// takes over an orphaned group. Behind a lock because crawl deltas
+    /// swap dirtied groups' contexts mid-run (the driver writes, nodes
+    /// read).
+    contexts: Arc<RwLock<Vec<Arc<GroupContext>>>>,
     /// Newest checkpoint held for each group this node replicates, plus
     /// when the owner was last heard from (`BTreeMap`: takeover scan order
     /// is deterministic).
@@ -1105,10 +1127,15 @@ impl NetNode {
     /// time; the next think then solves from the checkpointed `r` instead
     /// of from zero.
     fn install_group(&mut self, gid: GroupId) {
-        let ctx = Arc::clone(&self.contexts[gid as usize]);
+        let ctx = Arc::clone(&self.contexts.read()[gid as usize]);
         let mut gs = GroupState::new(ctx, self.cfg.ext_cache);
         match self.replica_store.get(&gid) {
-            Some(e) => {
+            // A checkpoint whose rank vector no longer matches the group's
+            // page count describes the group *before* a crawl delta
+            // repaged it (the driver purges stale entries at delta time,
+            // but a frame already in flight can still land afterwards) —
+            // useless for a warm start, so fall through to cold.
+            Some(e) if e.snap.r.len() == gs.r.len() => {
                 let snap = &e.snap;
                 gs.r.copy_from_slice(&snap.r);
                 for (src, entries) in snap.afferent.iter() {
@@ -1117,7 +1144,7 @@ impl NetNode {
                 gs.outer_iterations = snap.epoch;
                 self.counters.takeovers_warm += 1;
             }
-            None => self.counters.takeovers_cold += 1,
+            _ => self.counters.takeovers_cold += 1,
         }
         self.groups.push(gs);
     }
@@ -1291,6 +1318,11 @@ pub struct NetRunResult {
     /// Wall-clock seconds spent inside the event loop (simulation plus
     /// periodic error sampling) — the denominator for events/sec.
     pub engine_secs: f64,
+    /// Wall-clock seconds of the `engine_secs` window spent recomputing
+    /// the centralized reference after crawl deltas — measurement-only
+    /// overhead (error tracking), not protocol work. Subtract it when
+    /// comparing incremental-update engine time against a cold restart.
+    pub delta_ref_secs: f64,
     /// Engine counters.
     pub sim_stats: SimStats,
     /// Event-scheduler allocation counters (arena recycling
@@ -1303,10 +1335,12 @@ pub struct NetRunResult {
     pub route_cache: RouteCacheStats,
 }
 
-/// One scheduled churn event, merged from `departures` and `joins`.
+/// One scheduled churn event, merged from `departures`, `joins`, and
+/// `deltas` (the index points into `cfg.deltas`).
 enum ChurnEvent {
     Depart(NodeIndex),
     Join { id_seed: u64 },
+    Delta(usize),
 }
 
 /// Builds and executes a whole-system run, validating churn support and
@@ -1381,6 +1415,20 @@ pub fn try_run_over_network_with_store(
             });
         }
     }
+    if !cfg.deltas.is_empty() {
+        if !cfg.deltas.iter().all(|&(t, _)| t.is_finite() && t >= 0.0) {
+            return Err(NetRunError::Config {
+                what: "deltas",
+                detail: "delta times must be finite and non-negative".into(),
+            });
+        }
+        if !cfg.deltas.windows(2).all(|w| w[0].0 < w[1].0) {
+            return Err(NetRunError::Config {
+                what: "deltas",
+                detail: "delta times must be strictly increasing".into(),
+            });
+        }
+    }
     if cfg.replication > 0 {
         if matches!(cfg.overlay, OverlayKind::Can { .. }) {
             return Err(NetRunError::Config {
@@ -1426,7 +1474,7 @@ pub fn try_run_over_network_with_store(
     }));
 
     let partition = Partition::build(g, &cfg.strategy, cfg.k, 0);
-    let reference = open_pagerank(g, &cfg.rank).ranks;
+    let mut reference = open_pagerank(g, &cfg.rank).ranks;
     // Run-wide context directory, indexed by group id and shared with
     // every node: static group structure is rebuilt from here (never
     // shipped) when a replica takes over an orphaned group.
@@ -1437,13 +1485,13 @@ pub fn try_run_over_network_with_store(
     } else {
         crate::group::MatrixLayout::Implicit
     };
-    let contexts: Arc<Vec<Arc<GroupContext>>> = {
+    let contexts: Arc<RwLock<Vec<Arc<GroupContext>>>> = {
         let mut dir: Vec<Option<Arc<GroupContext>>> = (0..cfg.k).map(|_| None).collect();
         for c in GroupContext::build_all_with_layout(g, &partition, &cfg.rank, layout) {
             let gid = c.group_id() as usize;
             dir[gid] = Some(Arc::new(c));
         }
-        Arc::new(dir.into_iter().map(|c| c.expect("one context per group")).collect())
+        Arc::new(RwLock::new(dir.into_iter().map(|c| c.expect("one context per group")).collect()))
     };
     // Draw means for joiners too; uniform_means samples sequentially, so
     // the first n_nodes means are unchanged by the extension.
@@ -1454,7 +1502,7 @@ pub fn try_run_over_network_with_store(
     let mut hosted: Vec<Vec<GroupState>> = (0..cfg.n_nodes).map(|_| Vec::new()).collect();
     let mut hop_total = 0usize;
     let mut hop_count = 0usize;
-    for c in contexts.iter() {
+    for c in contexts.read().iter() {
         let gid = c.group_id() as usize;
         let owner = owner_of.read()[gid];
         // Record the publisher→owner route lengths for reporting.
@@ -1498,12 +1546,15 @@ pub fn try_run_over_network_with_store(
     });
     let mut sim = Simulation::with_plan_scheduler(nodes, cfg.seed, plan, cfg.scheduler);
 
-    // Merge departures and joins into one time-ordered churn schedule.
+    // Merge departures, joins, and crawl deltas into one time-ordered
+    // churn schedule (the sort is stable, so coinciding times keep the
+    // departures → joins → deltas order deterministically).
     let mut churn: Vec<(f64, ChurnEvent)> = cfg
         .departures
         .iter()
         .map(|&(t, node)| (t, ChurnEvent::Depart(node)))
         .chain(cfg.joins.iter().map(|&(t, id_seed)| (t, ChurnEvent::Join { id_seed })))
+        .chain(cfg.deltas.iter().enumerate().map(|(i, &(t, _))| (t, ChurnEvent::Delta(i))))
         .collect();
     churn.sort_by(|a, b| a.0.total_cmp(&b.0));
 
@@ -1514,10 +1565,25 @@ pub fn try_run_over_network_with_store(
     let engine_pool =
         (cfg.engine_workers > 1).then(|| dpr_linalg::pool::Pool::with_workers(cfg.engine_workers));
     let engine_start = std::time::Instant::now();
+    let mut delta_ref_secs = 0.0f64;
     let mut rel_err = TimeSeries::new();
-    let n_pages = g.n_pages();
+    let mut n_pages = g.n_pages();
     let mut churn = churn.into_iter().peekable();
     let mut joined = 0usize;
+    // Live-graph state, materialized lazily on the first crawl delta: the
+    // mutable graph plus the page→group assignment (extended as pages are
+    // inserted; pinned for existing pages).
+    let mut live: Option<(WebGraph, Vec<GroupId>)> = None;
+    // Tombstoned pages: no group ranks them anymore, so their reference
+    // entries are pinned to 0.0 (the centralized solve still hands a
+    // tombstone its βE share — rank that never propagates and that the
+    // distributed system deliberately stops serving).
+    let mut dead: Vec<PageId> = Vec::new();
+    // Groups re-solving after a delta: their store publishes are held
+    // back — the store keeps serving the pre-delta epoch — until the
+    // group's solver re-stalls on the new fixed point (tracked in cached
+    // mode only; without the ext cache there is no stall detection).
+    let mut resolving: HashSet<GroupId> = HashSet::new();
     let mut t = 0.0;
     while t < cfg.t_end {
         let next_t = (t + cfg.sample_every).min(cfg.t_end);
@@ -1543,6 +1609,32 @@ pub fn try_run_over_network_with_store(
                         id_seed,
                     );
                 }
+                ChurnEvent::Delta(i) => {
+                    let (gl, asg) =
+                        live.get_or_insert_with(|| (g.clone(), partition.assignment().to_vec()));
+                    let report = apply_delta(
+                        &mut sim,
+                        &cfg,
+                        &contexts,
+                        layout,
+                        gl,
+                        asg,
+                        &cfg.deltas[i].1,
+                        &mut resolving,
+                    );
+                    if !report.is_noop() {
+                        for &p in &report.deleted {
+                            dead.push(p);
+                        }
+                        n_pages = gl.n_pages();
+                        let ref_start = std::time::Instant::now();
+                        reference = open_pagerank(gl, &cfg.rank).ranks;
+                        for &p in &dead {
+                            reference[p as usize] = 0.0;
+                        }
+                        delta_ref_secs += ref_start.elapsed().as_secs_f64();
+                    }
+                }
             }
         }
         match &engine_pool {
@@ -1550,21 +1642,55 @@ pub fn try_run_over_network_with_store(
             None => sim.run_until(next_t),
         }
         rel_err.push(next_t, vec_ops::relative_error(&assemble(sim.actors(), n_pages), &reference));
+        // A dirtied group leaves the resolving set once its solver has
+        // re-stalled on the exact post-delta fixed point (reads state
+        // only — bit-neutral to the run).
+        if !resolving.is_empty() {
+            let actors = sim.actors();
+            resolving.retain(|&gid| {
+                !actors.iter().any(|n| {
+                    n.active
+                        && n.groups.iter().any(|gs| {
+                            gs.ctx.group_id() == gid
+                                && gs.touched.is_empty()
+                                && gs.last_delta == 0.0
+                        })
+                })
+            });
+        }
         if let Some(store) = store {
             // Group state is only read here: publication cannot perturb
             // the run. Crashed/migrated groups publish from their current
             // host; a group orphaned mid-takeover simply keeps its last
-            // published epoch until a survivor re-hosts it.
+            // published epoch until a survivor re-hosts it; a group still
+            // re-solving a crawl delta keeps serving its pre-delta epoch
+            // until the new fixed point is reached.
             store.publish(sim.actors().iter().filter(|n| n.active).flat_map(|node| {
-                node.groups.iter().map(|gs| crate::store::GroupPublish {
-                    group: gs.ctx.group_id(),
-                    epoch: gs.outer_iterations,
-                    pages: gs.ctx.pages(),
-                    ranks: &gs.r,
+                node.groups.iter().filter(|gs| !resolving.contains(&gs.ctx.group_id())).map(|gs| {
+                    crate::store::GroupPublish {
+                        group: gs.ctx.group_id(),
+                        epoch: gs.outer_iterations,
+                        pages: gs.ctx.pages(),
+                        ranks: &gs.r,
+                    }
                 })
             }));
         }
         t = next_t;
+    }
+    if let Some(store) = store {
+        // Final flush, gate lifted: a group still mid-resolve at `t_end`
+        // publishes its best current state, so the served view equals
+        // `final_ranks` exactly (already-published groups skip via the
+        // store's bit-identical-republish path).
+        store.publish(sim.actors().iter().filter(|n| n.active).flat_map(|node| {
+            node.groups.iter().map(|gs| crate::store::GroupPublish {
+                group: gs.ctx.group_id(),
+                epoch: gs.outer_iterations,
+                pages: gs.ctx.pages(),
+                ranks: &gs.r,
+            })
+        }));
     }
 
     let engine_secs = engine_start.elapsed().as_secs_f64();
@@ -1594,6 +1720,8 @@ pub fn try_run_over_network_with_store(
         acc.checkpoint_bytes += c.checkpoint_bytes;
         acc.takeovers_warm += c.takeovers_warm;
         acc.takeovers_cold += c.takeovers_cold;
+        acc.delta_messages += c.delta_messages;
+        acc.delta_bytes += c.delta_bytes;
         acc
     });
     let route_cache = cache.read().stats();
@@ -1605,6 +1733,7 @@ pub fn try_run_over_network_with_store(
         per_node,
         setup_secs,
         engine_secs,
+        delta_ref_secs,
         sim_stats: sim.stats(),
         sched_stats: sim.sched_stats(),
         mean_route_hops: if hop_count == 0 { 0.0 } else { hop_total as f64 / hop_count as f64 },
@@ -1678,7 +1807,7 @@ fn apply_join(
     key_of: &Arc<Vec<u128>>,
     cache: &Arc<RwLock<RouteCache>>,
     cfg: &Arc<NetRunConfig>,
-    contexts: &Arc<Vec<Arc<GroupContext>>>,
+    contexts: &Arc<RwLock<Vec<Arc<GroupContext>>>>,
     mean_wait: f64,
     id_seed: u64,
 ) {
@@ -1736,6 +1865,165 @@ fn apply_join(
     }
 }
 
+/// Applies one scheduled crawl delta to the running system — the
+/// incremental-ranking path. The graph is patched in place and only the
+/// groups the delta actually dirties are touched:
+///
+/// * a dirty group whose pages all kept their internal out-rows (pure
+///   out-degree edits, including pages left dangling by a deletion)
+///   gets its matrix *rescaled in place* — same entry structure, new
+///   `α/d(u)` column factors;
+/// * any other dirty group (links rewired, pages inserted or tombstoned)
+///   gets a one-group [`GroupContext::rebuild`] against the new graph —
+///   cost proportional to the group, not the web;
+/// * each dirty group's host *warm-starts*: surviving pages keep their
+///   converged ranks, the afferent history replays from the last
+///   accepted raw payloads (re-localized against the new context, so
+///   shifted local indices and dropped pages are handled by
+///   construction), and the outer epoch keeps counting — the solver
+///   resumes from the previous fixed point instead of from zero;
+/// * every untouched group keeps its context, its ranks, and its stall
+///   short-circuit — it never notices the delta;
+/// * each node owning at least one dirty group is charged one delta
+///   shipment (the `DPRG1` delta-record wire bytes plus a header) — the
+///   §4.5-style price of the crawler pushing the update into the
+///   overlay.
+///
+/// Inserted pages are assigned by the run's own strategy (crawl epoch 0,
+/// like the initial partition); existing pages keep their pinned
+/// assignment, so a `SplitSite` op affects future assignments only (the
+/// DESIGN.md §14 caveat for URL-hashed strategies). Replica checkpoints
+/// of dirty groups are purged — they describe the pre-delta group.
+///
+/// Runs in the sequential driver between engine slices, like the other
+/// churn events, so worker counts cannot reorder it: the replay and
+/// cross-worker bit-identity contracts hold with deltas exactly as
+/// without. Returns the delta report; the caller refreshes the
+/// centralized reference and the page count from it.
+#[allow(clippy::too_many_arguments)]
+fn apply_delta(
+    sim: &mut Simulation<NetNode>,
+    cfg: &Arc<NetRunConfig>,
+    contexts: &Arc<RwLock<Vec<Arc<GroupContext>>>>,
+    layout: MatrixLayout,
+    g_live: &mut WebGraph,
+    assignment: &mut Vec<GroupId>,
+    delta: &GraphDelta,
+    resolving: &mut HashSet<GroupId>,
+) -> dpr_graph::DeltaReport {
+    let (g2, report) = delta.apply_report(g_live);
+    *g_live = g2;
+    // Every new id slot gets an assignment — including pages inserted and
+    // tombstoned within the same delta, which still occupy a slot.
+    for p in assignment.len() as PageId..g_live.n_pages() as PageId {
+        assignment.push(cfg.strategy.assign(g_live, p, cfg.k, 0));
+    }
+    // Classify the dirty groups (BTreeMap: patch order is deterministic).
+    // `true` = structural (page set or link structure changed, full
+    // one-group rebuild); `false` = every dirty page kept its internal
+    // out-row, so an in-place column rescale suffices.
+    let ext_only: HashSet<PageId> = report.ext_only_pages.iter().copied().collect();
+    let mut dirty: BTreeMap<GroupId, bool> = BTreeMap::new();
+    for &p in &report.touched_pages {
+        let structural = dirty.entry(assignment[p as usize]).or_insert(false);
+        *structural |= !ext_only.contains(&p);
+    }
+    for &p in report.inserted.iter().chain(report.deleted.iter()) {
+        dirty.insert(assignment[p as usize], true);
+    }
+    if dirty.is_empty() {
+        return report; // an empty delta is bit-invisible
+    }
+    {
+        let mut dir = contexts.write();
+        for (&gid, &structural) in &dirty {
+            let old_ctx = &dir[gid as usize];
+            let new_ctx = if structural {
+                let mut pages: Vec<PageId> = old_ctx
+                    .pages()
+                    .iter()
+                    .copied()
+                    .filter(|p| report.deleted.binary_search(p).is_err())
+                    .collect();
+                // Inserted ids all exceed the old page count, so appending
+                // the group's share keeps `pages` sorted.
+                pages.extend(
+                    report.inserted.iter().copied().filter(|&p| assignment[p as usize] == gid),
+                );
+                Arc::new(GroupContext::rebuild(g_live, assignment, &cfg.rank, gid, pages, layout))
+            } else {
+                let mut c = (**old_ctx).clone();
+                c.rescale_in_place(g_live, &cfg.rank);
+                Arc::new(c)
+            };
+            dir[gid as usize] = new_ctx;
+        }
+    }
+    // Warm-restart each dirty group's hosted state and price the delta
+    // shipment to the nodes owning dirty groups.
+    let dir = contexts.read();
+    let actors = sim.actors_mut();
+    let wire = dpr_graph::io::delta_wire_bytes(delta) + cfg.header_bytes;
+    let mut charged: BTreeSet<usize> = BTreeSet::new();
+    for &gid in dirty.keys() {
+        if cfg.ext_cache {
+            resolving.insert(gid);
+        }
+        // Stale pre-delta checkpoints are useless for a warm takeover;
+        // purge them everywhere (a frame already in flight is caught by
+        // the length guard in `install_group`).
+        for a in actors.iter_mut() {
+            a.replica_store.remove(&gid);
+        }
+        let new_ctx = Arc::clone(&dir[gid as usize]);
+        let Some((host, slot)) = actors.iter().enumerate().find_map(|(h, a)| {
+            a.groups.iter().position(|gs| gs.ctx.group_id() == gid).map(|i| (h, i))
+        }) else {
+            // Orphaned by a crash: the eventual takeover rebuilds from
+            // the already-updated context directory.
+            continue;
+        };
+        charged.insert(host);
+        let node = &mut actors[host];
+        let mut gs = GroupState::new(new_ctx, cfg.ext_cache);
+        {
+            let old = &node.groups[slot];
+            // Surviving pages keep their converged ranks; inserted pages
+            // start at zero.
+            for (li, &p) in gs.ctx.pages().iter().enumerate() {
+                if let Some(j) = old.ctx.local_index(p) {
+                    gs.r[li] = old.r[j];
+                }
+            }
+            // Replay the afferent history from the last accepted raw
+            // payloads — exactly what re-delivering those messages would
+            // do under the new context. (Without the ext cache no raw
+            // payloads are retained; peers repopulate `X` as they
+            // republish every wake.)
+            for (&src, payload) in &old.last_payload {
+                let localized: Vec<(u32, f64)> = payload
+                    .iter()
+                    .filter_map(|&(p, bits)| {
+                        gs.ctx.local_index(p).map(|i| (i as u32, f64::from_bits(bits)))
+                    })
+                    .collect();
+                gs.afferent.set(src, localized);
+                gs.last_payload.insert(src, payload.clone());
+            }
+            gs.outer_iterations = old.outer_iterations;
+        }
+        node.groups[slot] = gs;
+    }
+    drop(dir);
+    for host in charged {
+        let c = &mut actors[host].counters;
+        c.delta_messages += 1;
+        c.delta_bytes += wire;
+        c.bytes += wire;
+    }
+    report
+}
+
 /// The owner node of every group under `cfg` — the same DHT-responsibility
 /// mapping `try_run_over_network` computes at placement time, rebuilt from
 /// the config's overlay seed without running a simulation. Tests and
@@ -1775,6 +2063,7 @@ mod tests {
     use super::*;
     use dpr_graph::generators::edu::{edu_domain, EduDomainConfig};
     use dpr_graph::generators::toy;
+    use dpr_graph::DeltaOp;
     use dpr_partition::Strategy;
 
     /// Test convenience: every config in this module schedules churn the
@@ -2561,5 +2850,197 @@ mod tests {
             assert_eq!(par.sim_stats, seq.sim_stats);
             assert_eq!(par.rel_err.points(), seq.rel_err.points());
         }
+    }
+
+    #[test]
+    fn zero_op_delta_is_bit_invisible() {
+        // A delta carrying zero ops must leave every rank bit and every
+        // counter identical to an undisturbed run, at any worker count —
+        // the delta machinery itself is observation-free.
+        let g = toy::two_cliques(6);
+        let base = NetRunConfig { t_end: 250.0, ..quick(Transmission::Indirect) };
+        let undisturbed = run_over_network(&g, base.clone());
+        for workers in [1, 2, 4] {
+            let res = run_over_network(
+                &g,
+                NetRunConfig {
+                    deltas: vec![(60.0, GraphDelta::empty())],
+                    engine_workers: workers,
+                    ..base.clone()
+                },
+            );
+            assert_eq!(
+                res.final_ranks.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+                undisturbed.final_ranks.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+                "rank bits diverged at {workers} workers"
+            );
+            assert_eq!(res.counters, undisturbed.counters, "counters diverged at {workers}");
+            assert_eq!(res.per_node, undisturbed.per_node);
+            assert_eq!(res.sim_stats, undisturbed.sim_stats);
+            assert_eq!(res.rel_err.points(), undisturbed.rel_err.points());
+            assert_eq!(res.counters.delta_messages, 0, "an empty delta ships nothing");
+        }
+    }
+
+    #[test]
+    fn crawl_delta_reconverges_warm_and_prices_shipment() {
+        // The tentpole scenario: converge, then a real crawl delta (link
+        // churn plus a page delete and a page insert) lands mid-run. The
+        // dirtied groups warm-start from the previous fixed point and the
+        // system re-converges to the *mutated* graph's fixed point (the
+        // in-run reference swaps at delta time); the shipment is priced;
+        // and the whole evolution replays bit-identically at any worker
+        // count.
+        let g = edu_domain(&EduDomainConfig {
+            n_pages: 2_000,
+            n_sites: 20,
+            ..EduDomainConfig::default()
+        });
+        let mut delta = GraphDelta::link_churn(&g, 0.02, 7);
+        delta.ops.push(DeltaOp::DeletePage { page: 3 });
+        delta.ops.push(DeltaOp::InsertPage { site: 0, ext_out: 2, links: vec![0, 1] });
+        let when = 150.0;
+        let base = NetRunConfig {
+            k: 24,
+            n_nodes: 24,
+            strategy: Strategy::HashByUrl,
+            t_end: 400.0,
+            sample_every: 2.0,
+            deltas: vec![(when, delta)],
+            ..NetRunConfig::default()
+        };
+        let res = run_over_network(&g, base.clone());
+        let tol = 1e-3;
+        assert!(res.rel_err.value_at(when - 1.0).unwrap() < tol, "must converge before the delta");
+        assert!(res.final_rel_err < tol, "must re-converge: rel err {}", res.final_rel_err);
+        assert_eq!(res.final_ranks.len(), g.n_pages() + 1, "the insert extends the rank vector");
+        assert_eq!(res.final_ranks[3], 0.0, "a tombstoned page is no longer ranked");
+        assert!(res.final_ranks[g.n_pages()] > 0.0, "the inserted page earns rank");
+        assert!(res.counters.delta_messages > 0, "dirty owners receive priced shipments");
+        assert!(res.counters.delta_bytes > 0, "delta bytes must be charged");
+        // Warm beats cold: re-convergence after the delta takes less
+        // virtual time than the initial convergence from rank zero.
+        let initial = res.rel_err.first_time_below(tol).expect("initially converges");
+        let recovered = res
+            .rel_err
+            .points()
+            .iter()
+            .filter(|&&(t, _)| t > when)
+            .find(|&&(_, v)| v < tol)
+            .map(|&(t, _)| t - when)
+            .expect("re-converges after the delta");
+        assert!(
+            recovered < initial,
+            "warm re-solve must beat the cold start: {recovered} vs {initial}"
+        );
+        for workers in [2, 4] {
+            let par =
+                run_over_network(&g, NetRunConfig { engine_workers: workers, ..base.clone() });
+            assert_eq!(
+                par.final_ranks.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+                res.final_ranks.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+                "rank bits diverged at {workers} workers"
+            );
+            assert_eq!(par.counters, res.counters, "counters diverged at {workers} workers");
+            assert_eq!(par.sim_stats, res.sim_stats);
+            assert_eq!(par.rel_err.points(), res.rel_err.points());
+        }
+    }
+
+    #[test]
+    fn store_epoch_handoff_across_a_delta() {
+        // A store attached across a crawl delta: dirtied groups hold
+        // their publishes while re-solving (readers keep the pre-delta
+        // epoch), then the final flush serves the new fixed point — the
+        // tombstoned page drops out of the view, every surviving page
+        // answers with the exact final rank bits.
+        let g = edu_domain(&EduDomainConfig {
+            n_pages: 1_000,
+            n_sites: 10,
+            ..EduDomainConfig::default()
+        });
+        let mut delta = GraphDelta::link_churn(&g, 0.02, 11);
+        delta.ops.push(DeltaOp::DeletePage { page: 5 });
+        let when = 150.0;
+        let cfg = NetRunConfig {
+            k: 16,
+            n_nodes: 16,
+            strategy: Strategy::HashByUrl,
+            t_end: 400.0,
+            sample_every: 2.0,
+            deltas: vec![(when, delta)],
+            ..NetRunConfig::default()
+        };
+        let store = crate::store::RankStore::new(16);
+        let res = try_run_over_network_with_store(&g, cfg, Some(&store)).expect("valid config");
+        let view = store.view();
+        assert_eq!(view.lookup(5), None, "tombstoned page must drop out of the served view");
+        for (p, &r) in res.final_ranks.iter().enumerate() {
+            if p == 5 {
+                continue;
+            }
+            let got = view.lookup(p as PageId);
+            assert_eq!(
+                got.map(|l| l.rank.to_bits()),
+                Some(r.to_bits()),
+                "served rank for page {p} must match the final fixed point"
+            );
+        }
+    }
+
+    #[test]
+    fn continuous_delta_stream_tracks_the_evolving_web() {
+        // The "live web" loop: crawl → delta → re-converge → repeat. Three
+        // successive churn deltas land mid-run, each computed against the
+        // graph state the previous one produced (exactly what a continuous
+        // recrawl feeds in). The run must re-converge between every pair of
+        // deltas, end at the final graph's fixed point, and replay
+        // bit-identically across worker counts.
+        let g0 = edu_domain(&EduDomainConfig {
+            n_pages: 1_500,
+            n_sites: 15,
+            ..EduDomainConfig::default()
+        });
+        let times = [150.0, 320.0, 490.0];
+        let mut deltas = Vec::new();
+        let mut g = g0.clone();
+        for (i, &t) in times.iter().enumerate() {
+            let d = GraphDelta::link_churn(&g, 0.01, 100 + i as u64);
+            g = d.apply(&g);
+            deltas.push((t, d));
+        }
+        let base = NetRunConfig {
+            k: 16,
+            n_nodes: 16,
+            strategy: Strategy::HashByUrl,
+            t_end: 700.0,
+            sample_every: 2.0,
+            deltas,
+            ..NetRunConfig::default()
+        };
+        let res = run_over_network(&g0, base.clone());
+        let tol = 1e-3;
+        // Converged before the first delta and re-converged inside every
+        // inter-delta window.
+        assert!(res.rel_err.value_at(times[0] - 1.0).unwrap() < tol);
+        for w in times.windows(2) {
+            let back = res.rel_err.first_time_below_after(w[0], tol);
+            assert!(
+                back.is_some_and(|t| t < w[1]),
+                "must re-converge inside ({}, {}): {back:?}",
+                w[0],
+                w[1]
+            );
+        }
+        assert!(res.final_rel_err < tol, "final fixed point: {}", res.final_rel_err);
+        // Each delta ships to at least one dirty owner.
+        assert!(res.counters.delta_messages >= times.len() as u64);
+        let par = run_over_network(&g0, NetRunConfig { engine_workers: 4, ..base });
+        assert_eq!(
+            par.final_ranks.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+            res.final_ranks.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+        );
+        assert_eq!(par.counters, res.counters);
+        assert_eq!(par.rel_err.points(), res.rel_err.points());
     }
 }

@@ -50,9 +50,11 @@ pub struct GroupPublish<'a> {
     pub group: GroupId,
     /// The group's outer-iteration epoch at snapshot time.
     pub epoch: u64,
-    /// Global page ids owned by the group, in local order. Must be
-    /// identical on every publish of the same group (the partition is
-    /// fixed for a run).
+    /// Global page ids owned by the group, in local order. Usually
+    /// identical on every publish of the same group; a publish with a
+    /// *different* page set (a crawl delta deleted or inserted pages)
+    /// retires the group's old location entries and installs the new ones,
+    /// so lookups on removed pages answer `None` instead of a stale slot.
     pub pages: &'a [PageId],
     /// Current rank of each owned page, parallel to `pages`.
     pub ranks: &'a [f64],
@@ -132,9 +134,10 @@ pub struct StoreView {
     version: u64,
     /// Indexed by group id; `None` for never-published ids.
     groups: Vec<Option<Arc<GroupRanks>>>,
-    /// page → (owning group, local index). Built incrementally: groups
-    /// only add pages (the partition is fixed), so this is shared between
-    /// views once every group has published.
+    /// page → (owning group, local index). Built incrementally and shared
+    /// between views while page sets are stable; a publish that changes a
+    /// group's page set (crawl delta) clones the map once, retiring the
+    /// group's old entries before installing the new ones.
     page_loc: Arc<HashMap<PageId, (GroupId, u32)>>,
     /// Precomputed global top-`topk_cap` (rank desc, page asc).
     topk: Vec<Hit>,
@@ -322,10 +325,14 @@ impl RankStore {
     /// Unchanged groups (same epoch *and* same rank bits) are skipped;
     /// epoch bumps with identical bits reuse every derived index; the
     /// global top-k and site totals are rebuilt only when some group's
-    /// rank bits actually changed.
+    /// rank bits actually changed. A publish whose page set differs from
+    /// the group's previous one (a crawl delta deleted or inserted pages)
+    /// is always treated as a change: the old location entries are
+    /// retired — `lookup` on a removed page answers `None` — and every
+    /// derived index of the group is rebuilt against the new page set.
     ///
     /// # Panics
-    /// If a group republishes with a different page count, or two groups
+    /// If a publication's `pages`/`ranks` lengths differ, or two groups
     /// claim the same page.
     pub fn publish<'a, I>(&self, updates: I) -> bool
     where
@@ -336,6 +343,7 @@ impl RankStore {
 
         let mut groups = old.groups.clone();
         let mut new_pages: Vec<(GroupId, Arc<Vec<PageId>>)> = Vec::new();
+        let mut retired_pages: Vec<Arc<Vec<PageId>>> = Vec::new();
         let mut any_change = false;
         let mut ranks_changed = false;
         let mut accepted = 0u64;
@@ -347,7 +355,15 @@ impl RankStore {
                 groups.resize(gi + 1, None);
             }
             let prev = groups[gi].take();
-            let bits_same = prev.as_ref().is_some_and(|g| rank_bits_equal(&g.ranks, u.ranks));
+            assert_eq!(
+                u.pages.len(),
+                u.ranks.len(),
+                "group {} pages/ranks length mismatch",
+                u.group
+            );
+            let pages_changed = prev.as_ref().is_some_and(|g| g.pages.as_slice() != u.pages);
+            let bits_same =
+                !pages_changed && prev.as_ref().is_some_and(|g| rank_bits_equal(&g.ranks, u.ranks));
             if let Some(g) = &prev {
                 if g.epoch == u.epoch && bits_same {
                     skipped += 1;
@@ -357,23 +373,15 @@ impl RankStore {
             }
             accepted += 1;
             any_change = true;
-            let pages = match &prev {
-                Some(g) => {
-                    assert_eq!(
-                        g.pages.len(),
-                        u.ranks.len(),
-                        "group {} republished with a different page count",
-                        u.group
-                    );
-                    Arc::clone(&g.pages)
-                }
-                None => {
-                    assert_eq!(
-                        u.pages.len(),
-                        u.ranks.len(),
-                        "group {} pages/ranks length mismatch",
-                        u.group
-                    );
+            let pages = match (&prev, pages_changed) {
+                (Some(g), false) => Arc::clone(&g.pages),
+                (prev, _) => {
+                    if let Some(g) = prev {
+                        // Changed page set: every old location entry of
+                        // this group is retired before the new set goes in
+                        // (local indices shift even for surviving pages).
+                        retired_pages.push(Arc::clone(&g.pages));
+                    }
                     let p = Arc::new(u.pages.to_vec());
                     new_pages.push((u.group, Arc::clone(&p)));
                     p
@@ -410,10 +418,18 @@ impl RankStore {
             return false;
         }
 
-        let page_loc = if new_pages.is_empty() {
+        let page_loc = if new_pages.is_empty() && retired_pages.is_empty() {
             Arc::clone(&old.page_loc)
         } else {
             let mut m = (*old.page_loc).clone();
+            // All retirements precede all inserts, so a page surviving a
+            // repage (or moving between groups in one batch) re-resolves
+            // cleanly instead of tripping the clash assert.
+            for pages in &retired_pages {
+                for p in pages.iter() {
+                    m.remove(p);
+                }
+            }
             for (gid, pages) in &new_pages {
                 for (li, &p) in pages.iter().enumerate() {
                     let clash = m.insert(p, (*gid, li as u32));
@@ -500,7 +516,11 @@ fn build_site_partial(
 ) -> Vec<f64> {
     let mut partial = vec![0.0; n_sites];
     for (li, &p) in pages.iter().enumerate() {
-        partial[site_of[p as usize] as usize] += ranks[li];
+        // Pages beyond the site map (inserted by a crawl delta after the
+        // store was built) contribute to no site aggregate.
+        if let Some(&s) = site_of.get(p as usize) {
+            partial[s as usize] += ranks[li];
+        }
     }
     partial
 }
@@ -656,6 +676,43 @@ mod tests {
         let g1: [f64; 2] = [0.7, 0.2]; // pages 1→s0, 3→s1
         assert_eq!(totals[0].to_bits(), (g0[0] + g1[0]).to_bits());
         assert_eq!(totals[1].to_bits(), (g0[1] + g1[1]).to_bits());
+    }
+
+    #[test]
+    fn deleted_page_lookup_goes_stale_free() {
+        // Satellite regression: after a crawl delta removes page 2 from
+        // group 0, a lookup on it must answer `None` — not a stale
+        // `(group, idx)` resolving into the shrunken rank vector.
+        let store = RankStore::new(4);
+        publish_two_groups(&store);
+        assert_eq!(store.lookup(2).unwrap().rank, 0.1);
+        let pinned = store.view();
+
+        assert!(store.publish([GroupPublish {
+            group: 0,
+            epoch: 2,
+            pages: &[0, 4],
+            ranks: &[0.6, 1.0],
+        }]));
+        assert!(store.lookup(2).is_none(), "deleted page must not resolve");
+        // Surviving pages re-resolve at their shifted local indices.
+        let l = store.lookup(4).unwrap();
+        assert_eq!((l.group, l.epoch, l.rank), (0, 2, 1.0));
+        assert_eq!(store.lookup(0).unwrap().rank, 0.6);
+        assert!(store.top_k(10).iter().all(|h| h.page != 2));
+        assert_eq!(store.view().n_pages(), 4);
+        // The pinned pre-delta view keeps serving the old epoch.
+        assert_eq!(pinned.lookup(2).unwrap().rank, 0.1);
+
+        // A later publish that *adds* a page (insert delta) resolves too.
+        assert!(store.publish([GroupPublish {
+            group: 0,
+            epoch: 3,
+            pages: &[0, 4, 7],
+            ranks: &[0.6, 1.0, 0.3],
+        }]));
+        assert_eq!(store.lookup(7).unwrap().rank, 0.3);
+        assert_eq!(store.view().n_pages(), 5);
     }
 
     #[test]

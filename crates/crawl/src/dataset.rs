@@ -6,7 +6,7 @@
 
 use std::collections::HashMap;
 
-use dpr_graph::{GraphBuilder, WebGraph};
+use dpr_graph::{GraphBuilder, GraphDelta, WebGraph};
 
 use crate::web::{HiddenWeb, WebPageId};
 
@@ -35,6 +35,40 @@ pub fn crawl_to_graph(web: &HiddenWeb, fetched: &[WebPageId]) -> WebGraph {
         }
     }
     b.build()
+}
+
+/// The [`GraphDelta`] a *continued* crawl produces: `newly_fetched`
+/// extends the crawl that built `old` (whose fetch order was
+/// `old_fetched`), and the returned delta upgrades `old` to the extended
+/// dataset in place — newly fetched pages arrive as inserts, and already-
+/// crawled pages whose former external links now resolve inside the
+/// dataset arrive as row rewrites (their rank mass stops leaking). Feeding
+/// this into a running netrun (`NetRunConfig::deltas`) re-ranks the
+/// affected groups incrementally instead of rebuilding the dataset and
+/// restarting cold; dense ids of already-crawled pages are pinned by
+/// construction, which is exactly the id contract the delta model
+/// requires.
+///
+/// # Panics
+/// If `old` and `old_fetched` disagree on the page count, or a page
+/// appears twice across the two fetch lists.
+#[must_use]
+pub fn crawl_growth_delta(
+    web: &HiddenWeb,
+    old: &WebGraph,
+    old_fetched: &[WebPageId],
+    newly_fetched: &[WebPageId],
+) -> GraphDelta {
+    assert_eq!(
+        old.n_pages(),
+        old_fetched.len(),
+        "old graph and its fetch list must describe the same crawl"
+    );
+    let mut all = Vec::with_capacity(old_fetched.len() + newly_fetched.len());
+    all.extend_from_slice(old_fetched);
+    all.extend_from_slice(newly_fetched);
+    let new = crawl_to_graph(web, &all);
+    GraphDelta::diff(old, &new)
 }
 
 #[cfg(test)]
@@ -106,6 +140,37 @@ mod tests {
                 "degree mismatch for page {wp}"
             );
         }
+    }
+
+    #[test]
+    fn continued_crawl_delta_equals_rebuilt_dataset() {
+        // Crawl 3k pages, continue to 4k: applying the growth delta to
+        // the 3k dataset must reproduce the 4k dataset exactly, with the
+        // new pages arriving as inserts and at least one old page's row
+        // rewritten (a former external link resolving internally).
+        let web = HiddenWeb::new(HiddenWebConfig {
+            total_pages: 20_000,
+            n_sites: 25,
+            ..HiddenWebConfig::default()
+        });
+        let first = crawl_bfs(&web, CrawlBudget { max_pages: 3_000 });
+        let full = crawl_bfs(&web, CrawlBudget { max_pages: 4_000 });
+        assert_eq!(&full.fetched[..3_000], &first.fetched[..], "BFS continuation is a superset");
+        let old = crawl_to_graph(&web, &first.fetched);
+        let delta = crawl_growth_delta(&web, &old, &first.fetched, &full.fetched[3_000..]);
+        let upgraded = delta.apply(&old);
+        assert_eq!(upgraded, crawl_to_graph(&web, &full.fetched));
+        assert_eq!(upgraded.n_pages(), 4_000);
+        let inserts = delta
+            .ops
+            .iter()
+            .filter(|op| matches!(op, dpr_graph::DeltaOp::InsertPage { .. }))
+            .count();
+        assert_eq!(inserts, 1_000, "every newly fetched page arrives as one insert");
+        assert!(
+            delta.ops.iter().any(|op| matches!(op, dpr_graph::DeltaOp::SetLinks { .. })),
+            "continuing the crawl must resolve some external links internally"
+        );
     }
 
     #[test]

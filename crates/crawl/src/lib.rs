@@ -48,5 +48,5 @@ pub mod dataset;
 pub mod web;
 
 pub use crawler::{crawl_bfs, CrawlBudget, CrawlOutcome, Mode, ParallelCrawl};
-pub use dataset::crawl_to_graph;
+pub use dataset::{crawl_growth_delta, crawl_to_graph};
 pub use web::{HiddenWeb, HiddenWebConfig};

@@ -137,10 +137,28 @@ impl PageRowSink for BuilderSink {
 }
 
 /// Streaming sink writing rows straight to a binary snapshot.
-struct SnapshotSink<W: Write + Seek> {
+pub struct SnapshotSink<W: Write + Seek> {
     w: Option<SnapshotWriter<W>>,
     raw: Option<W>,
     n_pages: usize,
+}
+
+impl<W: Write + Seek> SnapshotSink<W> {
+    /// A sink that will write a snapshot of `n_pages` pages to `w`.
+    pub fn new(w: W, n_pages: usize) -> Self {
+        Self { w: None, raw: Some(w), n_pages }
+    }
+
+    /// Backpatches the link count and returns the underlying writer.
+    ///
+    /// # Errors
+    /// Propagates I/O failures from the underlying writer.
+    ///
+    /// # Panics
+    /// If fewer rows than `n_pages` were streamed, or `sites` never ran.
+    pub fn finish(self) -> io::Result<W> {
+        self.w.expect("sites emitted").finish()
+    }
 }
 
 impl<W: Write + Seek> PageRowSink for SnapshotSink<W> {
@@ -189,9 +207,30 @@ pub fn edu_domain(cfg: &EduDomainConfig) -> WebGraph {
 /// # Panics
 /// On degenerate configurations, as [`edu_domain`].
 pub fn edu_domain_to_snapshot<W: Write + Seek>(cfg: &EduDomainConfig, w: W) -> io::Result<()> {
-    let mut sink = SnapshotSink { w: None, raw: Some(w), n_pages: cfg.n_pages };
+    let mut sink = SnapshotSink::new(w, cfg.n_pages);
     generate_rows(cfg, &mut sink)?;
-    sink.w.expect("sites emitted").finish()?;
+    sink.finish()?;
+    Ok(())
+}
+
+/// Streams an *existing* graph's rows through a [`PageRowSink`] — the same
+/// row path the generators use, so a mutated graph (e.g. after a
+/// [`crate::GraphDelta`]) can be re-snapshotted by any sink.
+///
+/// Sinks that rely on the contiguous-site-block contract of
+/// [`PageRowSink::sites`] (such as the builder sink) require `g` to keep
+/// pages of a site in one ascending block; [`SnapshotSink`] takes the site
+/// of each page from its row and works for any graph.
+///
+/// # Errors
+/// Propagates sink failures.
+pub fn stream_graph<S: PageRowSink>(g: &WebGraph, sink: &mut S) -> io::Result<()> {
+    let names: Vec<String> = (0..g.n_sites() as u32).map(|s| g.site_name(s).to_string()).collect();
+    let sizes: Vec<usize> = (0..g.n_sites() as u32).map(|s| g.site_size(s) as usize).collect();
+    sink.sites(&names, &sizes)?;
+    for p in 0..g.n_pages() as u32 {
+        sink.page(g.site(p), g.external_out_degree(p), g.out_links(p))?;
+    }
     Ok(())
 }
 

@@ -10,6 +10,7 @@ pub mod random;
 pub mod toy;
 
 pub use edu::{
-    edu_domain, edu_domain_to_snapshot, edu_domain_to_snapshot_path, EduDomainConfig, PageRowSink,
+    edu_domain, edu_domain_to_snapshot, edu_domain_to_snapshot_path, stream_graph, EduDomainConfig,
+    PageRowSink, SnapshotSink,
 };
 pub use random::{copy_model, erdos_renyi};

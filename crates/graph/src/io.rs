@@ -39,6 +39,7 @@
 use std::io::{self, BufRead, Read, Seek, SeekFrom, Write};
 
 use crate::builder::GraphBuilder;
+use crate::delta::{DeltaOp, GraphDelta};
 use crate::graph::WebGraph;
 
 /// Errors produced while parsing the text format.
@@ -353,18 +354,22 @@ pub fn write_snapshot<W: Write + Seek>(g: &WebGraph, w: W) -> io::Result<()> {
 /// underlying I/O failures (including [`io::ErrorKind::UnexpectedEof`] on
 /// truncation).
 pub fn read_snapshot<R: BufRead>(mut r: R) -> io::Result<WebGraph> {
+    read_snapshot_body(&mut r)
+}
+
+fn read_snapshot_body<R: BufRead>(r: &mut R) -> io::Result<WebGraph> {
     let mut magic = [0u8; 6];
     r.read_exact(&mut magic)?;
     if &magic != SNAPSHOT_MAGIC {
         return Err(invalid("bad snapshot magic"));
     }
-    let n_sites = read_varint(&mut r)?;
+    let n_sites = read_varint(r)?;
     if n_sites > u64::from(u32::MAX) {
         return Err(invalid("site count exceeds u32"));
     }
     let mut site_names = Vec::with_capacity(n_sites as usize);
     for _ in 0..n_sites {
-        let len = read_varint(&mut r)? as usize;
+        let len = read_varint(r)? as usize;
         if len > 1 << 16 {
             return Err(invalid("site name too long"));
         }
@@ -372,7 +377,7 @@ pub fn read_snapshot<R: BufRead>(mut r: R) -> io::Result<WebGraph> {
         r.read_exact(&mut buf)?;
         site_names.push(String::from_utf8(buf).map_err(|_| invalid("site name is not UTF-8"))?);
     }
-    let n_pages = read_varint(&mut r)?;
+    let n_pages = read_varint(r)?;
     if n_pages > u64::from(u32::MAX) {
         return Err(invalid("page count exceeds u32"));
     }
@@ -388,18 +393,18 @@ pub fn read_snapshot<R: BufRead>(mut r: R) -> io::Result<WebGraph> {
     let mut site_of = Vec::with_capacity(n_pages);
 
     for p in 0..n_pages {
-        let site = read_varint(&mut r)?;
+        let site = read_varint(r)?;
         if site >= n_sites {
             return Err(invalid(format!("page {p}: site {site} out of range")));
         }
-        let ext = read_varint(&mut r)?;
+        let ext = read_varint(r)?;
         if ext > u64::from(u32::MAX) {
             return Err(invalid(format!("page {p}: external degree exceeds u32")));
         }
-        let deg = read_varint(&mut r)?;
+        let deg = read_varint(r)?;
         let mut prev = 0u64;
         for _ in 0..deg {
-            prev += read_varint(&mut r)?;
+            prev += read_varint(r)?;
             if prev >= n_pages as u64 {
                 return Err(invalid(format!("page {p}: destination {prev} out of range")));
             }
@@ -416,6 +421,204 @@ pub fn read_snapshot<R: BufRead>(mut r: R) -> io::Result<WebGraph> {
         )));
     }
     Ok(WebGraph::from_parts(out_ptr, out_dst, ext_out, site_of, site_names))
+}
+
+/// Magic prefix of one delta record appended after a snapshot's page rows
+/// (`"DPRD1\n"`). A snapshot file may carry any number of delta records;
+/// [`read_snapshot`] ignores them (backward compatible), and
+/// [`read_snapshot_with_deltas`] parses them.
+pub const DELTA_MAGIC: &[u8; 6] = b"DPRD1\n";
+
+// Op tags of the delta-record wire format.
+const OP_ADD_LINK: u8 = 0;
+const OP_REMOVE_LINK: u8 = 1;
+const OP_SET_EXTERNAL: u8 = 2;
+const OP_SET_LINKS: u8 = 3;
+const OP_INSERT_PAGE: u8 = 4;
+const OP_DELETE_PAGE: u8 = 5;
+const OP_SPLIT_SITE: u8 = 6;
+
+fn write_sorted_ids<W: Write>(w: &mut W, ids: &[u32]) -> io::Result<()> {
+    // Canonical form: ascending, delta-encoded — the same encoding page
+    // rows use.
+    let mut sorted = ids.to_vec();
+    sorted.sort_unstable();
+    write_varint(w, sorted.len() as u64)?;
+    let mut prev = 0u32;
+    for v in sorted {
+        write_varint(w, u64::from(v - prev))?;
+        prev = v;
+    }
+    Ok(())
+}
+
+fn read_sorted_ids<R: Read>(r: &mut R) -> io::Result<Vec<u32>> {
+    let n = read_varint(r)?;
+    if n > u64::from(u32::MAX) {
+        return Err(invalid("delta id list exceeds u32 length"));
+    }
+    let mut ids = Vec::with_capacity(n as usize);
+    let mut prev = 0u64;
+    for _ in 0..n {
+        prev += read_varint(r)?;
+        if prev > u64::from(u32::MAX) {
+            return Err(invalid("delta id exceeds u32"));
+        }
+        ids.push(prev as u32);
+    }
+    Ok(ids)
+}
+
+fn read_u32_varint<R: Read>(r: &mut R, what: &str) -> io::Result<u32> {
+    let v = read_varint(r)?;
+    u32::try_from(v).map_err(|_| invalid(format!("{what} exceeds u32")))
+}
+
+/// Appends one delta record (`DPRD1` magic + ops) to `w`.
+///
+/// Destination lists are written in canonical sorted order, so a delta
+/// read back compares equal op for op up to row ordering (applying either
+/// produces the identical graph).
+///
+/// # Errors
+/// Propagates I/O failures from the underlying writer.
+pub fn write_delta<W: Write>(d: &GraphDelta, w: &mut W) -> io::Result<()> {
+    w.write_all(DELTA_MAGIC)?;
+    write_varint(w, d.ops.len() as u64)?;
+    for op in &d.ops {
+        match op {
+            DeltaOp::AddLink { from, to } => {
+                w.write_all(&[OP_ADD_LINK])?;
+                write_varint(w, u64::from(*from))?;
+                write_varint(w, u64::from(*to))?;
+            }
+            DeltaOp::RemoveLink { from, to } => {
+                w.write_all(&[OP_REMOVE_LINK])?;
+                write_varint(w, u64::from(*from))?;
+                write_varint(w, u64::from(*to))?;
+            }
+            DeltaOp::SetExternal { page, ext_out } => {
+                w.write_all(&[OP_SET_EXTERNAL])?;
+                write_varint(w, u64::from(*page))?;
+                write_varint(w, u64::from(*ext_out))?;
+            }
+            DeltaOp::SetLinks { page, ext_out, links } => {
+                w.write_all(&[OP_SET_LINKS])?;
+                write_varint(w, u64::from(*page))?;
+                write_varint(w, u64::from(*ext_out))?;
+                write_sorted_ids(w, links)?;
+            }
+            DeltaOp::InsertPage { site, ext_out, links } => {
+                w.write_all(&[OP_INSERT_PAGE])?;
+                write_varint(w, u64::from(*site))?;
+                write_varint(w, u64::from(*ext_out))?;
+                write_sorted_ids(w, links)?;
+            }
+            DeltaOp::DeletePage { page } => {
+                w.write_all(&[OP_DELETE_PAGE])?;
+                write_varint(w, u64::from(*page))?;
+            }
+            DeltaOp::SplitSite { new_site, pages } => {
+                w.write_all(&[OP_SPLIT_SITE])?;
+                write_varint(w, new_site.len() as u64)?;
+                w.write_all(new_site.as_bytes())?;
+                write_sorted_ids(w, pages)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads one delta record (including its `DPRD1` magic) from `r`.
+///
+/// # Errors
+/// Returns [`io::ErrorKind::InvalidData`] on malformed input, and
+/// propagates underlying I/O failures.
+pub fn read_delta<R: Read>(r: &mut R) -> io::Result<GraphDelta> {
+    let mut magic = [0u8; 6];
+    r.read_exact(&mut magic)?;
+    if &magic != DELTA_MAGIC {
+        return Err(invalid("bad delta magic"));
+    }
+    read_delta_body(r)
+}
+
+fn read_delta_body<R: Read>(r: &mut R) -> io::Result<GraphDelta> {
+    let n_ops = read_varint(r)?;
+    if n_ops > u64::from(u32::MAX) {
+        return Err(invalid("delta op count exceeds u32"));
+    }
+    let mut ops = Vec::with_capacity(n_ops as usize);
+    for _ in 0..n_ops {
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
+        ops.push(match tag[0] {
+            OP_ADD_LINK => DeltaOp::AddLink {
+                from: read_u32_varint(r, "link source")?,
+                to: read_u32_varint(r, "link target")?,
+            },
+            OP_REMOVE_LINK => DeltaOp::RemoveLink {
+                from: read_u32_varint(r, "link source")?,
+                to: read_u32_varint(r, "link target")?,
+            },
+            OP_SET_EXTERNAL => DeltaOp::SetExternal {
+                page: read_u32_varint(r, "page id")?,
+                ext_out: read_u32_varint(r, "external degree")?,
+            },
+            OP_SET_LINKS => DeltaOp::SetLinks {
+                page: read_u32_varint(r, "page id")?,
+                ext_out: read_u32_varint(r, "external degree")?,
+                links: read_sorted_ids(r)?,
+            },
+            OP_INSERT_PAGE => DeltaOp::InsertPage {
+                site: read_u32_varint(r, "site id")?,
+                ext_out: read_u32_varint(r, "external degree")?,
+                links: read_sorted_ids(r)?,
+            },
+            OP_DELETE_PAGE => DeltaOp::DeletePage { page: read_u32_varint(r, "page id")? },
+            OP_SPLIT_SITE => {
+                let len = read_varint(r)? as usize;
+                if len > 1 << 16 {
+                    return Err(invalid("site name too long"));
+                }
+                let mut buf = vec![0u8; len];
+                r.read_exact(&mut buf)?;
+                let new_site =
+                    String::from_utf8(buf).map_err(|_| invalid("site name is not UTF-8"))?;
+                DeltaOp::SplitSite { new_site, pages: read_sorted_ids(r)? }
+            }
+            other => return Err(invalid(format!("unknown delta op tag {other}"))),
+        });
+    }
+    Ok(GraphDelta { ops })
+}
+
+/// The number of bytes [`write_delta`] puts on the wire for `d` — the
+/// honest size of a crawl delta shipped to a page ranker.
+#[must_use]
+pub fn delta_wire_bytes(d: &GraphDelta) -> u64 {
+    let mut buf = Vec::new();
+    write_delta(d, &mut buf).expect("Vec<u8> writes are infallible");
+    buf.len() as u64
+}
+
+/// Reads a binary snapshot plus every `DPRD1` delta record appended after
+/// its page rows (in file order). A snapshot with no trailing records
+/// yields an empty delta list.
+///
+/// # Errors
+/// Returns [`io::ErrorKind::InvalidData`] on malformed input — including
+/// trailing bytes that are not a well-formed delta record — and propagates
+/// underlying I/O failures.
+pub fn read_snapshot_with_deltas<R: BufRead>(mut r: R) -> io::Result<(WebGraph, Vec<GraphDelta>)> {
+    let g = read_snapshot_body(&mut r)?;
+    let mut deltas = Vec::new();
+    loop {
+        if r.fill_buf()?.is_empty() {
+            return Ok((g, deltas));
+        }
+        deltas.push(read_delta(&mut r)?);
+    }
 }
 
 /// Writes `g` as a binary snapshot at `path`.
@@ -588,5 +791,93 @@ mod tests {
         let mut cur = io::Cursor::new(Vec::new());
         let mut w = SnapshotWriter::new(&mut cur, &["a".to_string()], 2).unwrap();
         w.page(0, 0, &[1, 0]).unwrap();
+    }
+
+    fn every_op_delta() -> GraphDelta {
+        GraphDelta::new(vec![
+            DeltaOp::AddLink { from: 0, to: 2 },
+            DeltaOp::RemoveLink { from: 1, to: 0 },
+            DeltaOp::SetExternal { page: 2, ext_out: 9 },
+            DeltaOp::SetLinks { page: 3, ext_out: 1, links: vec![0, 1, 1, 4] },
+            DeltaOp::InsertPage { site: 0, ext_out: 0, links: vec![2, 3] },
+            DeltaOp::DeletePage { page: 5 },
+            DeltaOp::SplitSite { new_site: "split.example.edu".to_string(), pages: vec![1, 4] },
+        ])
+    }
+
+    #[test]
+    fn delta_record_roundtrip_covers_every_op() {
+        let d = every_op_delta();
+        let mut buf = Vec::new();
+        write_delta(&d, &mut buf).unwrap();
+        assert_eq!(buf.len() as u64, delta_wire_bytes(&d));
+        assert_eq!(read_delta(&mut buf.as_slice()).unwrap(), d);
+    }
+
+    #[test]
+    fn read_snapshot_ignores_trailing_delta_records() {
+        // Backward compatibility: a pre-delta reader must load the base
+        // graph of a snapshot file that carries delta records.
+        let g = toy::two_cliques(4);
+        let mut cur = io::Cursor::new(Vec::new());
+        write_snapshot(&g, &mut cur).unwrap();
+        let mut buf = cur.into_inner();
+        write_delta(&GraphDelta::new(vec![DeltaOp::DeletePage { page: 0 }]), &mut buf).unwrap();
+        assert_eq!(read_snapshot(buf.as_slice()).unwrap(), g);
+    }
+
+    #[test]
+    fn read_snapshot_with_deltas_parses_records_in_order() {
+        let g = toy::cycle(5);
+        let d1 = GraphDelta::new(vec![DeltaOp::AddLink { from: 0, to: 2 }]);
+        let d2 = GraphDelta::new(vec![DeltaOp::DeletePage { page: 3 }]);
+        let mut cur = io::Cursor::new(Vec::new());
+        write_snapshot(&g, &mut cur).unwrap();
+        let mut buf = cur.into_inner();
+        write_delta(&d1, &mut buf).unwrap();
+        write_delta(&d2, &mut buf).unwrap();
+        let (base, deltas) = read_snapshot_with_deltas(buf.as_slice()).unwrap();
+        assert_eq!(base, g);
+        assert_eq!(deltas, vec![d1, d2]);
+    }
+
+    #[test]
+    fn read_snapshot_with_deltas_empty_tail_yields_no_records() {
+        let g = toy::cycle(3);
+        let mut cur = io::Cursor::new(Vec::new());
+        write_snapshot(&g, &mut cur).unwrap();
+        let (base, deltas) = read_snapshot_with_deltas(cur.into_inner().as_slice()).unwrap();
+        assert_eq!(base, g);
+        assert!(deltas.is_empty());
+    }
+
+    #[test]
+    fn read_snapshot_with_deltas_rejects_garbage_tail() {
+        let g = toy::cycle(3);
+        let mut cur = io::Cursor::new(Vec::new());
+        write_snapshot(&g, &mut cur).unwrap();
+        let mut buf = cur.into_inner();
+        buf.extend_from_slice(b"JUNK!\n");
+        let err = read_snapshot_with_deltas(buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn delta_unknown_op_tag_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(DELTA_MAGIC);
+        buf.extend_from_slice(&[1, 99]); // one op, bogus tag
+        let err = read_delta(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn delta_encoding_canonicalizes_unsorted_lists() {
+        let d =
+            GraphDelta::new(vec![DeltaOp::SetLinks { page: 0, ext_out: 0, links: vec![3, 1, 2] }]);
+        let mut buf = Vec::new();
+        write_delta(&d, &mut buf).unwrap();
+        let back = read_delta(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.ops, vec![DeltaOp::SetLinks { page: 0, ext_out: 0, links: vec![1, 2, 3] }]);
     }
 }

@@ -43,6 +43,7 @@
 
 pub mod analysis;
 pub mod builder;
+pub mod delta;
 pub mod generators;
 pub mod graph;
 pub mod io;
@@ -51,5 +52,6 @@ pub mod stats;
 pub mod urls;
 
 pub use builder::GraphBuilder;
+pub use delta::{DeltaOp, DeltaReport, GraphDelta};
 pub use graph::{PageId, SiteId, WebGraph};
 pub use stats::GraphStats;

@@ -25,6 +25,10 @@ pub struct RecrawlReport {
     pub changed_pages: Vec<PageId>,
     /// Ids of pages added by the new crawl (all ≥ `old.n_pages()`).
     pub new_pages: Vec<PageId>,
+    /// Pages the re-crawl found gone (404s): tombstoned in place — id slot
+    /// kept, out-row cleared, every in-link to them dropped. Empty for
+    /// [`recrawl`]; populated by [`recrawl_with_deletions`].
+    pub deleted_pages: Vec<PageId>,
 }
 
 /// Re-crawls `old`: each page's link set is regenerated with probability
@@ -38,7 +42,30 @@ pub fn recrawl(
     growth_frac: f64,
     seed: u64,
 ) -> (WebGraph, RecrawlReport) {
+    recrawl_with_deletions(old, change_prob, growth_frac, 0.0, seed)
+}
+
+/// [`recrawl`] with page deletions: each surviving page is additionally
+/// found gone (404) with probability `delete_prob`. Deleted pages are
+/// *tombstoned*, never renumbered: the id slot (and URL) stays, the page's
+/// own out-links and external count are cleared, and **every in-link to it
+/// is dropped from the linker's row** — a page whose only out-link pointed
+/// at a tombstone ends genuinely dangling (`d(u) = 0`), so its
+/// `column_scale` entry is exactly `0.0` rather than a phantom division.
+///
+/// # Panics
+/// If `change_prob` or `delete_prob` is outside `[0, 1]`, or
+/// `growth_frac < 0`.
+#[must_use]
+pub fn recrawl_with_deletions(
+    old: &WebGraph,
+    change_prob: f64,
+    growth_frac: f64,
+    delete_prob: f64,
+    seed: u64,
+) -> (WebGraph, RecrawlReport) {
     assert!((0.0..=1.0).contains(&change_prob));
+    assert!((0.0..=1.0).contains(&delete_prob));
     assert!(growth_frac >= 0.0);
     let mut rng = SmallRng::seed_from_u64(seed);
     let n_old = old.n_pages();
@@ -59,8 +86,34 @@ pub fn recrawl(
         new_pages.push(b.add_page(site));
     }
 
+    // Deletions are drawn first so regenerated and new rows never link to
+    // a tombstone (and carried-over rows are filtered against them).
+    let mut deleted_pages = Vec::new();
+    if delete_prob > 0.0 {
+        for p in 0..n_old as u32 {
+            if rng.gen_bool(delete_prob) {
+                deleted_pages.push(p);
+            }
+        }
+    }
+    let dead: std::collections::BTreeSet<PageId> = deleted_pages.iter().copied().collect();
+    let alive_target = |rng: &mut SmallRng, p: u32| -> Option<u32> {
+        if n_total - dead.len() < 2 {
+            return None; // no possible non-self, non-tombstone target
+        }
+        loop {
+            let v = rng.gen_range(0..n_total as u32);
+            if v != p && !dead.contains(&v) {
+                return Some(v);
+            }
+        }
+    };
+
     let mut changed_pages = Vec::new();
     for p in 0..n_old as u32 {
+        if dead.contains(&p) {
+            continue; // tombstone: no out-links, no external count
+        }
         if rng.gen_bool(change_prob) {
             changed_pages.push(p);
             // Regenerate: same total degree, fresh random internal targets.
@@ -68,40 +121,40 @@ pub fn recrawl(
             let internal = old.internal_out_degree(p);
             let mut external = d - internal;
             for _ in 0..internal {
-                if n_total < 2 {
-                    // No possible non-self target: the link now points
-                    // outside the crawl (total degree is preserved).
-                    external += 1;
-                    continue;
+                match alive_target(&mut rng, p) {
+                    Some(v) => b.add_link(p, v),
+                    // No possible target: the link now points outside the
+                    // crawl (total degree is preserved).
+                    None => external += 1,
                 }
-                let mut v = rng.gen_range(0..n_total as u32);
-                while v == p {
-                    v = rng.gen_range(0..n_total as u32);
-                }
-                b.add_link(p, v);
             }
             b.add_external_links(p, external);
         } else {
+            let before = b.n_links();
             for &v in old.out_links(p) {
-                b.add_link(p, v);
+                if !dead.contains(&v) {
+                    b.add_link(p, v);
+                }
+            }
+            if b.n_links() - before < old.out_links(p).len() {
+                // In-links to tombstones were dropped: the row — and the
+                // page's out-degree — changed even though the page itself
+                // was not re-crawled.
+                changed_pages.push(p);
             }
             b.add_external_links(p, old.external_out_degree(p));
         }
     }
     // New pages link mostly within their own graph neighbourhood.
-    if n_total >= 2 {
-        for &p in &new_pages {
-            for _ in 0..5 {
-                let mut v = rng.gen_range(0..n_total as u32);
-                while v == p {
-                    v = rng.gen_range(0..n_total as u32);
-                }
+    for &p in &new_pages {
+        for _ in 0..5 {
+            if let Some(v) = alive_target(&mut rng, p) {
                 b.add_link(p, v);
             }
         }
     }
 
-    (b.build(), RecrawlReport { changed_pages, new_pages })
+    (b.build(), RecrawlReport { changed_pages, new_pages, deleted_pages })
 }
 
 #[cfg(test)]
@@ -145,5 +198,46 @@ mod tests {
     fn deterministic_per_seed() {
         let g = toy::cycle(30);
         assert_eq!(recrawl(&g, 0.3, 0.1, 7), recrawl(&g, 0.3, 0.1, 7));
+    }
+
+    #[test]
+    fn recrawl_without_deletions_matches_legacy_recrawl() {
+        let g = toy::cycle(30);
+        assert_eq!(recrawl(&g, 0.3, 0.1, 7), recrawl_with_deletions(&g, 0.3, 0.1, 0.0, 7));
+    }
+
+    #[test]
+    fn deleting_an_only_target_leaves_the_linker_dangling() {
+        // a → b and nothing else: when the re-crawl finds b gone, a must
+        // end with d(a) = 0 exactly — not a phantom link into a tombstone.
+        let mut b = GraphBuilder::new();
+        let s = b.add_site("a.edu");
+        let pa = b.add_page(s);
+        let pb = b.add_page(s);
+        b.add_link(pa, pb);
+        let g = b.build();
+        // delete_prob = 1.0 tombstones every page; the structural contract
+        // below is what matters.
+        let (g2, report) = recrawl_with_deletions(&g, 0.0, 0.0, 1.0, 5);
+        assert_eq!(report.deleted_pages, vec![pa, pb]);
+        assert_eq!(g2.n_pages(), 2, "tombstones keep the id space dense");
+        assert_eq!(g2.out_degree(pa), 0, "the in-link to the tombstone is gone");
+        assert_eq!(g2.url_of(pa), g.url_of(pa));
+        assert!(g2.dangling_pages().contains(&pa));
+    }
+
+    #[test]
+    fn deletions_never_leave_links_to_tombstones() {
+        let g = toy::two_cliques(8);
+        let (g2, report) = recrawl_with_deletions(&g, 0.5, 0.2, 0.3, 11);
+        let dead: std::collections::BTreeSet<_> = report.deleted_pages.iter().copied().collect();
+        for p in 0..g2.n_pages() as u32 {
+            if dead.contains(&p) {
+                assert_eq!(g2.out_degree(p), 0, "tombstone {p} kept out-links");
+            }
+            for &v in g2.out_links(p) {
+                assert!(!dead.contains(&v), "page {p} still links to tombstone {v}");
+            }
+        }
     }
 }

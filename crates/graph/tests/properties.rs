@@ -1,11 +1,12 @@
 //! Property tests for the graph substrate: builder/IO round-trips, stats
 //! consistency, and generator invariants over randomized configurations.
 
-use dpr_graph::generators::edu::{edu_domain, EduDomainConfig};
+use dpr_graph::generators::edu::{edu_domain, stream_graph, EduDomainConfig, SnapshotSink};
 use dpr_graph::generators::random;
-use dpr_graph::refresh::recrawl;
-use dpr_graph::{GraphBuilder, GraphStats, WebGraph};
+use dpr_graph::refresh::{recrawl, recrawl_with_deletions};
+use dpr_graph::{GraphBuilder, GraphDelta, GraphStats, WebGraph};
 use proptest::prelude::*;
+use std::io::Cursor;
 
 /// Arbitrary small graph: sites, page→site assignment, links, ext counts.
 fn arb_graph() -> impl Strategy<Value = WebGraph> {
@@ -90,6 +91,55 @@ proptest! {
         for &p in &report.new_pages {
             prop_assert!((p as usize) >= g.n_pages());
         }
+    }
+
+    /// Satellite: `snapshot + deltas == re-snapshot`. A crawl refresh with
+    /// deletions plus a round of link churn are shipped as `DPRD1` records
+    /// behind the base snapshot, both paths streamed through the
+    /// `PageRowSink` snapshot sink; applying the records read back must
+    /// reproduce the mutated graph byte for byte.
+    #[test]
+    fn snapshot_plus_deltas_equals_resnapshot(
+        g in arb_graph(),
+        change in 0.0f64..1.0,
+        delete in 0.0f64..0.5,
+        seed in 0u64..200,
+    ) {
+        prop_assume!(g.n_pages() >= 2);
+        let (g2, report) = recrawl_with_deletions(&g, change, 0.2, delete, seed);
+        let mut written = vec![GraphDelta::from_recrawl(&g, &g2, &report)];
+        let mut expected = g2;
+        if expected.n_internal_links() > 0 {
+            let churn = GraphDelta::link_churn(&expected, 0.3, seed ^ 1);
+            expected = churn.apply(&expected);
+            written.push(churn);
+        }
+
+        // Base snapshot through the PageRowSink path, delta records behind.
+        let mut sink = SnapshotSink::new(Cursor::new(Vec::new()), g.n_pages());
+        stream_graph(&g, &mut sink).unwrap();
+        let mut bytes = sink.finish().unwrap().into_inner();
+        for d in &written {
+            dpr_graph::io::write_delta(d, &mut bytes).unwrap();
+        }
+
+        let (base, deltas) = dpr_graph::io::read_snapshot_with_deltas(bytes.as_slice()).unwrap();
+        prop_assert_eq!(&base, &g);
+        prop_assert_eq!(&deltas, &written);
+        let mut mutated = base;
+        for d in &deltas {
+            mutated = d.apply(&mutated);
+        }
+        prop_assert_eq!(&mutated, &expected);
+
+        // Re-snapshot of the applied graph, again through the sink: byte
+        // identical to a direct snapshot of the independently mutated graph.
+        let mut re = SnapshotSink::new(Cursor::new(Vec::new()), mutated.n_pages());
+        stream_graph(&mutated, &mut re).unwrap();
+        let re_bytes = re.finish().unwrap().into_inner();
+        let mut direct = Cursor::new(Vec::new());
+        dpr_graph::io::write_snapshot(&expected, &mut direct).unwrap();
+        prop_assert_eq!(re_bytes, direct.into_inner());
     }
 
     #[test]

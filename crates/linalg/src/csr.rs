@@ -247,6 +247,20 @@ impl Csr {
         self.row_ptr.len() * 8 + self.col_idx.len() * 4 + self.values.len() * 8
     }
 
+    /// Rewrites every stored value from per-column scale factors
+    /// (`values[k] = scale[col_idx[k]]`), keeping the entry structure — the
+    /// explicit-layout twin of [`CsrImplicit::set_scale`].
+    ///
+    /// # Panics
+    /// On a `scale` length other than `n_cols` or a non-finite factor.
+    pub fn rescale_columns(&mut self, scale: &[f64]) {
+        assert_eq!(scale.len(), self.n_cols, "scale must have one factor per column");
+        assert!(scale.iter().all(|s| s.is_finite()), "scale factors must be finite");
+        for (v, &c) in self.values.iter_mut().zip(&self.col_idx) {
+            *v = scale[c as usize];
+        }
+    }
+
     /// The `(col, value)` pairs of row `r`.
     pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         let lo = self.row_ptr[r] as usize;
@@ -651,6 +665,20 @@ impl CsrImplicit {
     #[must_use]
     pub fn scale(&self) -> &[f64] {
         &self.scale
+    }
+
+    /// Replaces the per-column scale factors in place, keeping the row
+    /// pointer and column indices — the incremental-ranking patch path: a
+    /// graph delta that changes out-degrees without touching this matrix's
+    /// entry structure only needs new `α/d(u)` factors.
+    ///
+    /// # Panics
+    /// On a `scale` length other than `n_cols` or a non-finite factor (the
+    /// same contract as [`CsrImplicit::from_raw_parts`]).
+    pub fn set_scale(&mut self, scale: Vec<f64>) {
+        assert_eq!(scale.len(), self.n_cols, "scale must have one factor per column");
+        assert!(scale.iter().all(|s| s.is_finite()), "scale factors must be finite");
+        self.scale = scale;
     }
 
     /// Heap bytes held by the matrix arrays (`row_ptr` + `col_idx` +

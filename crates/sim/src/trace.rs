@@ -71,6 +71,16 @@ impl TimeSeries {
         self.points.iter().find(|&&(_, v)| v <= threshold).map(|&(t, _)| t)
     }
 
+    /// First time strictly after `t0` the value drops to or below
+    /// `threshold` — the recovery-time readout after a mid-run event (a
+    /// node crash, a crawl delta): how long the error curve took to get
+    /// back under tolerance once the event perturbed it. `None` if it
+    /// never recovers within the series.
+    #[must_use]
+    pub fn first_time_below_after(&self, t0: f64, threshold: f64) -> Option<f64> {
+        self.points.iter().find(|&&(t, v)| t > t0 && v <= threshold).map(|&(t, _)| t)
+    }
+
     /// Resamples onto a uniform grid of `n` points over `[t0, t1]` using
     /// step interpolation — used to print fixed-width figure rows.
     #[must_use]
@@ -145,6 +155,18 @@ mod tests {
         let s = sample_series();
         assert_eq!(s.first_time_below(5.0), Some(1.0));
         assert_eq!(s.first_time_below(0.5), None);
+    }
+
+    #[test]
+    fn first_time_below_after_skips_earlier_crossings() {
+        // The curve dips below threshold early, spikes at t = 2, and
+        // recovers at t = 4 — the post-event readout must ignore the
+        // pre-event crossing.
+        let s = sample_series();
+        assert_eq!(s.first_time_below_after(1.0, 5.0), Some(2.0));
+        assert_eq!(s.first_time_below_after(2.0, 1.5), Some(4.0));
+        assert_eq!(s.first_time_below_after(4.0, 0.5), None);
+        assert_eq!(s.first_time_below(5.0), Some(1.0), "unscoped readout unchanged");
     }
 
     #[test]
